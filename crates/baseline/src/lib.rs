@@ -1,0 +1,35 @@
+//! A Marketcetera-style, process-isolated baseline trading platform.
+//!
+//! §6.1 of the paper compares DEFCon against Marketcetera 1.5, which isolates each
+//! client's trading strategy in its own JVM ("Strategy Agent") and routes orders
+//! through an Order Routing Service (ORS). The paper attributes Marketcetera's
+//! scaling behaviour (Figures 8 and 9) to two structural properties:
+//!
+//! 1. **No centralised market-data filtering** — every Strategy Agent receives the
+//!    *entire* market-data stream and filters it locally, so total filtering work is
+//!    `O(traders × ticks)`;
+//! 2. **Cross-JVM communication** — every tick and every order crosses an isolation
+//!    boundary, paying serialisation, copying and kernel/network overhead, and each
+//!    JVM carries its own heap.
+//!
+//! This crate reproduces both mechanisms with threads standing in for JVMs:
+//! [`StrategyAgent`]s run on their own threads and receive a *separately serialised
+//! copy* of every tick over a bounded [`SerializingChannel`]; an
+//! [`OrderRoutingService`] thread matches orders centrally. A configurable per-hop
+//! delay models the loopback-socket and FIX-gateway cost that a thread channel does
+//! not naturally pay (see DESIGN.md, substitution table).
+//!
+//! [`BaselinePlatform::run`] executes a complete experiment and reports the metrics
+//! of Figures 8 and 9: sustained event rate, the three-way latency breakdown
+//! (processing, ticks+processing, ticks+orders+processing) and occupied memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod platform;
+pub mod transport;
+
+pub use agent::{AgentMetrics, StrategyAgent};
+pub use platform::{BaselineConfig, BaselinePlatform, BaselineReport, OrderRoutingService};
+pub use transport::{BaselineMessage, SerializingChannel, TransportStats};

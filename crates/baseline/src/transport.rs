@@ -1,0 +1,322 @@
+//! Serialising transport between "JVMs".
+//!
+//! Every message that crosses an isolation boundary in the baseline platform is
+//! serialised into a fresh byte buffer, pushed through a bounded channel and
+//! deserialised on the other side — the cost structure of cross-process IPC that the
+//! paper identifies as the reason Marketcetera's latency grows with the number of
+//! traders. An optional per-hop delay models the additional loopback-socket and
+//! protocol-gateway cost that an in-process channel does not pay.
+
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use defcon_workload::{Order, OrderSide, Symbol, Tick, Trade};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A message crossing an isolation boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineMessage {
+    /// A market-data tick, stamped with its send time (nanoseconds, monotonic).
+    Tick {
+        /// The tick itself.
+        tick: Tick,
+        /// Monotonic send timestamp.
+        sent_ns: u64,
+    },
+    /// An order routed from a Strategy Agent to the ORS.
+    Order {
+        /// The order.
+        order: Order,
+        /// Monotonic timestamp at which the originating tick was created.
+        tick_created_ns: u64,
+        /// Monotonic timestamp at which the agent finished its processing.
+        decided_ns: u64,
+    },
+    /// A trade notification from the ORS back to agents.
+    Trade {
+        /// The trade.
+        trade: Trade,
+        /// Monotonic timestamp at which the originating tick was created.
+        tick_created_ns: u64,
+    },
+    /// Feed shutdown marker.
+    Shutdown,
+}
+
+const MSG_TICK: u8 = 1;
+const MSG_ORDER: u8 = 2;
+const MSG_TRADE: u8 = 3;
+const MSG_SHUTDOWN: u8 = 4;
+
+fn put_symbol(buf: &mut BytesMut, symbol: &Symbol) {
+    let bytes = symbol.as_str().as_bytes();
+    buf.put_u16_le(bytes.len() as u16);
+    buf.put_slice(bytes);
+}
+
+fn get_symbol(buf: &mut Bytes) -> Option<Symbol> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let raw = buf.split_to(len);
+    Some(Symbol::new(String::from_utf8_lossy(&raw).into_owned()))
+}
+
+/// Serialises a message into a fresh buffer (the per-copy cost of crossing a JVM
+/// boundary).
+pub fn encode(message: &BaselineMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match message {
+        BaselineMessage::Tick { tick, sent_ns } => {
+            buf.put_u8(MSG_TICK);
+            buf.put_u64_le(tick.sequence);
+            put_symbol(&mut buf, &tick.symbol);
+            buf.put_f64_le(tick.price);
+            buf.put_u64_le(tick.timestamp_ns);
+            buf.put_u64_le(*sent_ns);
+        }
+        BaselineMessage::Order {
+            order,
+            tick_created_ns,
+            decided_ns,
+        } => {
+            buf.put_u8(MSG_ORDER);
+            buf.put_u64_le(order.trader);
+            put_symbol(&mut buf, &order.symbol);
+            buf.put_u8(matches!(order.side, OrderSide::Buy) as u8);
+            buf.put_f64_le(order.price);
+            buf.put_u64_le(order.quantity);
+            buf.put_u64_le(order.origin_ns);
+            buf.put_u64_le(*tick_created_ns);
+            buf.put_u64_le(*decided_ns);
+        }
+        BaselineMessage::Trade {
+            trade,
+            tick_created_ns,
+        } => {
+            buf.put_u8(MSG_TRADE);
+            put_symbol(&mut buf, &trade.symbol);
+            buf.put_f64_le(trade.price);
+            buf.put_u64_le(trade.quantity);
+            buf.put_u64_le(trade.buyer);
+            buf.put_u64_le(trade.seller);
+            buf.put_u64_le(trade.origin_ns);
+            buf.put_u64_le(*tick_created_ns);
+        }
+        BaselineMessage::Shutdown => buf.put_u8(MSG_SHUTDOWN),
+    }
+    buf.freeze()
+}
+
+/// Deserialises a message produced by [`encode`]; returns `None` on malformed input.
+pub fn decode(mut buf: Bytes) -> Option<BaselineMessage> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        MSG_TICK => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let sequence = buf.get_u64_le();
+            let symbol = get_symbol(&mut buf)?;
+            if buf.remaining() < 8 + 8 + 8 {
+                return None;
+            }
+            Some(BaselineMessage::Tick {
+                tick: Tick {
+                    sequence,
+                    symbol,
+                    price: buf.get_f64_le(),
+                    timestamp_ns: buf.get_u64_le(),
+                },
+                sent_ns: buf.get_u64_le(),
+            })
+        }
+        MSG_ORDER => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let trader = buf.get_u64_le();
+            let symbol = get_symbol(&mut buf)?;
+            if buf.remaining() < 1 + 8 + 8 + 8 + 8 + 8 {
+                return None;
+            }
+            let side = if buf.get_u8() == 1 {
+                OrderSide::Buy
+            } else {
+                OrderSide::Sell
+            };
+            Some(BaselineMessage::Order {
+                order: Order {
+                    trader,
+                    symbol,
+                    side,
+                    price: buf.get_f64_le(),
+                    quantity: buf.get_u64_le(),
+                    origin_ns: buf.get_u64_le(),
+                },
+                tick_created_ns: buf.get_u64_le(),
+                decided_ns: buf.get_u64_le(),
+            })
+        }
+        MSG_TRADE => {
+            let symbol = get_symbol(&mut buf)?;
+            if buf.remaining() < 8 * 6 {
+                return None;
+            }
+            Some(BaselineMessage::Trade {
+                trade: Trade {
+                    symbol,
+                    price: buf.get_f64_le(),
+                    quantity: buf.get_u64_le(),
+                    buyer: buf.get_u64_le(),
+                    seller: buf.get_u64_le(),
+                    origin_ns: buf.get_u64_le(),
+                },
+                tick_created_ns: buf.get_u64_le(),
+            })
+        }
+        MSG_SHUTDOWN => Some(BaselineMessage::Shutdown),
+        _ => None,
+    }
+}
+
+/// Counters describing the traffic over one channel.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Messages sent.
+    pub sent: AtomicU64,
+    /// Bytes serialised.
+    pub bytes: AtomicU64,
+}
+
+/// A bounded, serialising channel standing in for a cross-JVM connection.
+#[derive(Debug, Clone)]
+pub struct SerializingChannel {
+    sender: Sender<Bytes>,
+    receiver: Receiver<Bytes>,
+    hop_delay: Duration,
+    stats: Arc<TransportStats>,
+}
+
+impl SerializingChannel {
+    /// Creates a channel with the given capacity and per-hop delay.
+    pub fn new(capacity: usize, hop_delay: Duration) -> Self {
+        let (sender, receiver) = bounded(capacity.max(1));
+        SerializingChannel {
+            sender,
+            receiver,
+            hop_delay,
+            stats: Arc::new(TransportStats::default()),
+        }
+    }
+
+    /// Serialises and sends a message, blocking when the peer is behind
+    /// (backpressure — the mechanism by which slow per-agent filtering caps the
+    /// sustainable feed rate in Figure 8).
+    pub fn send(&self, message: &BaselineMessage) -> bool {
+        let encoded = encode(message);
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        if !self.hop_delay.is_zero() {
+            // Model the kernel/socket/gateway cost of the hop.
+            std::thread::sleep(self.hop_delay);
+        }
+        self.sender.send(encoded).is_ok()
+    }
+
+    /// Receives and deserialises the next message, waiting up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<BaselineMessage> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(bytes) => decode(bytes),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Returns the traffic counters.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// Number of messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_order_trade_round_trip() {
+        let messages = vec![
+            BaselineMessage::Tick {
+                tick: Tick {
+                    sequence: 7,
+                    symbol: Symbol::new("MSFT"),
+                    price: 123.5,
+                    timestamp_ns: 99,
+                },
+                sent_ns: 1000,
+            },
+            BaselineMessage::Order {
+                order: Order {
+                    trader: 3,
+                    symbol: Symbol::new("GOOG"),
+                    side: OrderSide::Sell,
+                    price: 88.0,
+                    quantity: 10,
+                    origin_ns: 5,
+                },
+                tick_created_ns: 6,
+                decided_ns: 7,
+            },
+            BaselineMessage::Trade {
+                trade: Trade {
+                    symbol: Symbol::new("BP"),
+                    price: 1.5,
+                    quantity: 2,
+                    buyer: 1,
+                    seller: 2,
+                    origin_ns: 3,
+                },
+                tick_created_ns: 4,
+            },
+            BaselineMessage::Shutdown,
+        ];
+        for message in messages {
+            let decoded = decode(encode(&message)).expect("round trip");
+            assert_eq!(decoded, message);
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(decode(Bytes::from_static(&[])).is_none());
+        assert!(decode(Bytes::from_static(&[0xEE])).is_none());
+        assert!(decode(Bytes::from_static(&[MSG_TICK, 1, 2])).is_none());
+    }
+
+    #[test]
+    fn channel_delivers_and_counts() {
+        let channel = SerializingChannel::new(16, Duration::ZERO);
+        let message = BaselineMessage::Shutdown;
+        assert!(channel.send(&message));
+        assert_eq!(channel.queued(), 1);
+        assert_eq!(channel.recv(Duration::from_millis(10)), Some(message));
+        assert!(channel.recv(Duration::from_millis(1)).is_none());
+        assert_eq!(channel.stats().sent.load(Ordering::Relaxed), 1);
+        assert!(channel.stats().bytes.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Micro-benchmark of the baseline's cross-"JVM" transport: serialise, copy through
+//! a bounded channel and deserialise — the per-message cost DEFCon's shared address
+//! space avoids.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defcon_baseline::{BaselineMessage, SerializingChannel};
+use defcon_workload::{Symbol, Tick};
+use std::hint::black_box;
+
+fn bench_ipc(c: &mut Criterion) {
+    let channel = SerializingChannel::new(1024, Duration::ZERO);
+    let message = BaselineMessage::Tick {
+        tick: Tick {
+            sequence: 42,
+            symbol: Symbol::new("MSFT"),
+            price: 1234.5,
+            timestamp_ns: 1,
+        },
+        sent_ns: 2,
+    };
+
+    let mut group = c.benchmark_group("baseline_ipc");
+    group.bench_function("send_recv_round_trip", |b| {
+        b.iter(|| {
+            channel.send(black_box(&message));
+            black_box(channel.recv(Duration::from_millis(10)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ipc
+}
+criterion_main!(benches);

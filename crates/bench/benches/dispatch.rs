@@ -1,0 +1,42 @@
+//! End-to-end engine dispatch cost per security mode on a small deployment: the
+//! per-event analogue of Figure 5's configuration comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defcon_core::SecurityMode;
+use defcon_trading::{TradingPlatform, TradingPlatformConfig};
+use std::hint::black_box;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick_dispatch_per_mode");
+    group.sample_size(10);
+    for mode in SecurityMode::all() {
+        let config = TradingPlatformConfig {
+            mode,
+            traders: 50,
+            symbols: 16,
+            event_cache: 1_000,
+            ..TradingPlatformConfig::default()
+        };
+        let mut platform = TradingPlatform::build(config).expect("platform builds");
+        // Warm the pair statistics so the steady state is measured.
+        platform.run_ticks(500).expect("warm-up");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.figure_label()),
+            &mode,
+            |b, _| {
+                b.iter(|| {
+                    platform.publish_tick().expect("tick");
+                    black_box(())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dispatch
+}
+criterion_main!(benches);

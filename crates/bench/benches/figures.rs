@@ -1,0 +1,33 @@
+//! Regenerates reduced versions of every figure of the paper's evaluation.
+//!
+//! `cargo bench` runs this target; its stdout (captured in `bench_output.txt`) is
+//! the per-figure row listing documented in EXPERIMENTS.md. For the full paper
+//! scale, run `cargo run --release -p defcon-bench --bin all_figures`.
+
+fn main() {
+    let scale = defcon_bench::SweepScale::quick();
+    println!("# DEFCon reproduction — reduced figure sweeps (SweepScale::quick)\n");
+    let fig5 = defcon_bench::figure5(&scale);
+    println!();
+    defcon_bench::figure6(&scale);
+    println!();
+    defcon_bench::figure7(&scale);
+    println!();
+    let fig8 = defcon_bench::figure8(&scale);
+    println!();
+    defcon_bench::figure9(&scale);
+    println!();
+
+    // Headline comparison from the paper's abstract: DEFCon with full security
+    // scales to far more traders than the per-JVM baseline at comparable rates.
+    if let (Some(defcon), Some(baseline)) = (fig5.last(), fig8.last()) {
+        println!(
+            "headline: DEFCon ({}) sustained {:.0} ev/s with {} traders; baseline sustained {:.0} ev/s with {} traders",
+            defcon.mode.figure_label(),
+            defcon.throughput_eps,
+            defcon.traders,
+            baseline.throughput_eps,
+            baseline.traders
+        );
+    }
+}

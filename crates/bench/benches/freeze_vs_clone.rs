@@ -1,0 +1,45 @@
+//! Ablation: freeze-and-share dispatch vs deep-cloning events per delivery — the
+//! difference between the `labels+freeze` and `labels+clone` series of Figure 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defcon_defc::Label;
+use defcon_events::{EventBuilder, Value, ValueMap};
+use std::hint::black_box;
+
+fn sample_event() -> defcon_events::Event {
+    let body = ValueMap::new();
+    body.insert("symbol", Value::str("MSFT")).unwrap();
+    body.insert("price", Value::Float(1234.5)).unwrap();
+    body.insert("quantity", Value::Int(100)).unwrap();
+    EventBuilder::new()
+        .part("type", Label::public(), Value::str("order"))
+        .part("body", Label::public(), Value::Map(body))
+        .part("note", Label::public(), Value::str("x".repeat(128)))
+        .build()
+        .unwrap()
+}
+
+fn bench_freeze_vs_clone(c: &mut Criterion) {
+    let event = sample_event();
+    let mut group = c.benchmark_group("event_dispatch_copy_strategy");
+    group.bench_function("share_frozen_reference", |b| {
+        b.iter(|| black_box(event.clone()))
+    });
+    group.bench_function("deep_clone_per_delivery", |b| {
+        b.iter(|| black_box(event.deep_clone()))
+    });
+    group.bench_function("serialise_and_decode (baseline IPC)", |b| {
+        b.iter(|| {
+            let bytes = defcon_events::codec::encode_event(black_box(&event));
+            black_box(defcon_events::codec::decode_event(&bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_freeze_vs_clone
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the isolation substrate: the per-access interceptor cost
+//! charged by the `labels+freeze+isolation` configuration and the cost of
+//! per-isolate state duplication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defcon_isolation::IsolationRuntime;
+use std::hint::black_box;
+
+fn bench_isolation(c: &mut Criterion) {
+    let disabled = IsolationRuntime::disabled();
+    let enabled = IsolationRuntime::standard();
+    let isolate = enabled.create_isolate();
+    enabled
+        .write_duplicated_field(isolate, "Thread.threadSeqNum", vec![1, 2, 3, 4])
+        .unwrap();
+
+    let mut group = c.benchmark_group("isolation");
+    group.bench_function("intercept_disabled", |b| {
+        b.iter(|| {
+            disabled.intercept();
+            black_box(())
+        })
+    });
+    group.bench_function("intercept_enabled", |b| {
+        b.iter(|| {
+            enabled.intercept();
+            black_box(())
+        })
+    });
+    group.bench_function("access_whitelisted_target", |b| {
+        b.iter(|| black_box(enabled.access_target(isolate, "java.lang.C0.field0")))
+    });
+    group.bench_function("read_duplicated_field", |b| {
+        b.iter(|| black_box(enabled.read_duplicated_field(isolate, "Thread.threadSeqNum")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_isolation
+}
+criterion_main!(benches);

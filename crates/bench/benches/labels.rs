@@ -1,0 +1,35 @@
+//! Micro-benchmarks of DEFC label operations: the per-part cost that every
+//! dispatch decision pays (ablation for the tag-set representation noted in
+//! DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defcon_defc::{Label, Tag, TagSet};
+use std::hint::black_box;
+
+fn bench_labels(c: &mut Criterion) {
+    let tags: Vec<Tag> = (0..8).map(|i| Tag::with_name(format!("t{i}"))).collect();
+    let small = Label::confidential(tags[..2].iter().cloned().collect::<TagSet>());
+    let large = Label::confidential(tags.iter().cloned().collect::<TagSet>());
+
+    let mut group = c.benchmark_group("labels");
+    group.bench_function("can_flow_to_small_to_large", |b| {
+        b.iter(|| black_box(&small).can_flow_to(black_box(&large)))
+    });
+    group.bench_function("can_flow_to_reflexive", |b| {
+        b.iter(|| black_box(&large).can_flow_to(black_box(&large)))
+    });
+    group.bench_function("join", |b| {
+        b.iter(|| black_box(&small).join(black_box(&large)))
+    });
+    group.bench_function("raise_to_output", |b| {
+        b.iter(|| black_box(&small).raised_to_output(black_box(&large)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_labels
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates figure7 of the DEFCon paper. Pass `--quick` for a reduced sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        defcon_bench::SweepScale::quick()
+    } else {
+        defcon_bench::SweepScale::paper()
+    };
+    defcon_bench::figure7(&scale);
+}

@@ -1,0 +1,551 @@
+//! The Table 1 API surface exposed to processing units.
+//!
+//! A [`UnitContext`] is constructed by the engine for the duration of a single unit
+//! callback (`init`, `on_event`, or a driver closure run through
+//! [`Engine::with_unit`](crate::Engine::with_unit)). All of Table 1 is available
+//! through it:
+//!
+//! | Paper call                      | Context method                         |
+//! |---------------------------------|----------------------------------------|
+//! | `createEvent()`                 | [`UnitContext::create_event`]          |
+//! | `addPart(e, S, I, name, data)`  | [`UnitContext::add_part`] / [`UnitContext::add_part_to_current`] |
+//! | `delPart(e, S, I, name)`        | [`UnitContext::del_part`]              |
+//! | `readPart(e, name)`             | [`UnitContext::read_part`]             |
+//! | `attachPrivilegeToPart(...)`    | [`UnitContext::attach_privilege_to_part`] |
+//! | `cloneEvent(e, S, I)`           | [`UnitContext::clone_event`]           |
+//! | `publish(e)`                    | [`UnitContext::publish`]               |
+//! | `release(e)`                    | [`UnitContext::release`] (also implicit on return) |
+//! | `subscribe(filter)`             | [`UnitContext::subscribe`]             |
+//! | `subscribeManaged(handler, f)`  | [`UnitContext::subscribe_managed`]     |
+//! | `getEvent()`                    | [`Engine::get_event`](crate::Engine::get_event) (pull mode) |
+//! | `instantiateUnit(...)`          | [`UnitContext::instantiate_unit`]      |
+//! | `changeOutLabel(...)`           | [`UnitContext::change_out_label`]      |
+//! | `changeInOutLabel(...)`         | [`UnitContext::change_in_out_label`]   |
+//!
+//! Contamination independence (§5): the `S` and `I` a unit passes to `add_part` are
+//! transparently raised to include the unit's output label, so a unit sandboxed at a
+//! higher contamination cannot write below it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use defcon_defc::{Component, Label, Privilege, PrivilegeKind, PrivilegeSet, Tag};
+use defcon_events::{Event, Filter, Part, Value};
+
+use crate::engine::EngineCore;
+use crate::error::{EngineError, EngineResult};
+use crate::subscription::{Subscription, SubscriptionId};
+use crate::unit::{Unit, UnitFactory, UnitId, UnitSpec, UnitState};
+
+/// Whether a label-change call adds or removes a tag (the `⟨add|del⟩` argument of
+/// `changeOutLabel` / `changeInOutLabel` in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelOp {
+    /// Add the tag to the component (raise secrecy / endorse integrity).
+    Add,
+    /// Remove the tag from the component (declassify / drop integrity).
+    Remove,
+}
+
+/// A handle to an event under construction (`createEvent`).
+///
+/// Drafts live inside the [`UnitContext`] that created them and are consumed by
+/// [`UnitContext::publish`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct DraftEvent {
+    id: u64,
+}
+
+#[derive(Debug, Default)]
+struct DraftState {
+    parts: Vec<Part>,
+    origin_ns: Option<u64>,
+}
+
+/// The API object handed to unit code for the duration of one callback.
+pub struct UnitContext<'a> {
+    core: &'a Arc<EngineCore>,
+    state: &'a mut UnitState,
+    current: Option<&'a Event>,
+    outputs: &'a mut Vec<Event>,
+    additions: Vec<Part>,
+    released_additions: Vec<Part>,
+    drafts: HashMap<u64, DraftState>,
+    next_draft: u64,
+}
+
+impl<'a> UnitContext<'a> {
+    pub(crate) fn new(
+        core: &'a Arc<EngineCore>,
+        state: &'a mut UnitState,
+        current: Option<&'a Event>,
+        outputs: &'a mut Vec<Event>,
+    ) -> Self {
+        UnitContext {
+            core,
+            state,
+            current,
+            outputs,
+            additions: Vec::new(),
+            released_additions: Vec::new(),
+            drafts: HashMap::new(),
+            next_draft: 1,
+        }
+    }
+
+    /// Consumes the context, returning the parts the unit added to the delivered
+    /// event (both released and pending — returning from the callback is an
+    /// implicit release, §3.1.6).
+    pub(crate) fn finish(mut self) -> Vec<Part> {
+        let mut parts = std::mem::take(&mut self.released_additions);
+        parts.append(&mut self.additions);
+        parts
+    }
+
+    fn checks_labels(&self) -> bool {
+        self.core.config.mode.checks_labels()
+    }
+
+    fn intercept(&self) {
+        if self.core.config.mode.isolates() {
+            self.core.isolation.intercept();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The unit's identifier.
+    pub fn unit_id(&self) -> UnitId {
+        self.state.id
+    }
+
+    /// The unit's diagnostic name.
+    pub fn unit_name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The unit's current input (contamination) label.
+    pub fn input_label(&self) -> Label {
+        self.state.input_label.clone()
+    }
+
+    /// The unit's current output label.
+    pub fn output_label(&self) -> Label {
+        self.state.output_label.clone()
+    }
+
+    /// Returns `true` if the unit currently holds `kind` over `tag`.
+    pub fn has_privilege(&self, tag: &Tag, kind: PrivilegeKind) -> bool {
+        self.state.privileges.holds(tag, kind)
+    }
+
+    /// The event currently being delivered, if this context was created for
+    /// `on_event`.
+    pub fn current_event(&self) -> Option<&Event> {
+        self.current
+    }
+
+    // ------------------------------------------------------------------
+    // Tag management
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh tag; the unit receives `t+auth` and `t-auth` over it
+    /// (§3.1.3).
+    pub fn create_tag(&mut self, name: impl AsRef<str>) -> Tag {
+        let tag = self.core.tags.create_tag(self.state.id, Some(name.as_ref()));
+        self.state
+            .privileges
+            .absorb(&PrivilegeSet::for_created_tag(&tag));
+        tag
+    }
+
+    /// Creates a fresh tag and immediately self-delegates `t+` and `t-`, giving the
+    /// unit complete control (the common pattern noted in §3.1.3).
+    pub fn create_owned_tag(&mut self, name: impl AsRef<str>) -> Tag {
+        let tag = self.create_tag(name);
+        // Self-delegation always succeeds because creation granted both authorities.
+        self.self_delegate(&tag, PrivilegeKind::Add)
+            .expect("creator holds t+auth");
+        self.self_delegate(&tag, PrivilegeKind::Remove)
+            .expect("creator holds t-auth");
+        tag
+    }
+
+    /// Grants the unit the given privilege over a tag for which it already holds the
+    /// corresponding delegation authority.
+    pub fn self_delegate(&mut self, tag: &Tag, kind: PrivilegeKind) -> EngineResult<()> {
+        let privilege = Privilege::new(tag.clone(), kind);
+        self.state.privileges.check_may_delegate(&privilege)?;
+        self.state.privileges.grant(privilege);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Event construction (createEvent / addPart / delPart / attachPrivilege)
+    // ------------------------------------------------------------------
+
+    /// Creates a new, empty draft event (`createEvent`).
+    pub fn create_event(&mut self) -> DraftEvent {
+        let id = self.next_draft;
+        self.next_draft += 1;
+        self.drafts.insert(id, DraftState::default());
+        DraftEvent { id }
+    }
+
+    /// Adds a part to a draft event (`addPart`).
+    ///
+    /// The part's label is transparently raised to the unit's output label
+    /// (contamination independence); when label checks are disabled the requested
+    /// label is used as-is.
+    pub fn add_part(
+        &mut self,
+        draft: &DraftEvent,
+        label: Label,
+        name: impl AsRef<str>,
+        data: Value,
+    ) -> EngineResult<()> {
+        self.intercept();
+        let label = self.effective_label(label);
+        let draft_state = self
+            .drafts
+            .get_mut(&draft.id)
+            .ok_or(EngineError::UnknownDraft(draft.id))?;
+        draft_state.parts.push(Part::new(name, label, data));
+        Ok(())
+    }
+
+    /// Removes all parts with the given name and label from a draft (`delPart`).
+    pub fn del_part(
+        &mut self,
+        draft: &DraftEvent,
+        label: Label,
+        name: impl AsRef<str>,
+    ) -> EngineResult<()> {
+        self.intercept();
+        let label = self.effective_label(label);
+        let name = name.as_ref();
+        let draft_state = self
+            .drafts
+            .get_mut(&draft.id)
+            .ok_or(EngineError::UnknownDraft(draft.id))?;
+        draft_state
+            .parts
+            .retain(|p| !(p.name() == name && p.label() == &label));
+        Ok(())
+    }
+
+    /// Attaches a privilege over `tag` to the named part of a draft, creating a
+    /// privilege-carrying part for delegation (`attachPrivilegeToPart`, §3.1.5).
+    ///
+    /// The caller must hold the matching delegation authority (`t+auth`/`t-auth`).
+    pub fn attach_privilege_to_part(
+        &mut self,
+        draft: &DraftEvent,
+        name: impl AsRef<str>,
+        label: Label,
+        privilege: Privilege,
+    ) -> EngineResult<()> {
+        self.intercept();
+        self.state.privileges.check_may_delegate(&privilege)?;
+        let label = self.effective_label(label);
+        let name = name.as_ref();
+        let draft_state = self
+            .drafts
+            .get_mut(&draft.id)
+            .ok_or(EngineError::UnknownDraft(draft.id))?;
+        let part = draft_state
+            .parts
+            .iter_mut()
+            .find(|p| p.name() == name && p.label() == &label)
+            .ok_or_else(|| EngineError::Event(defcon_events::EventError::NoSuchPart(name.into())))?;
+        *part = part.with_additional_privilege(privilege);
+        Ok(())
+    }
+
+    /// Creates a draft that is a clone of `event` at the unit's output label
+    /// (`cloneEvent`): output confidentiality tags are added to every part and only
+    /// output integrity tags are retained, and the clone has a fresh identity so
+    /// that receivers cannot count the original deliveries.
+    pub fn clone_event(&mut self, event: &Event) -> DraftEvent {
+        self.intercept();
+        let cloned = if self.checks_labels() {
+            event.clone_at_output_label(&self.state.output_label)
+        } else {
+            event.clone_at_output_label(&Label::public())
+        };
+        let id = self.next_draft;
+        self.next_draft += 1;
+        self.drafts.insert(
+            id,
+            DraftState {
+                parts: cloned.parts().to_vec(),
+                origin_ns: Some(cloned.origin_ns()),
+            },
+        );
+        DraftEvent { id }
+    }
+
+    // ------------------------------------------------------------------
+    // Reading parts
+    // ------------------------------------------------------------------
+
+    /// Returns the label and data of every part named `name` that the unit's input
+    /// label allows it to see (`readPart`).
+    ///
+    /// Reading a privilege-carrying part bestows the attached privileges on the unit
+    /// (§3.1.5).
+    pub fn read_part(
+        &mut self,
+        event: &Event,
+        name: impl AsRef<str>,
+    ) -> EngineResult<Vec<(Label, Value)>> {
+        let name = name.as_ref();
+        let checks = self.checks_labels();
+        let mut results = Vec::new();
+        for part in event.parts_named(name) {
+            self.intercept();
+            if checks && !self.state.can_see(part.label()) {
+                continue;
+            }
+            for privilege in part.privileges() {
+                self.state.privileges.grant(privilege.clone());
+            }
+            results.push((part.label().clone(), part.data().clone()));
+        }
+        if results.is_empty() {
+            return Err(EngineError::Event(defcon_events::EventError::NoSuchPart(
+                name.into(),
+            )));
+        }
+        Ok(results)
+    }
+
+    /// Convenience: returns the data of the first visible part with the given name.
+    pub fn read_first(&mut self, event: &Event, name: impl AsRef<str>) -> EngineResult<Value> {
+        Ok(self.read_part(event, name)?.remove(0).1)
+    }
+
+    // ------------------------------------------------------------------
+    // Main-path augmentation (partial event processing, §3.1.6)
+    // ------------------------------------------------------------------
+
+    /// Adds a part to the event currently being delivered (`addPart` on the main
+    /// dataflow path). The part becomes visible to subsequent deliveries once the
+    /// unit releases the event (explicitly or by returning from `on_event`).
+    pub fn add_part_to_current(
+        &mut self,
+        label: Label,
+        name: impl AsRef<str>,
+        data: Value,
+    ) -> EngineResult<()> {
+        self.intercept();
+        if self.current.is_none() {
+            return Err(EngineError::InvalidOperation(
+                "no event is currently being delivered".into(),
+            ));
+        }
+        let label = self.effective_label(label);
+        self.additions.push(Part::new(name, label, data));
+        Ok(())
+    }
+
+    /// Explicitly releases the event currently being delivered (`release`),
+    /// making any parts added so far available to subsequent deliveries.
+    pub fn release(&mut self) {
+        self.released_additions.append(&mut self.additions);
+    }
+
+    // ------------------------------------------------------------------
+    // Publishing
+    // ------------------------------------------------------------------
+
+    /// Publishes a draft event (`publish`). Drafts without parts are dropped, as
+    /// required by Table 1; publishing such a draft is not an error but returns
+    /// `Ok(false)`.
+    pub fn publish(&mut self, draft: DraftEvent) -> EngineResult<bool> {
+        let draft_state = self
+            .drafts
+            .remove(&draft.id)
+            .ok_or(EngineError::UnknownDraft(draft.id))?;
+        if draft_state.parts.is_empty() {
+            return Ok(false);
+        }
+        let origin = draft_state
+            .origin_ns
+            .or_else(|| self.current.map(Event::origin_ns));
+        let event = match origin {
+            Some(origin_ns) => Event::with_origin(draft_state.parts, origin_ns)?,
+            None => Event::new(draft_state.parts)?,
+        };
+        self.outputs.push(event);
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriptions
+    // ------------------------------------------------------------------
+
+    /// Subscribes the unit to events matching `filter` (`subscribe`). Empty filters
+    /// are rejected.
+    pub fn subscribe(&mut self, filter: Filter) -> EngineResult<SubscriptionId> {
+        if filter.is_empty() {
+            return Err(EngineError::EmptyFilter);
+        }
+        let subscription = Subscription::direct(self.state.id, filter);
+        let id = subscription.id;
+        self.push_subscription(subscription);
+        Ok(id)
+    }
+
+    /// Declares a managed subscription (`subscribeManaged`): matching events are
+    /// processed by engine-managed handler instances created by `factory` at the
+    /// contamination each event requires, leaving this unit's own label unchanged.
+    pub fn subscribe_managed(
+        &mut self,
+        factory: UnitFactory,
+        filter: Filter,
+    ) -> EngineResult<SubscriptionId> {
+        if filter.is_empty() {
+            return Err(EngineError::EmptyFilter);
+        }
+        let subscription = Subscription::managed(self.state.id, filter, factory);
+        let id = subscription.id;
+        self.push_subscription(subscription);
+        Ok(id)
+    }
+
+    /// Cancels a subscription owned by this unit.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> EngineResult<()> {
+        let mut subs = self.core.subscriptions.write();
+        let before = subs.len();
+        let filtered: Vec<Subscription> = subs
+            .iter()
+            .filter(|s| !(s.id == id && s.owner == self.state.id))
+            .cloned()
+            .collect();
+        if filtered.len() == before {
+            return Err(EngineError::UnknownSubscription(id.as_u64()));
+        }
+        *subs = Arc::new(filtered);
+        Ok(())
+    }
+
+    /// Appends a subscription using copy-on-write so that concurrent dispatch passes
+    /// keep iterating over their own immutable snapshot.
+    fn push_subscription(&mut self, subscription: Subscription) {
+        let mut subs = self.core.subscriptions.write();
+        let mut next: Vec<Subscription> = (**subs).clone();
+        next.push(subscription);
+        *subs = Arc::new(next);
+    }
+
+    // ------------------------------------------------------------------
+    // Label management (changeOutLabel / changeInOutLabel)
+    // ------------------------------------------------------------------
+
+    /// Adds or removes a tag in the unit's output label only (`changeOutLabel`).
+    pub fn change_out_label(
+        &mut self,
+        component: Component,
+        op: LabelOp,
+        tag: &Tag,
+    ) -> EngineResult<()> {
+        let new_output = self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
+        self.state.output_label = new_output;
+        Ok(())
+    }
+
+    /// Adds or removes a tag in both the input and output labels
+    /// (`changeInOutLabel`).
+    pub fn change_in_out_label(
+        &mut self,
+        component: Component,
+        op: LabelOp,
+        tag: &Tag,
+    ) -> EngineResult<()> {
+        let new_input = self.apply_label_op(&self.state.input_label.clone(), component, op, tag)?;
+        let new_output = self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
+        self.state.input_label = new_input;
+        self.state.output_label = new_output;
+        Ok(())
+    }
+
+    fn apply_label_op(
+        &self,
+        label: &Label,
+        component: Component,
+        op: LabelOp,
+        tag: &Tag,
+    ) -> EngineResult<Label> {
+        if self.checks_labels() {
+            match op {
+                LabelOp::Add => self.state.privileges.check_may_add(tag)?,
+                LabelOp::Remove => self.state.privileges.check_may_remove(tag)?,
+            }
+        }
+        Ok(match op {
+            LabelOp::Add => label.with_tag(component, tag.clone()),
+            LabelOp::Remove => label.without_tag(component, tag),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Unit instantiation
+    // ------------------------------------------------------------------
+
+    /// Instantiates a new unit at a given label with delegated privileges
+    /// (`instantiateUnit`).
+    ///
+    /// Every privilege in `spec.privileges` must be delegatable by the caller
+    /// (`t±auth`). The new unit inherits the caller's contamination:
+    ///
+    /// * its input label accumulates the caller's input confidentiality tags and any
+    ///   requested integrity restriction (requiring *more* integrity on inputs is
+    ///   always safe and is how Pair Monitors are instantiated "with read integrity
+    ///   s", §6.1 step 2);
+    /// * its output label accumulates the caller's output confidentiality tags and
+    ///   may not claim more integrity than the caller's output label allows.
+    pub fn instantiate_unit(
+        &mut self,
+        mut spec: UnitSpec,
+        instance: Box<dyn Unit>,
+    ) -> EngineResult<UnitId> {
+        if self.checks_labels() {
+            for privilege in spec.privileges.iter().collect::<Vec<_>>() {
+                self.state.privileges.check_may_delegate(&privilege)?;
+            }
+            spec.input_label = Label::new(
+                spec.input_label
+                    .confidentiality()
+                    .union(self.state.input_label.confidentiality()),
+                spec.input_label
+                    .integrity()
+                    .union(self.state.input_label.integrity()),
+            );
+            spec.output_label = Label::new(
+                spec.output_label
+                    .confidentiality()
+                    .union(self.state.output_label.confidentiality()),
+                spec.output_label
+                    .integrity()
+                    .intersection(self.state.output_label.integrity()),
+            );
+        }
+        self.core.register_unit(spec, instance)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    /// Applies contamination independence: `S' = S ∪ S_out`, `I' = I ∩ I_out`.
+    fn effective_label(&self, requested: Label) -> Label {
+        if self.checks_labels() {
+            requested.raised_to_output(&self.state.output_label)
+        } else {
+            requested
+        }
+    }
+}

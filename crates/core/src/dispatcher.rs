@@ -1,0 +1,308 @@
+//! The event dispatcher.
+//!
+//! §3.2: "An event dispatcher sends events to units that have expressed interest
+//! previously. This decoupled communication means that the fact that a publish call
+//! has succeeded does not convey any information that might violate DEFC."
+//!
+//! The dispatcher takes events off the engine's queue and, for every subscription
+//! whose filter matches over the parts *visible to the subscriber*, delivers the
+//! event:
+//!
+//! * **direct** subscriptions invoke the owning unit's `on_event` (or queue into its
+//!   mailbox in pull mode);
+//! * **managed** subscriptions (§5, `subscribeManaged`) are served by engine-created
+//!   handler instances whose contamination is raised to what the event requires,
+//!   leaving the owner unit untainted.
+//!
+//! Parts added by a unit during a delivery are folded into the event for subsequent
+//! deliveries in the same pass — the main-dataflow-path augmentation of §3.1.6.
+//! The [`SecurityMode`](crate::SecurityMode) determines whether label checks run,
+//! whether events are shared frozen or deep-copied, and whether the isolation
+//! runtime's interceptor cost is charged per part examined.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use defcon_defc::Label;
+use defcon_events::{Event, Part};
+use defcon_metrics::memory::MemoryCategory;
+use parking_lot::Mutex;
+
+use crate::context::UnitContext;
+use crate::engine::{EngineCore, UnitCell, UnitSlot};
+use crate::error::EngineResult;
+use crate::subscription::{Subscription, SubscriptionKind};
+use crate::unit::{UnitId, UnitSpec, UnitState};
+
+/// A single-threaded pump over an engine's event queue.
+///
+/// Multiple dispatchers over the same engine may run on different threads: per-unit
+/// mutexes serialise deliveries to the same unit while allowing different units to
+/// process different events in parallel.
+pub struct Dispatcher {
+    core: Arc<EngineCore>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(core: Arc<EngineCore>) -> Self {
+        Dispatcher { core }
+    }
+
+    /// Dispatches at most one queued event; returns `true` if one was processed.
+    pub fn pump_one(&self) -> EngineResult<bool> {
+        let event = self.core.queue.lock().pop_front();
+        match event {
+            Some(event) => {
+                self.dispatch(event)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Dispatches events until the queue drains (including events published during
+    /// dispatch). Returns the number of events dispatched.
+    pub fn pump_until_idle(&self) -> EngineResult<usize> {
+        let mut dispatched = 0;
+        while self.pump_one()? {
+            dispatched += 1;
+        }
+        Ok(dispatched)
+    }
+
+    /// Keeps pumping for at least `duration` (useful when other threads publish
+    /// concurrently); returns the number of events dispatched.
+    pub fn pump_for(&self, duration: Duration) -> EngineResult<usize> {
+        let deadline = Instant::now() + duration;
+        let mut dispatched = 0;
+        loop {
+            if self.pump_one()? {
+                dispatched += 1;
+            } else if Instant::now() >= deadline {
+                break;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        Ok(dispatched)
+    }
+
+    /// Spawns a background thread that pumps until `stop` becomes `true`.
+    pub fn run_background(self, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut dispatched = 0;
+            while !stop.load(Ordering::Relaxed) {
+                match self.pump_one() {
+                    Ok(true) => dispatched += 1,
+                    Ok(false) => std::thread::yield_now(),
+                    Err(_) => break,
+                }
+            }
+            // Drain whatever is left so that shutdown is clean.
+            dispatched += self.pump_until_idle().unwrap_or(0);
+            dispatched
+        })
+    }
+
+    /// Dispatches a single event to every matching subscription.
+    fn dispatch(&self, event: Event) -> EngineResult<()> {
+        self.core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.core.cache_event(event.clone());
+
+        let mode = self.core.config.mode;
+        let subscriptions: Arc<Vec<Subscription>> = Arc::clone(&self.core.subscriptions.read());
+
+        // The event as augmented so far along the main dataflow path.
+        let mut current = event;
+
+        for subscription in subscriptions.iter() {
+            let Ok(owner_slot) = self.core.slot(subscription.owner) else {
+                // Owner removed since the snapshot; skip silently.
+                continue;
+            };
+            let (owner_input, owner_output, owner_privileges, owner_name) = {
+                let cell = owner_slot.cell.lock();
+                (
+                    cell.state.input_label.clone(),
+                    cell.state.output_label.clone(),
+                    cell.state.privileges.clone(),
+                    cell.state.name.clone(),
+                )
+            };
+
+            let managed = subscription.is_managed();
+            let matched = if mode.checks_labels() {
+                let isolation = &self.core.isolation;
+                let isolates = mode.isolates();
+                let stats = &self.core.stats;
+                subscription.filter.matches(&current, |part: &Part| {
+                    if isolates {
+                        isolation.intercept();
+                    }
+                    let visible = if managed {
+                        // Managed handlers accept any additional confidentiality
+                        // taint; only the integrity requirement of the owner's input
+                        // label constrains matching.
+                        part.label()
+                            .integrity()
+                            .is_superset(owner_input.integrity())
+                    } else {
+                        part.label().can_flow_to(&owner_input)
+                    };
+                    if !visible {
+                        stats.label_rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    visible
+                })
+            } else {
+                subscription.filter.matches_any_visibility(&current)
+            };
+            if !matched {
+                continue;
+            }
+
+            // Resolve the delivery target: the owner itself, or a managed instance
+            // at the contamination this event requires (with label checks disabled
+            // the single instance at the owner's own label is reused).
+            let target_slot = if managed {
+                let required = if mode.checks_labels() {
+                    owner_input.join(&current.overall_label())
+                } else {
+                    owner_input.clone()
+                };
+                match self.managed_instance(subscription, &owner_output, &owner_privileges, &owner_name, required) {
+                    Ok(slot) => slot,
+                    Err(_) => continue,
+                }
+            } else {
+                owner_slot
+            };
+
+            // `labels+clone` pays a deep copy per delivery; the other modes share
+            // the frozen event by reference.
+            let delivered = if mode.clones_events() {
+                current.deep_clone()
+            } else {
+                current.clone()
+            };
+
+            let additions = self.deliver(&target_slot, delivered, subscription);
+            for part in additions {
+                current = current.with_part(part);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delivers an event to one unit slot, returning the parts the unit added to the
+    /// event (released for subsequent deliveries).
+    fn deliver(
+        &self,
+        slot: &Arc<UnitSlot>,
+        event: Event,
+        subscription: &Subscription,
+    ) -> Vec<Part> {
+        let mut cell = slot.cell.lock();
+        cell.state.delivered += 1;
+        self.core.stats.deliveries.fetch_add(1, Ordering::Relaxed);
+
+        if cell.pull_mode {
+            cell.mailbox.push_back((event, subscription.id));
+            slot.mailbox_signal.notify_one();
+            return Vec::new();
+        }
+
+        let UnitCell {
+            ref mut state,
+            ref mut instance,
+            ..
+        } = *cell;
+        let mut outputs = Vec::new();
+        let additions = {
+            let mut ctx = UnitContext::new(&self.core, state, Some(&event), &mut outputs);
+            if let Err(_error) = instance.on_event(&mut ctx, &event) {
+                self.core.stats.unit_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            ctx.finish()
+        };
+        drop(cell);
+        for output in outputs {
+            self.core.enqueue(output);
+        }
+        additions
+    }
+
+    /// Returns (creating on demand) the managed handler instance for a subscription
+    /// at the given contamination level.
+    fn managed_instance(
+        &self,
+        subscription: &Subscription,
+        owner_output: &Label,
+        owner_privileges: &defcon_defc::PrivilegeSet,
+        owner_name: &str,
+        required: Label,
+    ) -> EngineResult<Arc<UnitSlot>> {
+        let key = (subscription.id, required.clone());
+        if let Some(existing) = self.core.managed_instances.lock().get(&key) {
+            if let Ok(slot) = self.core.slot(*existing) {
+                return Ok(slot);
+            }
+        }
+
+        let SubscriptionKind::Managed(factory) = &subscription.kind else {
+            unreachable!("managed_instance called for a direct subscription");
+        };
+        let instance = factory();
+        let id = UnitId::next();
+        let isolate = self.core.isolation.create_isolate();
+        let spec = UnitSpec::new(format!("{owner_name}::managed"))
+            .with_input_label(required)
+            .with_output_label(owner_output.clone())
+            .with_privileges(owner_privileges);
+        let state = UnitState::new(id, spec, isolate);
+        self.core
+            .memory
+            .charge(MemoryCategory::UnitState, state.estimated_size());
+        let slot = Arc::new(UnitSlot {
+            cell: Mutex::new(UnitCell {
+                state,
+                instance,
+                mailbox: Default::default(),
+                pull_mode: false,
+            }),
+            mailbox_signal: parking_lot::Condvar::new(),
+        });
+        self.core.units.write().insert(id, Arc::clone(&slot));
+        {
+            // Bound the number of live managed instances: orders protected by
+            // per-order tags create one instance per contamination, so without a cap
+            // a long run would accumulate unboundedly many handler objects.
+            let mut instances = self.core.managed_instances.lock();
+            if instances.len() >= self.core.config.managed_instance_cap {
+                let evicted_keys: Vec<_> = instances
+                    .keys()
+                    .take(instances.len() / 2 + 1)
+                    .cloned()
+                    .collect();
+                for evicted_key in evicted_keys {
+                    if let Some(evicted_id) = instances.remove(&evicted_key) {
+                        if let Some(evicted_slot) = self.core.units.write().remove(&evicted_id) {
+                            let cell = evicted_slot.cell.lock();
+                            self.core.isolation.destroy_isolate(cell.state.isolate);
+                            self.core
+                                .memory
+                                .release(MemoryCategory::UnitState, cell.state.estimated_size());
+                        }
+                    }
+                }
+            }
+            instances.insert(key, id);
+        }
+        self.core
+            .stats
+            .managed_instances
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(slot)
+    }
+}

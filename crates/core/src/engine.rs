@@ -1,0 +1,489 @@
+//! The DEFCon engine: configuration, unit registry, event queue and statistics.
+//!
+//! The [`Engine`] owns all trusted state: the tag store, per-unit security state,
+//! subscriptions, the queue of published-but-not-yet-dispatched events, the recent
+//! event cache (the paper's tick cache) and the isolation runtime. Units only ever
+//! see a [`UnitContext`](crate::UnitContext) borrowing this state.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use defcon_defc::Label;
+use defcon_events::Event;
+use defcon_isolation::IsolationRuntime;
+use defcon_metrics::{memory::MemoryCategory, MemoryAccountant};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::context::UnitContext;
+use crate::dispatcher::Dispatcher;
+use crate::error::{EngineError, EngineResult};
+use crate::subscription::{Subscription, SubscriptionId};
+use crate::tag_store::TagStore;
+use crate::unit::{Unit, UnitId, UnitSpec, UnitState};
+
+/// The four security configurations evaluated in Figures 5–7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SecurityMode {
+    /// No label checks, events shared by reference ("no security").
+    NoSecurity,
+    /// Label checks with freeze-and-share event dispatch ("labels+freeze").
+    #[default]
+    LabelsFreeze,
+    /// Label checks with a deep copy of every event per delivery ("labels+clone").
+    LabelsClone,
+    /// Label checks, freeze-and-share dispatch and runtime isolation interception
+    /// ("labels+freeze+isolation") — the full DEFCon configuration.
+    LabelsFreezeIsolation,
+}
+
+impl SecurityMode {
+    /// Returns `true` if label (DEFC) checks are performed.
+    pub fn checks_labels(&self) -> bool {
+        !matches!(self, SecurityMode::NoSecurity)
+    }
+
+    /// Returns `true` if events are deep-copied per delivery.
+    pub fn clones_events(&self) -> bool {
+        matches!(self, SecurityMode::LabelsClone)
+    }
+
+    /// Returns `true` if the isolation runtime intercepts unit data accesses.
+    pub fn isolates(&self) -> bool {
+        matches!(self, SecurityMode::LabelsFreezeIsolation)
+    }
+
+    /// The label the paper uses for this configuration in its figures.
+    pub fn figure_label(&self) -> &'static str {
+        match self {
+            SecurityMode::NoSecurity => "no security",
+            SecurityMode::LabelsFreeze => "labels+freeze",
+            SecurityMode::LabelsClone => "labels+clone",
+            SecurityMode::LabelsFreezeIsolation => "labels+freeze+isolation",
+        }
+    }
+
+    /// All four modes, in the order the paper lists them.
+    pub fn all() -> [SecurityMode; 4] {
+        [
+            SecurityMode::NoSecurity,
+            SecurityMode::LabelsFreeze,
+            SecurityMode::LabelsClone,
+            SecurityMode::LabelsFreezeIsolation,
+        ]
+    }
+}
+
+impl fmt::Display for SecurityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.figure_label())
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The security configuration.
+    pub mode: SecurityMode,
+    /// Number of recently dispatched events retained in the cache. The paper's
+    /// deployment caches tick events (~300 MiB); the cache exists so that the
+    /// memory experiment (Figure 7) sees the same population of live objects.
+    pub event_cache_capacity: usize,
+    /// Maximum number of managed handler instances kept alive. Managed
+    /// subscriptions over per-order tags create one instance per distinct
+    /// contamination; the cap bounds their memory like a JVM would bound event
+    /// processes via garbage collection.
+    pub managed_instance_cap: usize,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the given mode and the default cache size.
+    pub fn new(mode: SecurityMode) -> Self {
+        EngineConfig {
+            mode,
+            event_cache_capacity: 10_000,
+            managed_instance_cap: 1024,
+        }
+    }
+
+    /// Overrides the managed-instance cap.
+    pub fn with_managed_instance_cap(mut self, cap: usize) -> Self {
+        self.managed_instance_cap = cap;
+        self
+    }
+
+    /// Overrides the event cache capacity.
+    pub fn with_event_cache(mut self, capacity: usize) -> Self {
+        self.event_cache_capacity = capacity;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new(SecurityMode::LabelsFreeze)
+    }
+}
+
+/// Counters describing engine activity.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Events accepted by `publish`.
+    pub published: AtomicU64,
+    /// Events taken off the queue and dispatched.
+    pub dispatched: AtomicU64,
+    /// Individual deliveries to units (one event may be delivered to many units).
+    pub deliveries: AtomicU64,
+    /// Subscriptions whose filter matched structurally but whose label check
+    /// rejected the delivery.
+    pub label_rejections: AtomicU64,
+    /// Errors returned by unit callbacks (isolated and counted, never propagated to
+    /// other units).
+    pub unit_errors: AtomicU64,
+    /// Managed handler instances created on demand.
+    pub managed_instances: AtomicU64,
+}
+
+impl EngineStats {
+    /// Events accepted by `publish`.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Events dispatched from the queue.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Total unit deliveries.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries suppressed by label checks.
+    pub fn label_rejections(&self) -> u64 {
+        self.label_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Unit callback errors.
+    pub fn unit_errors(&self) -> u64 {
+        self.unit_errors.load(Ordering::Relaxed)
+    }
+
+    /// Managed instances created.
+    pub fn managed_instances(&self) -> u64 {
+        self.managed_instances.load(Ordering::Relaxed)
+    }
+}
+
+/// A registered unit: its security state, its behaviour object and its mailbox.
+pub(crate) struct UnitCell {
+    pub(crate) state: UnitState,
+    pub(crate) instance: Box<dyn Unit>,
+    /// Pull-mode mailbox used by `get_event` (Table 1).
+    pub(crate) mailbox: VecDeque<(Event, SubscriptionId)>,
+    /// When `true`, deliveries are queued in the mailbox instead of invoking
+    /// `on_event`.
+    pub(crate) pull_mode: bool,
+}
+
+pub(crate) struct UnitSlot {
+    pub(crate) cell: Mutex<UnitCell>,
+    pub(crate) mailbox_signal: Condvar,
+}
+
+/// Shared internals of the engine.
+pub(crate) struct EngineCore {
+    pub(crate) config: EngineConfig,
+    pub(crate) tags: TagStore,
+    pub(crate) isolation: IsolationRuntime,
+    pub(crate) units: RwLock<HashMap<UnitId, Arc<UnitSlot>>>,
+    pub(crate) subscriptions: RwLock<Arc<Vec<Subscription>>>,
+    pub(crate) queue: Mutex<VecDeque<Event>>,
+    pub(crate) event_cache: Mutex<VecDeque<Event>>,
+    pub(crate) managed_instances: Mutex<HashMap<(SubscriptionId, Label), UnitId>>,
+    pub(crate) memory: MemoryAccountant,
+    pub(crate) stats: EngineStats,
+}
+
+impl EngineCore {
+    /// Enqueues an event for dispatch and updates the published counter.
+    pub(crate) fn enqueue(&self, event: Event) {
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        self.queue.lock().push_back(event);
+    }
+
+    /// Inserts an event into the bounded cache, charging/releasing memory.
+    pub(crate) fn cache_event(&self, event: Event) {
+        if self.config.event_cache_capacity == 0 {
+            return;
+        }
+        let size = event.estimated_size();
+        self.memory.charge(MemoryCategory::Events, size);
+        let mut cache = self.event_cache.lock();
+        cache.push_back(event);
+        while cache.len() > self.config.event_cache_capacity {
+            if let Some(evicted) = cache.pop_front() {
+                self.memory
+                    .release(MemoryCategory::Events, evicted.estimated_size());
+            }
+        }
+    }
+
+    /// Looks up a unit slot.
+    pub(crate) fn slot(&self, unit: UnitId) -> EngineResult<Arc<UnitSlot>> {
+        self.units
+            .read()
+            .get(&unit)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownUnit(format!("{unit}")))
+    }
+
+    /// Registers a unit and runs its `init` callback.
+    pub(crate) fn register_unit(
+        self: &Arc<Self>,
+        spec: UnitSpec,
+        mut instance: Box<dyn Unit>,
+    ) -> EngineResult<UnitId> {
+        let id = UnitId::next();
+        let isolate = self.isolation.create_isolate();
+        let mut state = UnitState::new(id, spec, isolate);
+        self.memory
+            .charge(MemoryCategory::UnitState, state.estimated_size());
+
+        // Run init with a context before the unit becomes reachable by dispatch, so
+        // that its subscriptions are in place atomically with registration.
+        let mut outputs = Vec::new();
+        {
+            let mut ctx = UnitContext::new(self, &mut state, None, &mut outputs);
+            instance.init(&mut ctx)?;
+            ctx.finish();
+        }
+
+        let slot = Arc::new(UnitSlot {
+            cell: Mutex::new(UnitCell {
+                state,
+                instance,
+                mailbox: VecDeque::new(),
+                pull_mode: false,
+            }),
+            mailbox_signal: Condvar::new(),
+        });
+        self.units.write().insert(id, slot);
+        for event in outputs {
+            self.enqueue(event);
+        }
+        Ok(id)
+    }
+}
+
+/// The public handle to a DEFCon engine instance.
+#[derive(Clone)]
+pub struct Engine {
+    core: Arc<EngineCore>,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let isolation = if config.mode.isolates() {
+            IsolationRuntime::standard()
+        } else {
+            IsolationRuntime::disabled()
+        };
+        Engine {
+            core: Arc::new(EngineCore {
+                config,
+                tags: TagStore::new(),
+                isolation,
+                units: RwLock::new(HashMap::new()),
+                subscriptions: RwLock::new(Arc::new(Vec::new())),
+                queue: Mutex::new(VecDeque::new()),
+                event_cache: Mutex::new(VecDeque::new()),
+                managed_instances: Mutex::new(HashMap::new()),
+                memory: MemoryAccountant::new(),
+                stats: EngineStats::default(),
+            }),
+        }
+    }
+
+    /// Creates an engine with the default configuration (`labels+freeze`).
+    pub fn with_default_config() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Returns the configured security mode.
+    pub fn mode(&self) -> SecurityMode {
+        self.core.config.mode
+    }
+
+    /// Registers a processing unit, running its `init` callback, and returns its
+    /// identifier.
+    pub fn register_unit(&self, spec: UnitSpec, instance: Box<dyn Unit>) -> EngineResult<UnitId> {
+        self.core.register_unit(spec, instance)
+    }
+
+    /// Removes a unit, destroying its isolate and its subscriptions.
+    pub fn remove_unit(&self, unit: UnitId) -> EngineResult<()> {
+        let slot = self
+            .core
+            .units
+            .write()
+            .remove(&unit)
+            .ok_or_else(|| EngineError::UnknownUnit(format!("{unit}")))?;
+        let cell = slot.cell.lock();
+        self.core.isolation.destroy_isolate(cell.state.isolate);
+        self.core
+            .memory
+            .release(MemoryCategory::UnitState, cell.state.estimated_size());
+        drop(cell);
+        {
+            let mut subs = self.core.subscriptions.write();
+            let filtered: Vec<Subscription> = subs
+                .iter()
+                .filter(|sub| sub.owner != unit)
+                .cloned()
+                .collect();
+            *subs = Arc::new(filtered);
+        }
+        Ok(())
+    }
+
+    /// Runs a closure with exclusive access to a unit and a [`UnitContext`] for it.
+    ///
+    /// This is how external drivers (a market-data feed thread, a test harness)
+    /// perform work *as* a unit: events published through the context are queued
+    /// for dispatch when the closure returns.
+    pub fn with_unit<R>(
+        &self,
+        unit: UnitId,
+        f: impl FnOnce(&mut dyn Unit, &mut UnitContext<'_>) -> EngineResult<R>,
+    ) -> EngineResult<R> {
+        let slot = self.core.slot(unit)?;
+        let mut cell = slot.cell.lock();
+        let UnitCell {
+            ref mut state,
+            ref mut instance,
+            ..
+        } = *cell;
+        let mut outputs = Vec::new();
+        let result = {
+            let mut ctx = UnitContext::new(&self.core, state, None, &mut outputs);
+            let r = f(instance.as_mut(), &mut ctx);
+            ctx.finish();
+            r
+        };
+        drop(cell);
+        for event in outputs {
+            self.core.enqueue(event);
+        }
+        result
+    }
+
+    /// Returns a snapshot of a unit's security state (labels, privileges).
+    pub fn unit_state(&self, unit: UnitId) -> EngineResult<UnitState> {
+        Ok(self.core.slot(unit)?.cell.lock().state.clone())
+    }
+
+    /// Puts a unit into pull mode: deliveries are queued to its mailbox and
+    /// retrieved with [`Engine::get_event`] instead of invoking `on_event`.
+    pub fn set_pull_mode(&self, unit: UnitId, pull: bool) -> EngineResult<()> {
+        let slot = self.core.slot(unit)?;
+        slot.cell.lock().pull_mode = pull;
+        Ok(())
+    }
+
+    /// Blocks the caller until an event is delivered to the unit's mailbox or the
+    /// timeout expires (Table 1, `getEvent`). Requires pull mode.
+    pub fn get_event(
+        &self,
+        unit: UnitId,
+        timeout: Duration,
+    ) -> EngineResult<Option<(Event, SubscriptionId)>> {
+        let slot = self.core.slot(unit)?;
+        let mut cell = slot.cell.lock();
+        if !cell.pull_mode {
+            return Err(EngineError::InvalidOperation(
+                "get_event requires pull mode (set_pull_mode)".into(),
+            ));
+        }
+        if cell.mailbox.is_empty() {
+            slot.mailbox_signal.wait_for(&mut cell, timeout);
+        }
+        Ok(cell.mailbox.pop_front())
+    }
+
+    /// Non-blocking variant of [`Engine::get_event`].
+    pub fn poll_event(&self, unit: UnitId) -> EngineResult<Option<(Event, SubscriptionId)>> {
+        let slot = self.core.slot(unit)?;
+        let event = slot.cell.lock().mailbox.pop_front();
+        Ok(event)
+    }
+
+    /// Returns a single-threaded dispatcher for this engine.
+    pub fn dispatcher(&self) -> Dispatcher {
+        Dispatcher::new(Arc::clone(&self.core))
+    }
+
+    /// Dispatches at most one queued event. Returns `true` if an event was
+    /// processed.
+    pub fn pump_one(&self) -> EngineResult<bool> {
+        self.dispatcher().pump_one()
+    }
+
+    /// Dispatches queued events until the queue is empty (including events published
+    /// during dispatch). Returns the number of events dispatched.
+    pub fn pump_until_idle(&self) -> EngineResult<usize> {
+        self.dispatcher().pump_until_idle()
+    }
+
+    /// Number of events waiting in the dispatch queue.
+    pub fn queue_depth(&self) -> usize {
+        self.core.queue.lock().len()
+    }
+
+    /// Returns the engine statistics counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.core.stats
+    }
+
+    /// Number of registered units (including managed instances).
+    pub fn unit_count(&self) -> usize {
+        self.core.units.read().len()
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.core.subscriptions.read().len()
+    }
+
+    /// Total accounted memory in MiB: live events, unit state, engine bookkeeping
+    /// and isolation overhead (Figure 7's metric).
+    pub fn memory_mib(&self) -> f64 {
+        let isolation = self.core.isolation.memory_overhead_bytes();
+        let engine = self.core.tags.estimated_size()
+            + self.core.subscriptions.read().len() * 128
+            + self.core.units.read().len() * 64;
+        let accounted = self.core.memory.total_bytes();
+        (accounted + isolation + engine) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Returns the engine's memory accountant (shared with benches).
+    pub fn memory(&self) -> &MemoryAccountant {
+        &self.core.memory
+    }
+
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("mode", &self.core.config.mode)
+            .field("units", &self.unit_count())
+            .field("subscriptions", &self.subscription_count())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}

@@ -1,0 +1,78 @@
+//! `defcon-core`: the DEFCon event processing engine.
+//!
+//! This crate is the paper's primary contribution (§3.2, §5): a runtime environment
+//! for event processing units that enforces decentralised event flow control (DEFC)
+//! on every event exchanged between units.
+//!
+//! The engine provides:
+//!
+//! * **Label/tag management** — a [`TagStore`] creating opaque tags on behalf of
+//!   units and tracking per-unit input/output labels and privileges.
+//! * **Inter-unit communication** — a publish/subscribe [`Dispatcher`] that matches
+//!   events against subscriptions, checking the can-flow-to relation per part at
+//!   matching time, and delivers events to units without revealing who else was
+//!   notified.
+//! * **Unit life-cycle management** — units are instantiated inside isolates (via
+//!   `defcon-isolation`), may instantiate further units at a chosen contamination
+//!   level, and interact with the engine exclusively through the Table 1 API
+//!   exposed by [`UnitContext`].
+//!
+//! The [`SecurityMode`] enum selects one of the four configurations evaluated in
+//! Figures 5–7 of the paper: `NoSecurity`, `LabelsFreeze`, `LabelsClone` and
+//! `LabelsFreezeIsolation`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use defcon_core::{Engine, EngineConfig, SecurityMode, Unit, UnitContext, UnitSpec};
+//! use defcon_core::EngineResult;
+//! use defcon_defc::Label;
+//! use defcon_events::{Event, Filter, Value};
+//!
+//! struct Printer;
+//! impl Unit for Printer {
+//!     fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+//!         ctx.subscribe(Filter::for_type("greeting"))?;
+//!         Ok(())
+//!     }
+//!     fn on_event(&mut self, ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+//!         let parts = ctx.read_part(event, "text")?;
+//!         assert_eq!(parts[0].1.as_str(), Some("hello"));
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+//! let printer = engine.register_unit(UnitSpec::new("printer"), Box::new(Printer)).unwrap();
+//! # let _ = printer;
+//!
+//! // Publish an event from outside (e.g. a driver thread) on behalf of a source unit.
+//! let source = engine.register_unit(UnitSpec::new("source"), Box::new(defcon_core::unit::NullUnit)).unwrap();
+//! engine.with_unit(source, |_, ctx| {
+//!     let draft = ctx.create_event();
+//!     ctx.add_part(&draft, Label::public(), "type", Value::str("greeting"))?;
+//!     ctx.add_part(&draft, Label::public(), "text", Value::str("hello"))?;
+//!     ctx.publish(draft)
+//! }).unwrap();
+//!
+//! engine.pump_until_idle().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod dispatcher;
+pub mod engine;
+pub mod error;
+pub mod subscription;
+pub mod tag_store;
+pub mod unit;
+
+pub use context::{DraftEvent, UnitContext};
+pub use dispatcher::Dispatcher;
+pub use engine::{Engine, EngineConfig, EngineStats, SecurityMode};
+pub use error::{EngineError, EngineResult};
+pub use subscription::{Subscription, SubscriptionId, SubscriptionKind};
+pub use tag_store::TagStore;
+pub use unit::{Unit, UnitFactory, UnitId, UnitSpec, UnitState};

@@ -1,0 +1,101 @@
+//! The engine's tag store.
+//!
+//! §3.2 ("Label/tag management"): DEFCon maintains the set of defined tags; units
+//! access tags by reference but cannot modify or forge them. Units request fresh
+//! tags at run time (e.g. when a new client joins), receiving `t+auth`/`t-auth` over
+//! the new tag (§3.1.3).
+
+use std::collections::HashMap;
+
+use defcon_defc::{Tag, TagId};
+use parking_lot::RwLock;
+
+use crate::unit::UnitId;
+
+/// Records every tag created through the engine together with its creator.
+#[derive(Debug, Default)]
+pub struct TagStore {
+    tags: RwLock<HashMap<TagId, TagRecord>>,
+}
+
+#[derive(Debug, Clone)]
+struct TagRecord {
+    tag: Tag,
+    creator: UnitId,
+}
+
+impl TagStore {
+    /// Creates an empty tag store.
+    pub fn new() -> Self {
+        TagStore::default()
+    }
+
+    /// Creates a fresh tag on behalf of `creator`.
+    pub fn create_tag(&self, creator: UnitId, name: Option<&str>) -> Tag {
+        let tag = match name {
+            Some(n) => Tag::with_name(n),
+            None => Tag::new(),
+        };
+        self.tags.write().insert(
+            tag.id(),
+            TagRecord {
+                tag: tag.clone(),
+                creator,
+            },
+        );
+        tag
+    }
+
+    /// Returns the tag with the given identifier, if it was created through this
+    /// store.
+    pub fn lookup(&self, id: TagId) -> Option<Tag> {
+        self.tags.read().get(&id).map(|r| r.tag.clone())
+    }
+
+    /// Returns the unit that created the tag, if known.
+    pub fn creator_of(&self, id: TagId) -> Option<UnitId> {
+        self.tags.read().get(&id).map(|r| r.creator)
+    }
+
+    /// Returns the number of tags ever created.
+    pub fn len(&self) -> usize {
+        self.tags.read().len()
+    }
+
+    /// Returns `true` if no tags have been created.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated bytes used by the store (engine memory accounting).
+    pub fn estimated_size(&self) -> usize {
+        // Tag id + record + name estimate.
+        self.len() * 96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn created_tags_are_tracked() {
+        let store = TagStore::new();
+        assert!(store.is_empty());
+        let creator = UnitId::from_raw(7);
+        let tag = store.create_tag(creator, Some("s-trader-1"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup(tag.id()), Some(tag.clone()));
+        assert_eq!(store.creator_of(tag.id()), Some(creator));
+        assert_eq!(tag.name(), Some("s-trader-1"));
+    }
+
+    #[test]
+    fn anonymous_tags_and_unknown_lookups() {
+        let store = TagStore::new();
+        let tag = store.create_tag(UnitId::from_raw(1), None);
+        assert_eq!(tag.name(), None);
+        assert_eq!(store.lookup(defcon_defc::TagId::from_raw(12345)), None);
+        assert!(store.estimated_size() > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for DEFC model operations.
+
+use std::fmt;
+
+use crate::tag::TagId;
+
+/// Errors raised by operations on labels, tags and privileges.
+///
+/// These correspond to the situations in which the DEFC model of §3.1 forbids an
+/// operation: exercising a privilege that a unit does not hold, delegating a
+/// privilege without the corresponding `auth` privilege, or violating the
+/// can-flow-to ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefcError {
+    /// The caller attempted to add a tag to a label component without holding the
+    /// `t+` privilege for that tag.
+    MissingAddPrivilege(TagId),
+    /// The caller attempted to remove a tag from a label component without holding
+    /// the `t-` privilege for that tag (declassification / integrity drop).
+    MissingRemovePrivilege(TagId),
+    /// The caller attempted to delegate a privilege over a tag without holding the
+    /// corresponding `t+auth` / `t-auth` privilege.
+    MissingDelegationPrivilege(TagId),
+    /// An information flow was attempted from a source label to a destination label
+    /// that the can-flow-to relation does not permit.
+    FlowNotPermitted {
+        /// Human-readable rendering of the source label.
+        from: String,
+        /// Human-readable rendering of the destination label.
+        to: String,
+    },
+    /// A tag reference was used that is not known to the issuing tag store.
+    UnknownTag(TagId),
+}
+
+impl fmt::Display for DefcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefcError::MissingAddPrivilege(t) => {
+                write!(f, "missing t+ privilege for tag {t}")
+            }
+            DefcError::MissingRemovePrivilege(t) => {
+                write!(f, "missing t- privilege for tag {t}")
+            }
+            DefcError::MissingDelegationPrivilege(t) => {
+                write!(f, "missing t+auth/t-auth privilege for tag {t}")
+            }
+            DefcError::FlowNotPermitted { from, to } => {
+                write!(f, "information flow not permitted: {from} -/-> {to}")
+            }
+            DefcError::UnknownTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DefcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let t = TagId::from_raw(0xdead_beef);
+        assert!(DefcError::MissingAddPrivilege(t).to_string().contains("t+"));
+        assert!(DefcError::MissingRemovePrivilege(t).to_string().contains("t-"));
+        assert!(DefcError::MissingDelegationPrivilege(t)
+            .to_string()
+            .contains("auth"));
+        let flow = DefcError::FlowNotPermitted {
+            from: "{a}".into(),
+            to: "{}".into(),
+        };
+        assert!(flow.to_string().contains("-/->"));
+        assert!(DefcError::UnknownTag(t).to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DefcError>();
+    }
+}

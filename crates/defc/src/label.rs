@@ -1,0 +1,299 @@
+//! Security labels and the can-flow-to lattice.
+//!
+//! A [`Label`] is a pair `(S, I)` of a confidentiality component `S` and an integrity
+//! component `I` (§3.1.1). Confidentiality tags are *sticky*: once present, data
+//! cannot flow to a place lacking them unless a declassification privilege is
+//! exercised. Integrity tags are *fragile*: mixing data destroys any integrity tag
+//! not shared by all inputs unless an endorsement privilege is exercised.
+//!
+//! The "can flow to" relation is
+//!
+//! ```text
+//! (Sa, Ia) ≺ (Sb, Ib)   iff   Sa ⊆ Sb  and  Ia ⊇ Ib
+//! ```
+//!
+//! Labels form a lattice under this order; [`Label::join`] (least upper bound) is the
+//! label of data derived from two sources and [`Label::meet`] (greatest lower bound)
+//! is the most permissive label that can flow to both operands.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tag::Tag;
+use crate::tagset::TagSet;
+
+/// Identifies one of the two components of a label.
+///
+/// API calls such as `changeOutLabel(⟨S|I⟩, ⟨add|del⟩, t)` in Table 1 of the paper
+/// address a component explicitly; this enum is the Rust rendering of `⟨S|I⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// The confidentiality (secrecy) component `S`.
+    Confidentiality,
+    /// The integrity component `I`.
+    Integrity,
+}
+
+/// A security label `(S, I)`.
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label {
+    confidentiality: TagSet,
+    integrity: TagSet,
+}
+
+impl Label {
+    /// The public label: empty confidentiality, empty integrity.
+    ///
+    /// Data labelled `Label::public()` can flow anywhere but vouches for nothing.
+    pub fn public() -> Self {
+        Label::default()
+    }
+
+    /// Creates a label from its two components.
+    pub fn new(confidentiality: TagSet, integrity: TagSet) -> Self {
+        Label {
+            confidentiality,
+            integrity,
+        }
+    }
+
+    /// Creates a label with only a confidentiality component.
+    pub fn confidential(confidentiality: TagSet) -> Self {
+        Label {
+            confidentiality,
+            integrity: TagSet::empty(),
+        }
+    }
+
+    /// Creates a label with only an integrity component.
+    pub fn endorsed(integrity: TagSet) -> Self {
+        Label {
+            confidentiality: TagSet::empty(),
+            integrity,
+        }
+    }
+
+    /// Returns the confidentiality component `S`.
+    pub fn confidentiality(&self) -> &TagSet {
+        &self.confidentiality
+    }
+
+    /// Returns the integrity component `I`.
+    pub fn integrity(&self) -> &TagSet {
+        &self.integrity
+    }
+
+    /// Returns the requested component.
+    pub fn component(&self, which: Component) -> &TagSet {
+        match which {
+            Component::Confidentiality => &self.confidentiality,
+            Component::Integrity => &self.integrity,
+        }
+    }
+
+    /// Returns a mutable reference to the requested component.
+    pub fn component_mut(&mut self, which: Component) -> &mut TagSet {
+        match which {
+            Component::Confidentiality => &mut self.confidentiality,
+            Component::Integrity => &mut self.integrity,
+        }
+    }
+
+    /// Returns `true` if this label is the public label.
+    pub fn is_public(&self) -> bool {
+        self.confidentiality.is_empty() && self.integrity.is_empty()
+    }
+
+    /// The can-flow-to relation: `self ≺ other` iff `S_self ⊆ S_other` and
+    /// `I_self ⊇ I_other`.
+    pub fn can_flow_to(&self, other: &Label) -> bool {
+        self.confidentiality.is_subset(&other.confidentiality)
+            && self.integrity.is_superset(&other.integrity)
+    }
+
+    /// Least upper bound: the label of data derived from both operands.
+    ///
+    /// Confidentiality tags accumulate (union, "sticky"); integrity tags only
+    /// survive if present in both inputs (intersection, "fragile").
+    pub fn join(&self, other: &Label) -> Label {
+        Label {
+            confidentiality: self.confidentiality.union(&other.confidentiality),
+            integrity: self.integrity.intersection(&other.integrity),
+        }
+    }
+
+    /// Greatest lower bound: the most restrictive-on-integrity, least-secret label
+    /// that can flow to both operands.
+    pub fn meet(&self, other: &Label) -> Label {
+        Label {
+            confidentiality: self.confidentiality.intersection(&other.confidentiality),
+            integrity: self.integrity.union(&other.integrity),
+        }
+    }
+
+    /// Returns a copy of this label with `tag` added to `component`.
+    pub fn with_tag(&self, component: Component, tag: Tag) -> Label {
+        let mut next = self.clone();
+        next.component_mut(component).insert(tag);
+        next
+    }
+
+    /// Returns a copy of this label with `tag` removed from `component`.
+    pub fn without_tag(&self, component: Component, tag: &Tag) -> Label {
+        let mut next = self.clone();
+        next.component_mut(component).remove(tag);
+        next
+    }
+
+    /// Applies the contamination-independence transformation of Table 1:
+    /// `S' = S ∪ S_out` and `I' = I ∩ I_out`.
+    ///
+    /// A unit that asks for a part to be labelled `(S, I)` transparently gets the
+    /// tags of its output label folded in, so that sandboxed units cannot write
+    /// below their own contamination.
+    pub fn raised_to_output(&self, output: &Label) -> Label {
+        Label {
+            confidentiality: self.confidentiality.union(&output.confidentiality),
+            integrity: self.integrity.intersection(&output.integrity),
+        }
+    }
+
+    /// Total size of the label in tags (useful for memory accounting).
+    pub fn tag_count(&self) -> usize {
+        self.confidentiality.len() + self.integrity.len()
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(S={:?}, I={:?})", self.confidentiality, self.integrity)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(name: &str) -> Tag {
+        Tag::with_name(name)
+    }
+
+    #[test]
+    fn public_flows_to_everything_with_no_integrity() {
+        let public = Label::public();
+        let secret = Label::confidential(TagSet::singleton(tag("s")));
+        assert!(public.can_flow_to(&secret));
+        assert!(!secret.can_flow_to(&public));
+    }
+
+    #[test]
+    fn integrity_flows_downward() {
+        let endorsed = Label::endorsed(TagSet::singleton(tag("i-exchange")));
+        let plain = Label::public();
+        // High-integrity data can flow to low-integrity places...
+        assert!(endorsed.can_flow_to(&plain));
+        // ...but low-integrity data cannot flow where integrity is required.
+        assert!(!plain.can_flow_to(&endorsed));
+    }
+
+    #[test]
+    fn paper_example_confidentiality_union() {
+        // §3.1.1: data from {s-trading, s-client-2402} and {s-trading, s-trader-77}
+        // yields all three tags.
+        let trading = tag("s-trading");
+        let client = tag("s-client-2402");
+        let trader = tag("s-trader-77");
+
+        let a = Label::confidential([trading.clone(), client.clone()].into_iter().collect());
+        let b = Label::confidential([trading.clone(), trader.clone()].into_iter().collect());
+        let joined = a.join(&b);
+        assert_eq!(joined.confidentiality().len(), 3);
+        for t in [&trading, &client, &trader] {
+            assert!(joined.confidentiality().contains(t));
+        }
+    }
+
+    #[test]
+    fn paper_example_integrity_intersection() {
+        // §3.1.1: {i-stockticker} mixed with {i-trader-77} yields {}.
+        let a = Label::endorsed(TagSet::singleton(tag("i-stockticker")));
+        let b = Label::endorsed(TagSet::singleton(tag("i-trader-77")));
+        let joined = a.join(&b);
+        assert!(joined.integrity().is_empty());
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let s1 = tag("s1");
+        let s2 = tag("s2");
+        let i1 = tag("i1");
+
+        let a = Label::new(TagSet::singleton(s1.clone()), TagSet::singleton(i1.clone()));
+        let b = Label::new(TagSet::singleton(s2.clone()), TagSet::empty());
+        let j = a.join(&b);
+
+        assert!(a.can_flow_to(&j));
+        assert!(b.can_flow_to(&j));
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound() {
+        let s1 = tag("s1");
+        let i1 = tag("i1");
+        let i2 = tag("i2");
+
+        let a = Label::new(TagSet::singleton(s1.clone()), TagSet::singleton(i1.clone()));
+        let b = Label::new(TagSet::empty(), TagSet::singleton(i2.clone()));
+        let m = a.meet(&b);
+
+        assert!(m.can_flow_to(&a));
+        assert!(m.can_flow_to(&b));
+    }
+
+    #[test]
+    fn raised_to_output_matches_table1_note() {
+        // Table 1 footnote: S' = S ∪ S_out, I' = I ∩ I_out.
+        let d = tag("d");
+        let t = tag("t");
+        let i = tag("i");
+
+        let requested = Label::new(TagSet::singleton(t.clone()), TagSet::singleton(i.clone()));
+        let output = Label::new(TagSet::singleton(d.clone()), TagSet::empty());
+
+        let actual = requested.raised_to_output(&output);
+        assert!(actual.confidentiality().contains(&d));
+        assert!(actual.confidentiality().contains(&t));
+        assert!(actual.integrity().is_empty());
+    }
+
+    #[test]
+    fn component_accessors() {
+        let s = tag("s");
+        let i = tag("i");
+        let mut label = Label::public();
+        label.component_mut(Component::Confidentiality).insert(s.clone());
+        label.component_mut(Component::Integrity).insert(i.clone());
+        assert!(label.component(Component::Confidentiality).contains(&s));
+        assert!(label.component(Component::Integrity).contains(&i));
+        assert_eq!(label.tag_count(), 2);
+        assert!(!label.is_public());
+    }
+
+    #[test]
+    fn with_and_without_tag_are_value_ops() {
+        let s = tag("s");
+        let base = Label::public();
+        let secret = base.with_tag(Component::Confidentiality, s.clone());
+        assert!(base.is_public());
+        assert!(secret.confidentiality().contains(&s));
+        let back = secret.without_tag(Component::Confidentiality, &s);
+        assert!(back.is_public());
+    }
+}

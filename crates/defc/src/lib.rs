@@ -1,0 +1,56 @@
+//! DEFC model primitives: tags, tag sets, security labels and privileges.
+//!
+//! This crate implements §3.1 of the DEFCon paper (Migliavacca et al., USENIX ATC
+//! 2010): the *decentralised event flow control* (DEFC) model. It provides the
+//! building blocks that the DEFCon engine (`defcon-core`) uses to track and enforce
+//! event flow:
+//!
+//! * [`Tag`] — an opaque, unforgeable value representing a single confidentiality or
+//!   integrity concern (§3.1.1). Tags are referred to by reference and carry an
+//!   optional symbolic name purely for debugging.
+//! * [`TagSet`] — a small, ordered set of tags; the `S` and `I` components of a label.
+//! * [`Label`] — a pair `(S, I)` of confidentiality and integrity components,
+//!   partially ordered by the *can-flow-to* relation (§3.1.1).
+//! * [`PrivilegeSet`] — the four per-unit privilege sets `O+`, `O-`, `O+auth`,
+//!   `O-auth` together with the delegation rules of §3.1.3.
+//!
+//! The crate is deliberately free of any engine or event concerns so that the model
+//! can be property-tested in isolation and reused by other front-ends.
+//!
+//! # Example
+//!
+//! ```
+//! use defcon_defc::{Label, Tag, TagSet};
+//!
+//! let trader = Tag::with_name("s-trader-77");
+//! let dark_pool = Tag::with_name("dark-pool");
+//!
+//! let body = Label::new(TagSet::from_iter([dark_pool.clone()]), TagSet::empty());
+//! let identity = Label::new(
+//!     TagSet::from_iter([dark_pool.clone(), trader.clone()]),
+//!     TagSet::empty(),
+//! );
+//!
+//! // Data protected only by the dark-pool tag may flow to a place that is also
+//! // contaminated by the trader tag, but not vice versa.
+//! assert!(body.can_flow_to(&identity));
+//! assert!(!identity.can_flow_to(&body));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod label;
+mod privilege;
+mod tag;
+mod tagset;
+
+pub use error::DefcError;
+pub use label::{Component, Label};
+pub use privilege::{Privilege, PrivilegeKind, PrivilegeSet};
+pub use tag::{Tag, TagId};
+pub use tagset::TagSet;
+
+/// Convenience result alias used throughout the DEFC crates.
+pub type Result<T> = std::result::Result<T, DefcError>;

@@ -1,0 +1,314 @@
+//! Small ordered sets of tags.
+//!
+//! Labels in DEFC are pairs of tag *sets* and the hot paths of the engine — label
+//! comparison during event dispatch — are dominated by subset tests between very
+//! small sets (events in the trading scenario carry one to three tags per part).
+//! [`TagSet`] therefore stores tags in a sorted `Vec`, which keeps subset and union
+//! operations linear with excellent cache behaviour and avoids hashing costs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tag::Tag;
+
+/// An immutable-by-default, ordered set of [`Tag`]s.
+///
+/// `TagSet` is a value type: all operations that "modify" a set return a new set.
+/// This mirrors the paper's treatment of labels as immutable values attached to
+/// event parts, and makes sharing sets across threads trivially safe.
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TagSet {
+    // Invariant: sorted by `Tag::cmp` and free of duplicates.
+    tags: Vec<Tag>,
+}
+
+impl TagSet {
+    /// Returns the empty tag set.
+    pub fn empty() -> Self {
+        TagSet { tags: Vec::new() }
+    }
+
+    /// Builds a set containing a single tag.
+    pub fn singleton(tag: Tag) -> Self {
+        TagSet { tags: vec![tag] }
+    }
+
+    /// Returns the number of tags in the set.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Returns `true` if the set contains no tags.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Returns `true` if the set contains `tag`.
+    pub fn contains(&self, tag: &Tag) -> bool {
+        self.tags.binary_search(tag).is_ok()
+    }
+
+    /// Returns a new set with `tag` inserted.
+    pub fn with(&self, tag: Tag) -> Self {
+        let mut next = self.clone();
+        next.insert(tag);
+        next
+    }
+
+    /// Returns a new set with `tag` removed (no-op if absent).
+    pub fn without(&self, tag: &Tag) -> Self {
+        let mut next = self.clone();
+        next.remove(tag);
+        next
+    }
+
+    /// Inserts `tag` in place, preserving the sorted-unique invariant.
+    pub fn insert(&mut self, tag: Tag) {
+        if let Err(pos) = self.tags.binary_search(&tag) {
+            self.tags.insert(pos, tag);
+        }
+    }
+
+    /// Removes `tag` in place; returns `true` if it was present.
+    pub fn remove(&mut self, tag: &Tag) -> bool {
+        match self.tags.binary_search(tag) {
+            Ok(pos) => {
+                self.tags.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Returns `true` if every tag in `self` is also in `other` (`self ⊆ other`).
+    ///
+    /// This is the core of the can-flow-to check and is written as a linear merge
+    /// over the two sorted vectors.
+    pub fn is_subset(&self, other: &TagSet) -> bool {
+        if self.tags.len() > other.tags.len() {
+            return false;
+        }
+        let mut oi = 0;
+        'outer: for tag in &self.tags {
+            while oi < other.tags.len() {
+                match other.tags[oi].cmp(tag) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Returns `true` if `self ⊇ other`.
+    pub fn is_superset(&self, other: &TagSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Returns the union of the two sets.
+    pub fn union(&self, other: &TagSet) -> TagSet {
+        let mut merged = Vec::with_capacity(self.tags.len() + other.tags.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.tags.len() && j < other.tags.len() {
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.tags[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.tags[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.tags[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.tags[i..]);
+        merged.extend_from_slice(&other.tags[j..]);
+        TagSet { tags: merged }
+    }
+
+    /// Returns the intersection of the two sets.
+    pub fn intersection(&self, other: &TagSet) -> TagSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.tags.len() && j < other.tags.len() {
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tags[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        TagSet { tags: out }
+    }
+
+    /// Returns the set difference `self \ other`.
+    pub fn difference(&self, other: &TagSet) -> TagSet {
+        let mut out = Vec::new();
+        for tag in &self.tags {
+            if !other.contains(tag) {
+                out.push(tag.clone());
+            }
+        }
+        TagSet { tags: out }
+    }
+
+    /// Iterates over the tags in ascending identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tag> {
+        self.tags.iter()
+    }
+
+    /// Returns the tags as a slice (sorted, duplicate-free).
+    pub fn as_slice(&self) -> &[Tag] {
+        &self.tags
+    }
+}
+
+impl FromIterator<Tag> for TagSet {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        let mut set = TagSet::empty();
+        for tag in iter {
+            set.insert(tag);
+        }
+        set
+    }
+}
+
+impl From<Tag> for TagSet {
+    fn from(tag: Tag) -> Self {
+        TagSet::singleton(tag)
+    }
+}
+
+impl<'a> IntoIterator for &'a TagSet {
+    type Item = &'a Tag;
+    type IntoIter = std::slice::Iter<'a, Tag>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tags.iter()
+    }
+}
+
+impl fmt::Debug for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, tag) in self.tags.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{tag}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(n: usize) -> Vec<Tag> {
+        (0..n).map(|i| Tag::with_name(format!("t{i}"))).collect()
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = TagSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(e.is_subset(&e));
+        assert!(e.is_superset(&e));
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_sorted() {
+        let ts = tags(5);
+        let mut set = TagSet::empty();
+        for t in ts.iter().rev() {
+            set.insert(t.clone());
+            set.insert(t.clone());
+        }
+        assert_eq!(set.len(), 5);
+        let collected: Vec<_> = set.iter().cloned().collect();
+        let mut expected = ts.clone();
+        expected.sort();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn subset_and_superset() {
+        let ts = tags(4);
+        let small: TagSet = ts[..2].iter().cloned().collect();
+        let large: TagSet = ts.iter().cloned().collect();
+        assert!(small.is_subset(&large));
+        assert!(large.is_superset(&small));
+        assert!(!large.is_subset(&small));
+
+        let disjoint = TagSet::singleton(Tag::new());
+        assert!(!disjoint.is_subset(&large));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let ts = tags(6);
+        let a: TagSet = ts[..4].iter().cloned().collect();
+        let b: TagSet = ts[2..].iter().cloned().collect();
+
+        let u = a.union(&b);
+        assert_eq!(u.len(), 6);
+        for t in &ts {
+            assert!(u.contains(t));
+        }
+
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 2);
+        assert!(i.contains(&ts[2]) && i.contains(&ts[3]));
+
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&ts[0]) && d.contains(&ts[1]));
+    }
+
+    #[test]
+    fn remove_and_without() {
+        let ts = tags(3);
+        let set: TagSet = ts.iter().cloned().collect();
+        let smaller = set.without(&ts[1]);
+        assert_eq!(smaller.len(), 2);
+        assert!(!smaller.contains(&ts[1]));
+        // Original is untouched (value semantics).
+        assert!(set.contains(&ts[1]));
+
+        let mut m = set.clone();
+        assert!(m.remove(&ts[0]));
+        assert!(!m.remove(&ts[0]));
+    }
+
+    #[test]
+    fn debug_format_lists_names() {
+        let a = Tag::with_name("alpha");
+        let b = Tag::with_name("beta");
+        let set: TagSet = [a, b].into_iter().collect();
+        let s = format!("{set:?}");
+        assert!(s.contains("alpha") && s.contains("beta"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the DEFC label lattice.
+//!
+//! These check the algebraic laws that the engine's dispatch logic relies on:
+//! can-flow-to must be a partial order, join/meet must be the lattice bounds, and
+//! privilege-checked transitions must agree with unrestricted lattice movement.
+
+use defcon_defc::{Component, Label, Privilege, PrivilegeSet, Tag, TagSet};
+use proptest::prelude::*;
+
+/// A small universe of tags shared by all generated labels so that subset relations
+/// actually occur (fresh random tags would almost never collide).
+fn universe() -> Vec<Tag> {
+    (0..8).map(|i| Tag::with_name(format!("u{i}"))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn can_flow_to_is_reflexive(mask in prop::collection::vec(any::<bool>(), 16)) {
+        let uni = universe();
+        let s: TagSet = uni.iter().zip(&mask[..8]).filter_map(|(t, k)| k.then(|| t.clone())).collect();
+        let i: TagSet = uni.iter().zip(&mask[8..]).filter_map(|(t, k)| k.then(|| t.clone())).collect();
+        let l = Label::new(s, i);
+        prop_assert!(l.can_flow_to(&l));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn join_is_upper_bound_and_meet_is_lower_bound(
+        seed in 0u64..u64::MAX,
+    ) {
+        // Derive two labels deterministically from the seed over a shared universe.
+        let uni = universe();
+        let pick = |bits: u64| -> Label {
+            let s: TagSet = uni.iter().enumerate()
+                .filter(|(i, _)| bits >> i & 1 == 1)
+                .map(|(_, t)| t.clone())
+                .collect();
+            let i: TagSet = uni.iter().enumerate()
+                .filter(|(i, _)| bits >> (i + 8) & 1 == 1)
+                .map(|(_, t)| t.clone())
+                .collect();
+            Label::new(s, i)
+        };
+        let a = pick(seed);
+        let b = pick(seed.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15);
+
+        let j = a.join(&b);
+        prop_assert!(a.can_flow_to(&j));
+        prop_assert!(b.can_flow_to(&j));
+
+        let m = a.meet(&b);
+        prop_assert!(m.can_flow_to(&a));
+        prop_assert!(m.can_flow_to(&b));
+
+        // Join/meet are commutative and idempotent.
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.meet(&a), a.clone());
+    }
+}
+
+#[test]
+fn can_flow_to_is_antisymmetric_and_transitive_on_universe() {
+    // Exhaustive check over a tiny universe: 2 tags per component -> 16 labels.
+    let tags = universe();
+    let (a, b) = (tags[0].clone(), tags[1].clone());
+    let sets = [
+        TagSet::empty(),
+        TagSet::singleton(a.clone()),
+        TagSet::singleton(b.clone()),
+        [a, b].into_iter().collect::<TagSet>(),
+    ];
+    let mut labels = Vec::new();
+    for s in &sets {
+        for i in &sets {
+            labels.push(Label::new(s.clone(), i.clone()));
+        }
+    }
+    for x in &labels {
+        for y in &labels {
+            if x.can_flow_to(y) && y.can_flow_to(x) {
+                assert_eq!(x, y, "antisymmetry violated");
+            }
+            for z in &labels {
+                if x.can_flow_to(y) && y.can_flow_to(z) {
+                    assert!(x.can_flow_to(z), "transitivity violated");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn owner_privileges_allow_any_transition_over_owned_tags(bits in 0u16..,) {
+        let uni = universe();
+        let mut privs = PrivilegeSet::empty();
+        for t in &uni {
+            privs.absorb(&PrivilegeSet::owner(t));
+        }
+        let pick = |shift: u16| -> Label {
+            let s: TagSet = uni.iter().enumerate()
+                .filter(|(i, _)| bits.rotate_left(shift as u32) >> i & 1 == 1)
+                .map(|(_, t)| t.clone())
+                .collect();
+            Label::confidential(s)
+        };
+        let from = pick(0);
+        let to = pick(5);
+        prop_assert!(privs.apply_label_transition(&from, &to).is_ok());
+    }
+
+    #[test]
+    fn empty_privileges_only_allow_identity_transitions(bits in 1u8..=255u8) {
+        let uni = universe();
+        let s: TagSet = uni.iter().enumerate()
+            .filter(|(i, _)| bits >> i & 1 == 1)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let from = Label::public();
+        let to = Label::confidential(s);
+        let none = PrivilegeSet::empty();
+        // bits >= 1 so `to` is never public; the transition must fail.
+        prop_assert!(none.apply_label_transition(&from, &to).is_err());
+        // Identity transition always allowed.
+        prop_assert!(none.apply_label_transition(&to, &to).is_ok());
+    }
+}
+
+#[test]
+fn delegation_chain_preserves_model() {
+    // u creates tag t -> holds t+auth, t-auth. It self-delegates t+ and t-, then
+    // delegates t+ to v. v cannot further delegate because it lacks t+auth.
+    let t = Tag::with_name("t");
+    let mut u = PrivilegeSet::for_created_tag(&t);
+
+    u.check_may_delegate(&Privilege::add(t.clone())).unwrap();
+    u.grant(Privilege::add(t.clone()));
+    u.check_may_delegate(&Privilege::remove(t.clone())).unwrap();
+    u.grant(Privilege::remove(t.clone()));
+
+    let mut v = PrivilegeSet::empty();
+    u.check_may_delegate(&Privilege::add(t.clone())).unwrap();
+    v.grant(Privilege::add(t.clone()));
+
+    assert!(v.check_may_delegate(&Privilege::add(t.clone())).is_err());
+
+    // u can hand over delegation rights too, after which v can delegate.
+    u.check_may_delegate(&Privilege::add_authority(t.clone()))
+        .unwrap();
+    v.grant(Privilege::add_authority(t.clone()));
+    assert!(v.check_may_delegate(&Privilege::add(t.clone())).is_ok());
+}
+
+#[test]
+fn label_components_are_independent() {
+    let t = Tag::with_name("t");
+    let conf = Label::public().with_tag(Component::Confidentiality, t.clone());
+    let integ = Label::public().with_tag(Component::Integrity, t.clone());
+    assert!(conf.integrity().is_empty());
+    assert!(integ.confidentiality().is_empty());
+    assert_ne!(conf, integ);
+}

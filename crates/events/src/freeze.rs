@@ -1,0 +1,220 @@
+//! Freezable objects: constant-time freezing via a shared frozen flag.
+//!
+//! §5 of the paper ("Freezing shared objects"): DEFCon avoids serialising or
+//! deep-copying event data when it is passed between isolates by only allowing
+//! *immutable* objects to be shared. Mutable values must extend a `Freezable` base
+//! class; after `freeze()` has been called, every mutating operation fails.
+//!
+//! To make `freeze()` constant-time even for collections, every value that is
+//! attached to a collection shares the collection's frozen flag: freezing the
+//! collection implicitly freezes all its members. The cost of mutating operations is
+//! then linear in the number of collections an object belongs to — exactly the
+//! trade-off described in the paper.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Error returned when a mutation is attempted on a frozen object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreezeError;
+
+impl fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("object is frozen and can no longer be mutated")
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// A shareable frozen flag.
+///
+/// Cloning a `FreezeFlag` yields a handle to the *same* flag, which is what allows a
+/// collection to freeze all of its members in constant time: members simply hold a
+/// clone of the collection's flag in their watch list.
+#[derive(Clone, Default)]
+pub struct FreezeFlag {
+    frozen: Arc<AtomicBool>,
+}
+
+impl FreezeFlag {
+    /// Creates a new, unfrozen flag.
+    pub fn new() -> Self {
+        FreezeFlag::default()
+    }
+
+    /// Marks the flag as frozen. Freezing is irreversible.
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` if the flag has been frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` if the two handles refer to the same underlying flag.
+    pub fn same_flag(&self, other: &FreezeFlag) -> bool {
+        Arc::ptr_eq(&self.frozen, &other.frozen)
+    }
+}
+
+impl fmt::Debug for FreezeFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FreezeFlag({})", self.is_frozen())
+    }
+}
+
+/// The freeze protocol implemented by values that may be shared between isolates.
+///
+/// Implementors must:
+///
+/// 1. fail every mutating operation once [`Freezable::is_frozen`] returns `true`, and
+/// 2. propagate [`Freezable::attach_to`] to nested values so that a parent
+///    collection's flag reaches every member (making the parent's `freeze()`
+///    constant-time).
+pub trait Freezable {
+    /// Irreversibly freezes this value (and, through shared flags, all its members).
+    fn freeze(&self);
+
+    /// Returns `true` if this value has been frozen, either directly or through any
+    /// collection it has been attached to.
+    fn is_frozen(&self) -> bool;
+
+    /// Registers `flag` as an additional frozen-flag to consult; called when the
+    /// value is inserted into a collection that owns `flag`.
+    fn attach_to(&mut self, flag: &FreezeFlag);
+
+    /// Helper for implementors: returns `Err(FreezeError)` if the value is frozen.
+    fn check_mutable(&self) -> Result<(), FreezeError> {
+        if self.is_frozen() {
+            Err(FreezeError)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A set of frozen flags watched by a value: its own flag plus one per collection it
+/// has been attached to.
+///
+/// `is_frozen()` is true as soon as *any* watched flag is frozen. The watch list is
+/// expected to stay very small (an event-part value typically belongs to exactly one
+/// collection), matching the paper's "linear with the number of collections the
+/// object is part of" cost statement.
+#[derive(Clone, Debug, Default)]
+pub struct FreezeState {
+    own: FreezeFlag,
+    watched: Vec<FreezeFlag>,
+}
+
+impl FreezeState {
+    /// Creates a new unfrozen state with no watched collections.
+    pub fn new() -> Self {
+        FreezeState::default()
+    }
+
+    /// Returns the value's own flag (shared with clones of this state).
+    pub fn own_flag(&self) -> &FreezeFlag {
+        &self.own
+    }
+
+    /// Freezes the value's own flag.
+    pub fn freeze(&self) {
+        self.own.freeze();
+    }
+
+    /// Returns `true` if the own flag or any watched collection flag is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.own.is_frozen() || self.watched.iter().any(FreezeFlag::is_frozen)
+    }
+
+    /// Adds a collection flag to the watch list (idempotent per flag).
+    pub fn attach_to(&mut self, flag: &FreezeFlag) {
+        if !self.watched.iter().any(|w| w.same_flag(flag)) && !self.own.same_flag(flag) {
+            self.watched.push(flag.clone());
+        }
+    }
+
+    /// Number of collection flags watched (exposed for tests and cost accounting).
+    pub fn watch_count(&self) -> usize {
+        self.watched.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_unfrozen_and_freezes_irreversibly() {
+        let f = FreezeFlag::new();
+        assert!(!f.is_frozen());
+        f.freeze();
+        assert!(f.is_frozen());
+        f.freeze();
+        assert!(f.is_frozen());
+    }
+
+    #[test]
+    fn cloned_flags_share_state() {
+        let f = FreezeFlag::new();
+        let g = f.clone();
+        assert!(f.same_flag(&g));
+        f.freeze();
+        assert!(g.is_frozen());
+        let other = FreezeFlag::new();
+        assert!(!f.same_flag(&other));
+    }
+
+    #[test]
+    fn state_freezes_via_own_or_watched_flag() {
+        let mut s = FreezeState::new();
+        assert!(!s.is_frozen());
+
+        let collection = FreezeFlag::new();
+        s.attach_to(&collection);
+        assert_eq!(s.watch_count(), 1);
+        assert!(!s.is_frozen());
+
+        collection.freeze();
+        assert!(s.is_frozen(), "freezing the collection freezes the member");
+
+        let s2 = FreezeState::new();
+        s2.freeze();
+        assert!(s2.is_frozen());
+    }
+
+    #[test]
+    fn attach_is_idempotent_per_flag() {
+        let mut s = FreezeState::new();
+        let flag = FreezeFlag::new();
+        s.attach_to(&flag);
+        s.attach_to(&flag);
+        assert_eq!(s.watch_count(), 1);
+
+        let own = s.own_flag().clone();
+        s.attach_to(&own);
+        assert_eq!(s.watch_count(), 1, "own flag is never watched twice");
+    }
+
+    #[test]
+    fn check_mutable_helper() {
+        struct V(FreezeState);
+        impl Freezable for V {
+            fn freeze(&self) {
+                self.0.freeze();
+            }
+            fn is_frozen(&self) -> bool {
+                self.0.is_frozen()
+            }
+            fn attach_to(&mut self, flag: &FreezeFlag) {
+                self.0.attach_to(flag);
+            }
+        }
+        let v = V(FreezeState::new());
+        assert!(v.check_mutable().is_ok());
+        v.freeze();
+        assert_eq!(v.check_mutable(), Err(FreezeError));
+    }
+}

@@ -1,0 +1,436 @@
+//! The static-analysis pipeline of §4.2.
+//!
+//! The paper's methodology proceeds in stages:
+//!
+//! 1. **Static dependency analysis** — trim every class not used by the DEFCon
+//!    implementation or by the processing units (about 80% of the JDK disappears).
+//! 2. **Reachability analysis** — compute every target transitively reachable from
+//!    the white-listed classes that unit code may load, including dynamic dispatch.
+//! 3. **Heuristic white-listing** — constants, `Unsafe`-style security-guarded
+//!    members and write-once private fields are declared safe automatically.
+//! 4. **Automatic runtime injection** — everything left is intercepted: static
+//!    fields are duplicated per isolate, native methods raise security exceptions
+//!    unless called from the trusted engine.
+//! 5. **Manual white-listing** — a small number of frequently used targets
+//!    (`Object.hashCode`, `Object.getClass`, ...) are reviewed by hand.
+//!
+//! [`StaticAnalysis::run`] executes these stages over a [`TargetCatalog`] and a
+//! [`ClassGraph`], mutating target dispositions and returning an [`AnalysisReport`]
+//! whose counts reproduce the funnel reported in the paper.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::target::{TargetCatalog, TargetDisposition, TargetKind};
+
+/// A class-level reference graph: which classes reference which other classes.
+///
+/// This is the level at which the paper's reachability analysis operates (a call to
+/// a signature may execute any compatible subtype, so analysing at class granularity
+/// over-approximates safely).
+#[derive(Debug, Clone, Default)]
+pub struct ClassGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl ClassGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        ClassGraph::default()
+    }
+
+    /// Adds a reference edge `from -> to`, registering both classes as nodes.
+    pub fn add_edge(&mut self, from: impl Into<String>, to: impl Into<String>) {
+        let to = to.into();
+        self.edges.entry(to.clone()).or_default();
+        self.edges.entry(from.into()).or_default().insert(to);
+    }
+
+    /// Registers a class with no outgoing references.
+    pub fn add_class(&mut self, class: impl Into<String>) {
+        self.edges.entry(class.into()).or_default();
+    }
+
+    /// Returns the classes directly referenced by `class`.
+    pub fn references_of(&self, class: &str) -> impl Iterator<Item = &str> {
+        self.edges
+            .get(class)
+            .into_iter()
+            .flat_map(|set| set.iter().map(String::as_str))
+    }
+
+    /// Returns the number of classes known to the graph.
+    pub fn class_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Computes the set of classes transitively reachable from `roots`
+    /// (breadth-first over reference edges), including the roots themselves.
+    pub fn reachable_from<'a, I>(&self, roots: I) -> BTreeSet<String>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        for root in roots {
+            if seen.insert(root.to_string()) {
+                queue.push_back(root.to_string());
+            }
+        }
+        while let Some(class) = queue.pop_front() {
+            if let Some(next) = self.edges.get(&class) {
+                for referenced in next {
+                    if seen.insert(referenced.clone()) {
+                        queue.push_back(referenced.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Builds a synthetic reference graph over the classes of a synthetic JDK
+    /// catalog: classes reference a few neighbours within their package plus a
+    /// handful of `java.lang` core classes, which is what makes `java.lang` roots
+    /// reach a sizeable fraction of the catalog (as the paper observes).
+    pub fn synthetic_for(catalog: &TargetCatalog) -> ClassGraph {
+        let mut classes: BTreeSet<String> = BTreeSet::new();
+        for target in catalog.iter() {
+            classes.insert(target.class.clone());
+        }
+        let class_list: Vec<String> = classes.iter().cloned().collect();
+        let mut graph = ClassGraph::new();
+        for (i, class) in class_list.iter().enumerate() {
+            graph.add_class(class.clone());
+            // Reference the next two classes in the same package (locality).
+            for step in 1..=2 {
+                if let Some(next) = class_list.get(i + step) {
+                    let same_package = package_of(class) == package_of(next);
+                    if same_package {
+                        graph.add_edge(class.clone(), next.clone());
+                    }
+                }
+            }
+            // Everything references a few core java.lang classes.
+            for core in class_list.iter().filter(|c| c.starts_with("java.lang.")).take(3) {
+                if core != class {
+                    graph.add_edge(class.clone(), core.clone());
+                }
+            }
+            // java.lang classes reference java.util collections (transitive reach).
+            if class.starts_with("java.lang.") {
+                if let Some(util) = class_list.iter().find(|c| c.starts_with("java.util.")) {
+                    graph.add_edge(class.clone(), util.clone());
+                }
+            }
+        }
+        graph
+    }
+}
+
+fn package_of(class: &str) -> &str {
+    class.rsplit_once('.').map(|(p, _)| p).unwrap_or("")
+}
+
+/// Counts produced by each stage of the analysis, mirroring the numbers quoted in
+/// §4.2 of the paper.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Total targets in the catalog before any analysis.
+    pub total_targets: usize,
+    /// Targets eliminated because their class is not used at all (`T_JDK`).
+    pub eliminated: usize,
+    /// Targets in classes used by the engine or by units (`T_DEFCon ∪ T_units`).
+    pub used: usize,
+    /// Targets transitively reachable from unit-visible classes (`T_units`).
+    pub reachable_from_units: usize,
+    /// Targets white-listed by heuristics.
+    pub whitelisted_heuristic: usize,
+    /// Targets white-listed manually.
+    pub whitelisted_manual: usize,
+    /// Targets intercepted with per-isolate duplication.
+    pub duplicated_per_isolate: usize,
+    /// Targets intercepted with deny (security exception on access from units).
+    pub denied: usize,
+}
+
+impl AnalysisReport {
+    /// Total number of targets that require runtime interception.
+    pub fn intercepted(&self) -> usize {
+        self.duplicated_per_isolate + self.denied
+    }
+}
+
+/// Configuration and entry point for the static analysis.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysis {
+    /// Classes used by the trusted DEFCon engine (referenced targets stay usable by
+    /// the engine but are invisible to units).
+    pub engine_classes: Vec<String>,
+    /// White-listed classes that unit code may load directly (the custom class
+    /// loader white-list of §4.2); reachability is computed from these roots.
+    pub unit_visible_classes: Vec<String>,
+    /// Manually reviewed targets that are declared safe (§4.2 lists
+    /// `Object.hashCode`, `Object.getClass`, `Double.longBitsToDouble`,
+    /// `System.security`, ...).
+    pub manual_whitelist: Vec<String>,
+}
+
+impl StaticAnalysis {
+    /// Creates an analysis with the default unit-visible packages of the paper:
+    /// units typically use `java.lang` and `java.util` only.
+    pub fn with_default_whitelist(catalog: &TargetCatalog) -> Self {
+        let mut unit_visible = Vec::new();
+        let mut engine = Vec::new();
+        let mut seen = BTreeSet::new();
+        for target in catalog.iter() {
+            if !seen.insert(target.class.clone()) {
+                continue;
+            }
+            if target.class.starts_with("java.lang.") && !target.class.contains("reflect") {
+                unit_visible.push(target.class.clone());
+            } else if target.class.starts_with("java.util.") {
+                unit_visible.push(target.class.clone());
+            } else if target.class.starts_with("java.io.")
+                || target.class.starts_with("java.security.")
+            {
+                engine.push(target.class.clone());
+            }
+        }
+        StaticAnalysis {
+            engine_classes: engine,
+            unit_visible_classes: unit_visible,
+            manual_whitelist: Vec::new(),
+        }
+    }
+
+    /// Runs the full pipeline over `catalog`, mutating target dispositions, and
+    /// returns the stage counts.
+    pub fn run(&self, catalog: &mut TargetCatalog, graph: &ClassGraph) -> AnalysisReport {
+        let mut report = AnalysisReport {
+            total_targets: catalog.len(),
+            ..AnalysisReport::default()
+        };
+
+        // Stage 1: dependency analysis. Classes reachable from either the engine or
+        // the unit-visible classes are "used"; everything else is eliminated.
+        let used_classes = graph.reachable_from(
+            self.engine_classes
+                .iter()
+                .chain(self.unit_visible_classes.iter())
+                .map(String::as_str),
+        );
+
+        // Stage 2: reachability from unit-visible roots only (T_units).
+        let unit_reachable = graph.reachable_from(
+            self.unit_visible_classes.iter().map(String::as_str),
+        );
+
+        for target in catalog.iter_mut() {
+            if !used_classes.contains(&target.class) {
+                target.disposition = TargetDisposition::Eliminated;
+                report.eliminated += 1;
+                continue;
+            }
+            report.used += 1;
+
+            if !unit_reachable.contains(&target.class) {
+                // Only reachable by the trusted engine: no interception needed for
+                // unit safety (call path 'D' in Figure 3 is engine-only).
+                target.disposition = TargetDisposition::WhitelistedHeuristic;
+                report.whitelisted_heuristic += 1;
+                continue;
+            }
+            report.reachable_from_units += 1;
+
+            // Stage 3: heuristic white-listing.
+            if target.security_guarded
+                || target.immutable_constant
+                || target.private_write_once
+                || (target.kind == TargetKind::SyncPrimitive && target.never_shared_type)
+            {
+                target.disposition = TargetDisposition::WhitelistedHeuristic;
+                report.whitelisted_heuristic += 1;
+                continue;
+            }
+
+            // Stage 5 (applied here for classification purposes): manual review.
+            if self.manual_whitelist.contains(&target.name) {
+                target.disposition = TargetDisposition::WhitelistedManual;
+                report.whitelisted_manual += 1;
+                continue;
+            }
+
+            // Stage 4: automatic runtime injection.
+            target.disposition = match target.kind {
+                // Static fields can be cloned per isolate.
+                TargetKind::StaticField => TargetDisposition::DuplicatePerIsolate,
+                // Native methods and residual synchronisation points are denied when
+                // invoked from unit code.
+                TargetKind::NativeMethod | TargetKind::SyncPrimitive => TargetDisposition::Deny,
+            };
+            match target.disposition {
+                TargetDisposition::DuplicatePerIsolate => report.duplicated_per_isolate += 1,
+                TargetDisposition::Deny => report.denied += 1,
+                _ => unreachable!("disposition was just assigned"),
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::Target;
+
+    fn analysed_catalog() -> (TargetCatalog, AnalysisReport) {
+        let mut catalog = TargetCatalog::synthetic_jdk(1000);
+        let graph = ClassGraph::synthetic_for(&catalog);
+        let analysis = StaticAnalysis::with_default_whitelist(&catalog);
+        let report = analysis.run(&mut catalog, &graph);
+        (catalog, report)
+    }
+
+    #[test]
+    fn funnel_shape_matches_paper() {
+        let (_catalog, report) = analysed_catalog();
+        // Thousands of targets in total.
+        assert!(report.total_targets > 5_000, "{}", report.total_targets);
+        // A large fraction is eliminated outright (the paper trims ~80% of the JDK;
+        // our synthetic graph keeps java.lang/java.util plus engine packages).
+        assert!(report.eliminated > 0);
+        assert_eq!(report.eliminated + report.used, report.total_targets);
+        // Hundreds (not thousands) of targets need runtime interception.
+        assert!(report.intercepted() > 100, "{}", report.intercepted());
+        assert!(
+            report.intercepted() < report.used,
+            "interception must be a strict subset of used targets"
+        );
+        // Heuristics white-list a substantial number of targets.
+        assert!(report.whitelisted_heuristic > 100);
+    }
+
+    #[test]
+    fn manual_whitelist_is_respected() {
+        let mut catalog = TargetCatalog::new();
+        catalog.add(Target::new("java.lang.Object", "hashCode()", TargetKind::NativeMethod));
+        catalog.add(Target::new("java.lang.Object", "wait()", TargetKind::NativeMethod));
+        let mut graph = ClassGraph::new();
+        graph.add_class("java.lang.Object");
+
+        let analysis = StaticAnalysis {
+            engine_classes: vec![],
+            unit_visible_classes: vec!["java.lang.Object".into()],
+            manual_whitelist: vec!["java.lang.Object.hashCode()".into()],
+        };
+        let report = analysis.run(&mut catalog, &graph);
+        assert_eq!(report.whitelisted_manual, 1);
+        assert_eq!(report.denied, 1);
+        assert_eq!(
+            catalog.get("java.lang.Object.hashCode()").unwrap().disposition,
+            TargetDisposition::WhitelistedManual
+        );
+        assert_eq!(
+            catalog.get("java.lang.Object.wait()").unwrap().disposition,
+            TargetDisposition::Deny
+        );
+    }
+
+    #[test]
+    fn unreachable_classes_are_eliminated() {
+        let mut catalog = TargetCatalog::new();
+        catalog.add(Target::new("javax.swing.JFrame", "defaultLookAndFeel", TargetKind::StaticField));
+        catalog.add(Target::new("java.lang.String", "hash", TargetKind::StaticField));
+        let mut graph = ClassGraph::new();
+        graph.add_class("javax.swing.JFrame");
+        graph.add_class("java.lang.String");
+
+        let analysis = StaticAnalysis {
+            engine_classes: vec![],
+            unit_visible_classes: vec!["java.lang.String".into()],
+            manual_whitelist: vec![],
+        };
+        let report = analysis.run(&mut catalog, &graph);
+        assert_eq!(report.eliminated, 1);
+        assert_eq!(
+            catalog.get("javax.swing.JFrame.defaultLookAndFeel").unwrap().disposition,
+            TargetDisposition::Eliminated
+        );
+    }
+
+    #[test]
+    fn static_fields_duplicate_and_native_methods_deny() {
+        let mut catalog = TargetCatalog::new();
+        catalog.add(Target::new("java.lang.Thread", "threadSeqNum", TargetKind::StaticField));
+        catalog.add(Target::new("java.lang.Runtime", "availableProcessors()", TargetKind::NativeMethod));
+        let mut graph = ClassGraph::new();
+        graph.add_class("java.lang.Thread");
+        graph.add_class("java.lang.Runtime");
+
+        let analysis = StaticAnalysis {
+            engine_classes: vec![],
+            unit_visible_classes: vec!["java.lang.Thread".into(), "java.lang.Runtime".into()],
+            manual_whitelist: vec![],
+        };
+        let report = analysis.run(&mut catalog, &graph);
+        assert_eq!(report.duplicated_per_isolate, 1);
+        assert_eq!(report.denied, 1);
+    }
+
+    #[test]
+    fn never_shared_sync_targets_are_whitelisted() {
+        let mut catalog = TargetCatalog::new();
+        catalog.add(
+            Target::new("java.lang.StringBuffer", "synchronized()", TargetKind::SyncPrimitive)
+                .never_shared_type(),
+        );
+        catalog.add(Target::new("java.lang.String", "synchronized()", TargetKind::SyncPrimitive));
+        let mut graph = ClassGraph::new();
+        graph.add_class("java.lang.StringBuffer");
+        graph.add_class("java.lang.String");
+        let analysis = StaticAnalysis {
+            engine_classes: vec![],
+            unit_visible_classes: vec![
+                "java.lang.StringBuffer".into(),
+                "java.lang.String".into(),
+            ],
+            manual_whitelist: vec![],
+        };
+        let report = analysis.run(&mut catalog, &graph);
+        assert_eq!(report.whitelisted_heuristic, 1);
+        // Interned strings are shared; synchronising on them stays denied (§4.3).
+        assert_eq!(report.denied, 1);
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let mut graph = ClassGraph::new();
+        graph.add_edge("a", "b");
+        graph.add_edge("b", "c");
+        graph.add_class("d");
+        let reach = graph.reachable_from(["a"]);
+        assert!(reach.contains("a") && reach.contains("b") && reach.contains("c"));
+        assert!(!reach.contains("d"));
+        assert_eq!(graph.class_count(), 4);
+        assert_eq!(graph.references_of("a").count(), 1);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let (catalog, report) = analysed_catalog();
+        let classified_unreached = report.used - report.reachable_from_units;
+        assert_eq!(
+            report.reachable_from_units,
+            report.used - classified_unreached
+        );
+        assert_eq!(
+            report.total_targets,
+            report.eliminated + report.used,
+        );
+        // Every target received a non-default disposition.
+        assert_eq!(
+            catalog.count_by_disposition(TargetDisposition::Unclassified),
+            0
+        );
+    }
+}

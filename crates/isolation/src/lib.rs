@@ -1,0 +1,45 @@
+//! Isolation substrate: a Rust model of DEFCon's light-weight Java isolation (§4).
+//!
+//! The paper isolates event processing units *within one address space* by
+//! (1) statically analysing which "dangerous targets" of the JDK — static fields,
+//! native methods and synchronisation primitives — are reachable from unit code,
+//! (2) white-listing the provably safe ones, and (3) weaving runtime interceptors
+//! into the remaining code paths, which either duplicate state per isolate or raise
+//! a security exception.
+//!
+//! A Rust reproduction has no JVM to instrument; the Rust ownership and module
+//! system already guarantees that units (plain structs implementing a trait) cannot
+//! reach each other's state except through the engine. What this crate preserves is
+//! the *behavioural* and *cost* model of the paper's methodology, so that the
+//! evaluation can compare configurations with and without isolation:
+//!
+//! * [`target`] and [`analysis`] model the static-analysis pipeline of §4.2 — the
+//!   catalog of dangerous targets, dependency trimming, reachability, heuristic
+//!   white-listing and manual white-listing — and reproduce the funnel of counts the
+//!   paper reports (thousands of targets → hundreds needing interception → tens
+//!   needing manual review).
+//! * [`isolate`] provides per-isolate duplication of mutable shared ("static")
+//!   state, the runtime effect of the paper's field-cloning interceptors.
+//! * [`interceptor`] provides the runtime access checks charged on the engine's hot
+//!   paths when isolation is enabled (the ~20% overhead of Figures 5 and 6).
+//! * [`never_shared`] models the `NeverShared` tagging interface used to close the
+//!   synchronisation covert channel (§4.3).
+//!
+//! The engine consumes all of this through the [`IsolationRuntime`] facade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod error;
+pub mod interceptor;
+pub mod isolate;
+pub mod never_shared;
+pub mod target;
+
+pub use analysis::{AnalysisReport, ClassGraph, StaticAnalysis};
+pub use error::SecurityException;
+pub use interceptor::{AccessDecision, InterceptorTable, IsolationRuntime, IsolationStats};
+pub use isolate::{IsolateId, IsolateRegistry};
+pub use never_shared::{NeverShared, SharedString, SyncGuard, UnitLocal};
+pub use target::{Target, TargetCatalog, TargetDisposition, TargetKind};

@@ -1,0 +1,176 @@
+//! The `NeverShared` synchronisation discipline (§4.3).
+//!
+//! Every Java object carries a monitor that can be used as a one-bit covert channel
+//! between isolates, even if the object itself is immutable. DEFCon therefore only
+//! allows units to synchronise on types that are guaranteed never to be shared
+//! between units — indicated by implementing the `NeverShared` tagging interface.
+//!
+//! In Rust there are no implicit per-object monitors, so the covert channel does not
+//! exist in the first place; what this module preserves is the *policy object* and
+//! the runtime check, so that the engine can expose the same discipline to units
+//! that request explicit synchronisation, and so that the isolation-overhead
+//! experiments exercise the same check the paper's aspect injects.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::SecurityException;
+
+/// Marker trait for types whose instances are never shared between units.
+///
+/// Mirrors the paper's `NeverShared` tagging interface. A type may implement it as
+/// long as (a) the engine prevents instances being put into events, (b) no
+/// white-listed native path can hand the same instance to two units and (c) no
+/// white-listed static field has this type.
+pub trait NeverShared {}
+
+/// A per-unit scratch value; the canonical `NeverShared` implementor.
+///
+/// Units that need a lock target or mutable scratch state can use `UnitLocal<T>`;
+/// the engine never places these in events, satisfying requirement (a) above.
+#[derive(Debug, Default)]
+pub struct UnitLocal<T> {
+    value: T,
+}
+
+impl<T> UnitLocal<T> {
+    /// Wraps a value as unit-local state.
+    pub fn new(value: T) -> Self {
+        UnitLocal { value }
+    }
+
+    /// Returns a shared reference to the value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Returns a mutable reference to the value.
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+
+    /// Consumes the wrapper, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> NeverShared for UnitLocal<T> {}
+
+/// A stand-in for objects that *are* shared between units (interned strings,
+/// `Class` objects, frozen event data): synchronising on these from unit code must
+/// be rejected.
+#[derive(Debug, Clone, Default)]
+pub struct SharedString {
+    /// The interned text.
+    pub text: String,
+    _not_never_shared: PhantomData<()>,
+}
+
+impl SharedString {
+    /// Creates a shared (interned) string.
+    pub fn new(text: impl Into<String>) -> Self {
+        SharedString {
+            text: text.into(),
+            _not_never_shared: PhantomData,
+        }
+    }
+}
+
+/// Runtime guard deciding whether a synchronisation attempt is allowed.
+///
+/// The static rule is: synchronisation from unit code is allowed only on types that
+/// implement [`NeverShared`]; the trusted engine may synchronise on anything. The
+/// guard also counts checks so that the isolation-overhead experiments can report
+/// how often the injected check fires.
+#[derive(Debug, Default)]
+pub struct SyncGuard {
+    checks: AtomicU64,
+    violations: AtomicU64,
+}
+
+impl SyncGuard {
+    /// Creates a new guard.
+    pub fn new() -> Self {
+        SyncGuard::default()
+    }
+
+    /// Checks a synchronisation attempt on a `NeverShared` type: always allowed.
+    pub fn check_never_shared<T: NeverShared + ?Sized>(
+        &self,
+        _target: &T,
+    ) -> Result<(), SecurityException> {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checks a synchronisation attempt on a potentially shared object.
+    ///
+    /// `from_unit` is `true` when the caller is unit code (the woven aspect knows
+    /// the caller's classloader; our engine passes the unit flag explicitly).
+    pub fn check_shared(
+        &self,
+        description: &str,
+        from_unit: bool,
+    ) -> Result<(), SecurityException> {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if from_unit {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+            Err(SecurityException::new(
+                description,
+                "units may only synchronise on NeverShared types (§4.3)",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
+    }
+
+    /// Number of rejected synchronisation attempts.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_local_is_never_shared_and_usable() {
+        let mut local = UnitLocal::new(vec![1, 2, 3]);
+        local.get_mut().push(4);
+        assert_eq!(local.get().len(), 4);
+        assert_eq!(local.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sync_on_never_shared_is_allowed() {
+        let guard = SyncGuard::new();
+        let local = UnitLocal::new(0u32);
+        assert!(guard.check_never_shared(&local).is_ok());
+        assert_eq!(guard.checks(), 1);
+        assert_eq!(guard.violations(), 0);
+    }
+
+    #[test]
+    fn sync_on_shared_from_unit_is_denied() {
+        let guard = SyncGuard::new();
+        let interned = SharedString::new("MSFT");
+        let result = guard.check_shared(&interned.text, true);
+        assert!(result.is_err());
+        assert_eq!(guard.violations(), 1);
+    }
+
+    #[test]
+    fn engine_may_sync_on_shared_objects() {
+        let guard = SyncGuard::new();
+        assert!(guard.check_shared("engine internal lock", false).is_ok());
+        assert_eq!(guard.violations(), 0);
+        assert_eq!(guard.checks(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! The catalog of potentially dangerous targets.
+//!
+//! §4 identifies three ways in which Java classes can exchange information through
+//! unprotected shared state: static fields (~4,000 in OpenJDK 6), native methods
+//! (~2,000) and synchronisation primitives. This module models such *targets* as
+//! data so that the static-analysis pipeline of §4.2 can be reproduced and tested
+//! without a JVM.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a dangerous target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TargetKind {
+    /// A mutable (or potentially mutable) static field.
+    StaticField,
+    /// A native method that may expose global JVM state.
+    NativeMethod,
+    /// A synchronisation point (a `synchronized` method or block on a potentially
+    /// shared object).
+    SyncPrimitive,
+}
+
+impl fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TargetKind::StaticField => "static field",
+            TargetKind::NativeMethod => "native method",
+            TargetKind::SyncPrimitive => "synchronisation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the analysis / runtime decided to do with a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetDisposition {
+    /// Not yet classified.
+    Unclassified,
+    /// Unreachable from unit code; eliminated by the dependency analysis.
+    Eliminated,
+    /// White-listed by a heuristic (constant, guarded by the security framework,
+    /// write-once private field, ...).
+    WhitelistedHeuristic,
+    /// White-listed after manual inspection (the "52 targets in four days" of §4.2).
+    WhitelistedManual,
+    /// Intercepted at runtime: static fields are duplicated per isolate.
+    DuplicatePerIsolate,
+    /// Intercepted at runtime: access from unit code raises a security exception.
+    Deny,
+}
+
+/// One potentially dangerous target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    /// Fully qualified name, e.g. `java.lang.Thread.threadSeqNum`.
+    pub name: String,
+    /// The class that declares this target.
+    pub class: String,
+    /// The kind of target.
+    pub kind: TargetKind,
+    /// Whether the target is declared `final` and of an immutable type (strings,
+    /// boxed primitives); such targets are safely shareable constants.
+    pub immutable_constant: bool,
+    /// Whether access is already guarded by the security framework (e.g. `Unsafe`).
+    pub security_guarded: bool,
+    /// Whether the field is private and written exactly once (heuristically safe).
+    pub private_write_once: bool,
+    /// Whether the declaring type can implement `NeverShared` (§4.3) — instances are
+    /// never shared between units, so synchronisation on it is harmless.
+    pub never_shared_type: bool,
+    /// How the analysis / operator classified the target.
+    pub disposition: TargetDisposition,
+}
+
+impl Target {
+    /// Creates an unclassified target.
+    pub fn new(class: impl Into<String>, member: impl AsRef<str>, kind: TargetKind) -> Self {
+        let class = class.into();
+        Target {
+            name: format!("{class}.{}", member.as_ref()),
+            class,
+            kind,
+            immutable_constant: false,
+            security_guarded: false,
+            private_write_once: false,
+            never_shared_type: false,
+            disposition: TargetDisposition::Unclassified,
+        }
+    }
+
+    /// Marks the target as a final immutable constant.
+    pub fn immutable_constant(mut self) -> Self {
+        self.immutable_constant = true;
+        self
+    }
+
+    /// Marks the target as guarded by the security framework.
+    pub fn security_guarded(mut self) -> Self {
+        self.security_guarded = true;
+        self
+    }
+
+    /// Marks the target as a private, write-once field.
+    pub fn private_write_once(mut self) -> Self {
+        self.private_write_once = true;
+        self
+    }
+
+    /// Marks the declaring type as eligible for `NeverShared`.
+    pub fn never_shared_type(mut self) -> Self {
+        self.never_shared_type = true;
+        self
+    }
+}
+
+/// A catalog of targets indexed by name.
+#[derive(Debug, Clone, Default)]
+pub struct TargetCatalog {
+    targets: BTreeMap<String, Target>,
+}
+
+impl TargetCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        TargetCatalog::default()
+    }
+
+    /// Adds a target to the catalog, replacing any target with the same name.
+    pub fn add(&mut self, target: Target) {
+        self.targets.insert(target.name.clone(), target);
+    }
+
+    /// Looks up a target by fully qualified name.
+    pub fn get(&self, name: &str) -> Option<&Target> {
+        self.targets.get(name)
+    }
+
+    /// Returns a mutable reference to a target by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Target> {
+        self.targets.get_mut(name)
+    }
+
+    /// Returns the number of targets.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Iterates over all targets.
+    pub fn iter(&self) -> impl Iterator<Item = &Target> {
+        self.targets.values()
+    }
+
+    /// Iterates mutably over all targets.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Target> {
+        self.targets.values_mut()
+    }
+
+    /// Returns the targets declared by a given class.
+    pub fn targets_of_class<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a Target> {
+        self.targets.values().filter(move |t| t.class == class)
+    }
+
+    /// Counts targets by kind.
+    pub fn count_by_kind(&self, kind: TargetKind) -> usize {
+        self.targets.values().filter(|t| t.kind == kind).count()
+    }
+
+    /// Counts targets by disposition.
+    pub fn count_by_disposition(&self, disposition: TargetDisposition) -> usize {
+        self.targets
+            .values()
+            .filter(|t| t.disposition == disposition)
+            .count()
+    }
+
+    /// Builds a synthetic catalog with the same shape as OpenJDK 6 as reported in
+    /// §4: roughly 4,000 static fields and 2,000 native methods spread over a class
+    /// population, with a realistic fraction of constants, security-guarded members
+    /// and write-once private fields, plus synchronisation targets on a handful of
+    /// never-shared JDK types.
+    ///
+    /// `classes` controls the size of the synthetic "JDK"; the default used by the
+    /// analysis experiment is 1,000 classes which yields the paper's order of
+    /// magnitude.
+    pub fn synthetic_jdk(classes: usize) -> Self {
+        let mut catalog = TargetCatalog::new();
+        for c in 0..classes {
+            let package = match c % 10 {
+                0 | 1 => "java.lang",
+                2 | 3 => "java.util",
+                4 => "java.io",
+                5 => "java.net",
+                6 => "java.security",
+                7 => "java.lang.reflect",
+                8 => "javax.swing",
+                _ => "java.awt",
+            };
+            let class = format!("{package}.C{c}");
+
+            // ~4 static fields per class -> ~4000 for 1000 classes.
+            for f in 0..4 {
+                let mut t = Target::new(&class, format!("field{f}"), TargetKind::StaticField);
+                // A third of static fields are final constants; a tenth are private
+                // write-once caches; the sun.misc.Unsafe-like members are guarded.
+                if f == 0 {
+                    t = t.immutable_constant();
+                }
+                if f == 1 && c % 10 == 0 {
+                    t = t.private_write_once();
+                }
+                if c % 97 == 0 {
+                    t = t.security_guarded();
+                }
+                catalog.add(t);
+            }
+
+            // ~2 native methods per class -> ~2000.
+            for m in 0..2 {
+                let mut t = Target::new(&class, format!("native{m}()"), TargetKind::NativeMethod);
+                if c % 97 == 0 {
+                    t = t.security_guarded();
+                }
+                catalog.add(t);
+            }
+
+            // One synchronisation target on a subset of classes; most of those types
+            // are never shared between units (StringBuffer, ClassLoader, ...).
+            if c % 5 == 0 {
+                let mut t =
+                    Target::new(&class, "synchronized()", TargetKind::SyncPrimitive);
+                if c % 10 == 0 {
+                    t = t.never_shared_type();
+                }
+                catalog.add(t);
+            }
+        }
+        catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_replace() {
+        let mut catalog = TargetCatalog::new();
+        assert!(catalog.is_empty());
+        catalog.add(Target::new("java.lang.Thread", "threadSeqNum", TargetKind::StaticField));
+        assert_eq!(catalog.len(), 1);
+        assert!(catalog.get("java.lang.Thread.threadSeqNum").is_some());
+        // Replacing keeps the count stable.
+        catalog.add(
+            Target::new("java.lang.Thread", "threadSeqNum", TargetKind::StaticField)
+                .immutable_constant(),
+        );
+        assert_eq!(catalog.len(), 1);
+        assert!(catalog.get("java.lang.Thread.threadSeqNum").unwrap().immutable_constant);
+    }
+
+    #[test]
+    fn synthetic_jdk_matches_papers_order_of_magnitude() {
+        let catalog = TargetCatalog::synthetic_jdk(1000);
+        let static_fields = catalog.count_by_kind(TargetKind::StaticField);
+        let native_methods = catalog.count_by_kind(TargetKind::NativeMethod);
+        // §4: "about 4,000 static fields" and "more than 2,000 native methods".
+        assert!((3500..=4500).contains(&static_fields), "{static_fields}");
+        assert!((1800..=2200).contains(&native_methods), "{native_methods}");
+        assert!(catalog.count_by_kind(TargetKind::SyncPrimitive) > 100);
+    }
+
+    #[test]
+    fn targets_of_class_filters() {
+        let catalog = TargetCatalog::synthetic_jdk(100);
+        let class = "java.lang.C0";
+        let members: Vec<_> = catalog.targets_of_class(class).collect();
+        assert!(!members.is_empty());
+        assert!(members.iter().all(|t| t.class == class));
+    }
+
+    #[test]
+    fn all_targets_start_unclassified() {
+        let catalog = TargetCatalog::synthetic_jdk(50);
+        assert_eq!(
+            catalog.count_by_disposition(TargetDisposition::Unclassified),
+            catalog.len()
+        );
+    }
+
+    #[test]
+    fn builder_flags() {
+        let t = Target::new("java.lang.String", "CASE_INSENSITIVE_ORDER", TargetKind::StaticField)
+            .immutable_constant()
+            .security_guarded()
+            .private_write_once()
+            .never_shared_type();
+        assert!(t.immutable_constant && t.security_guarded);
+        assert!(t.private_write_once && t.never_shared_type);
+        assert_eq!(t.name, "java.lang.String.CASE_INSENSITIVE_ORDER");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TargetKind::StaticField.to_string(), "static field");
+        assert_eq!(TargetKind::NativeMethod.to_string(), "native method");
+        assert_eq!(TargetKind::SyncPrimitive.to_string(), "synchronisation");
+    }
+}

@@ -1,0 +1,41 @@
+//! The financial stock-trading scenario of §6 built on the DEFCon public API.
+//!
+//! The platform hosts, on one engine instance, all of the processing units of
+//! Figure 4:
+//!
+//! * a **Stock Exchange** unit that owns the integrity tag `s` and replays endorsed
+//!   tick events;
+//! * one **Pair Monitor** unit per trader, instantiated with read integrity `s` and
+//!   holding the trader's delegated `t+` so that everything it publishes is only
+//!   visible to that trader;
+//! * **Trader** units implementing the pairs-trading strategy, each owning its own
+//!   confidentiality tag, that submit dark-pool orders protected by the broker tag
+//!   `b` and a fresh per-order tag `t_r`;
+//! * a **Local Broker** unit that matches orders through a managed subscription,
+//!   producing trade events whose public part is declassified while trader
+//!   identities stay protected;
+//! * a **Regulator** unit that samples trades, uses delegated per-order privileges
+//!   to inspect trader identities, publishes warnings and can republish local trades
+//!   as endorsed stock ticks.
+//!
+//! [`TradingPlatform`] assembles the whole scenario for a configurable number of
+//! traders and drives a synthetic tick trace through it while collecting the
+//! throughput, latency and memory metrics reported in Figures 5–7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod messages;
+pub mod order_book;
+pub mod pairs;
+pub mod platform;
+pub mod units;
+
+pub use order_book::OrderBook;
+pub use pairs::{PairsSignal, PairsTradeStats, SignalDirection};
+pub use platform::{PlatformReport, TradingPlatform, TradingPlatformConfig};
+pub use units::broker::{Broker, BrokerShared};
+pub use units::monitor::PairMonitor;
+pub use units::regulator::Regulator;
+pub use units::stock_exchange::StockExchange;
+pub use units::trader::Trader;

@@ -1,0 +1,124 @@
+//! Event schemas used by the trading platform.
+//!
+//! Every event flowing through the platform is a DEFCon event with named parts.
+//! This module centralises the part names and the event `type` values so that the
+//! units, the examples and the tests agree on the vocabulary (the paper's Figure 1
+//! and Figure 4 use the same style: `type`, `body`, `trader_id`, ...).
+
+/// The `type` part present in every event.
+pub const PART_TYPE: &str = "type";
+
+/// Event types.
+pub mod event_type {
+    /// A stock tick from the exchange (endorsed with the exchange integrity tag).
+    pub const TICK: &str = "tick";
+    /// A pairs-trade opportunity sent by a Pair Monitor to its Trader.
+    pub const MATCH: &str = "match";
+    /// A dark-pool order submitted by a Trader to the Local Broker.
+    pub const ORDER: &str = "order";
+    /// A completed trade published by the Local Broker.
+    pub const TRADE: &str = "trade";
+    /// A warning sent by the Regulator to a Trader.
+    pub const WARNING: &str = "warning";
+}
+
+/// Part names of tick events.
+pub mod tick {
+    /// The stock symbol (string).
+    pub const SYMBOL: &str = "symbol";
+    /// The traded price (float).
+    pub const PRICE: &str = "price";
+    /// The trace sequence number (int).
+    pub const SEQUENCE: &str = "sequence";
+}
+
+/// Part names of match (opportunity) events.
+pub mod pairs_match {
+    /// Symbol the trader should buy (string).
+    pub const BUY_SYMBOL: &str = "buy_symbol";
+    /// Symbol the trader should sell (string).
+    pub const SELL_SYMBOL: &str = "sell_symbol";
+    /// Price of the buy leg (float).
+    pub const BUY_PRICE: &str = "buy_price";
+    /// Price of the sell leg (float).
+    pub const SELL_PRICE: &str = "sell_price";
+    /// Deviation of the ratio from its mean (float).
+    pub const DEVIATION: &str = "deviation";
+    /// Numeric identifier of the trader this opportunity is addressed to (int).
+    ///
+    /// The confidentiality tag already confines the event to that trader; the
+    /// explicit field keeps application-level routing identical when label checks
+    /// are disabled (`SecurityMode::NoSecurity`), so all four configurations of
+    /// Figure 5 perform the same work.
+    pub const TRADER: &str = "trader";
+}
+
+/// Part names of order events (Figure 4, step 4).
+pub mod order {
+    /// The order details map: symbol, side, price, quantity (labelled with the
+    /// broker tag `b`; carries the `t_r+` privilege).
+    pub const BODY: &str = "order";
+    /// The trader identity (labelled with `b` and the per-order tag `t_r`; carries
+    /// the `t_r+auth` privilege so the Broker can delegate inspection on demand).
+    pub const NAME: &str = "name";
+    /// Keys inside the body map.
+    pub mod body_keys {
+        /// Stock symbol (string).
+        pub const SYMBOL: &str = "symbol";
+        /// "buy" or "sell".
+        pub const SIDE: &str = "side";
+        /// Limit price (float).
+        pub const PRICE: &str = "price";
+        /// Quantity (int).
+        pub const QUANTITY: &str = "quantity";
+    }
+}
+
+/// Part names of trade events (Figure 4, step 6).
+pub mod trade {
+    /// The public, declassified trade details map: symbol, price, quantity.
+    pub const BODY: &str = "trade";
+    /// The buyer's identity, protected by the buyer's per-order tag.
+    pub const BUYER: &str = "buyer";
+    /// The seller's identity, protected by the seller's per-order tag.
+    pub const SELLER: &str = "seller";
+    /// Audit part visible only to the Regulator (labelled with the regulator tag
+    /// `r`): carries the aggressor's per-order tag reference and the `t_r+`
+    /// privilege needed to inspect the corresponding identity part.
+    pub const AUDIT: &str = "audit";
+    /// Keys inside the body map.
+    pub mod body_keys {
+        /// Stock symbol (string).
+        pub const SYMBOL: &str = "symbol";
+        /// Execution price (float).
+        pub const PRICE: &str = "price";
+        /// Executed quantity (int).
+        pub const QUANTITY: &str = "quantity";
+    }
+}
+
+/// Part names of warning events (Figure 4, step 8).
+pub mod warning {
+    /// The warning message, protected by the per-order tag of the offending order.
+    pub const MESSAGE: &str = "message";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_distinct() {
+        let names = [
+            event_type::TICK,
+            event_type::MATCH,
+            event_type::ORDER,
+            event_type::TRADE,
+            event_type::WARNING,
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(PART_TYPE, "type");
+        assert_ne!(order::BODY, trade::BODY);
+    }
+}

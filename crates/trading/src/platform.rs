@@ -1,0 +1,270 @@
+//! Assembly and driving of the complete trading platform (Figure 4).
+//!
+//! [`TradingPlatform::build`] wires the Stock Exchange, the Regulator, the Local
+//! Broker and `n` Traders (each of which instantiates its own Pair Monitor) onto a
+//! single DEFCon engine in the configured [`SecurityMode`], assigning symbol pairs
+//! to traders with a Zipf distribution as in §6.2. [`TradingPlatform::run_ticks`]
+//! replays the synthetic trace as fast as the engine can absorb it and produces a
+//! [`PlatformReport`] carrying the three metrics of Figures 5–7: median throughput,
+//! 70th-percentile tick-to-trade latency, and occupied memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use defcon_core::{Engine, EngineConfig, EngineResult, SecurityMode, UnitId, UnitSpec};
+use defcon_defc::{Privilege, Tag};
+use defcon_metrics::ThroughputRecorder;
+use defcon_workload::{assign_pairs, SymbolUniverse, TickGenerator, TickGeneratorConfig};
+
+use crate::units::broker::{Broker, BrokerShared};
+use crate::units::regulator::{Regulator, RegulatorShared};
+use crate::units::stock_exchange::StockExchange;
+use crate::units::trader::Trader;
+
+/// Parameters of a platform deployment.
+#[derive(Debug, Clone)]
+pub struct TradingPlatformConfig {
+    /// The engine security configuration (one of the four series of Figures 5–7).
+    pub mode: SecurityMode,
+    /// Number of Trader units (the x-axis of Figures 5–7).
+    pub traders: usize,
+    /// Number of symbols on the synthetic exchange.
+    pub symbols: usize,
+    /// Zipf exponent for pair popularity.
+    pub zipf_exponent: f64,
+    /// Tick generator configuration (trigger period, volatility, seed).
+    pub tick_config: TickGeneratorConfig,
+    /// Every `regulator_sample`-th trade is audited.
+    pub regulator_sample: u64,
+    /// Volume quota above which the Regulator warns a trader.
+    pub volume_quota: u64,
+    /// Engine event-cache capacity (the tick cache of §6.2).
+    pub event_cache: usize,
+    /// Seed for the Zipf pair assignment.
+    pub seed: u64,
+}
+
+impl Default for TradingPlatformConfig {
+    fn default() -> Self {
+        TradingPlatformConfig {
+            mode: SecurityMode::LabelsFreezeIsolation,
+            traders: 200,
+            symbols: 64,
+            zipf_exponent: 1.0,
+            tick_config: TickGeneratorConfig::default(),
+            regulator_sample: 10,
+            volume_quota: 100_000,
+            event_cache: 10_000,
+            seed: 2010,
+        }
+    }
+}
+
+impl TradingPlatformConfig {
+    /// Creates a configuration for `traders` traders in the given mode, otherwise
+    /// using the defaults.
+    pub fn new(mode: SecurityMode, traders: usize) -> Self {
+        TradingPlatformConfig {
+            mode,
+            traders,
+            ..TradingPlatformConfig::default()
+        }
+    }
+}
+
+/// The metrics produced by a platform run — one row of the paper's figures.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// The security mode of the run.
+    pub mode: SecurityMode,
+    /// Number of traders hosted.
+    pub traders: usize,
+    /// Ticks replayed.
+    pub ticks: u64,
+    /// Orders submitted by traders.
+    pub orders: u64,
+    /// Trades matched by the broker.
+    pub trades: u64,
+    /// Warnings issued by the regulator.
+    pub warnings: u64,
+    /// Median throughput in events per second (Figure 5).
+    pub throughput_eps: f64,
+    /// 70th-percentile tick-to-trade latency in milliseconds (Figure 6).
+    pub latency_p70_ms: f64,
+    /// Median tick-to-trade latency in milliseconds.
+    pub latency_p50_ms: f64,
+    /// Occupied memory in MiB (Figure 7).
+    pub memory_mib: f64,
+}
+
+impl PlatformReport {
+    /// Formats the report as a figure row: mode, traders, throughput, latency,
+    /// memory.
+    pub fn as_row(&self) -> String {
+        format!(
+            "{:<26} traders={:<5} throughput={:>10.0} ev/s  p70={:>7.3} ms  mem={:>8.1} MiB  trades={}",
+            self.mode.figure_label(),
+            self.traders,
+            self.throughput_eps,
+            self.latency_p70_ms,
+            self.memory_mib,
+            self.trades
+        )
+    }
+}
+
+/// A fully wired trading platform.
+pub struct TradingPlatform {
+    config: TradingPlatformConfig,
+    engine: Engine,
+    exchange: UnitId,
+    exchange_tag: Tag,
+    broker_shared: Arc<BrokerShared>,
+    regulator_shared: Arc<RegulatorShared>,
+    orders_placed: Arc<AtomicU64>,
+    generator: TickGenerator,
+    throughput: ThroughputRecorder,
+    ticks_published: u64,
+}
+
+impl TradingPlatform {
+    /// Builds the platform: engine, exchange, regulator, broker and traders (each of
+    /// which instantiates its Pair Monitor).
+    pub fn build(config: TradingPlatformConfig) -> EngineResult<Self> {
+        let engine = Engine::new(
+            EngineConfig::new(config.mode).with_event_cache(config.event_cache),
+        );
+
+        // Stock Exchange: owns the integrity tag s and endorses with it.
+        let exchange = engine.register_unit(
+            UnitSpec::new("stock-exchange"),
+            Box::new(StockExchange::new()),
+        )?;
+        let exchange_tag = engine.with_unit(exchange, |_, ctx| {
+            let s = ctx.create_owned_tag("i-exchange");
+            ctx.change_out_label(
+                defcon_defc::Component::Integrity,
+                defcon_core::context::LabelOp::Add,
+                &s,
+            )?;
+            Ok(s)
+        })?;
+
+        // Regulator: granted s+ so it can republish trades as endorsed ticks; owns r.
+        let regulator_shared = Arc::new(RegulatorShared::default());
+        let regulator = engine.register_unit(
+            UnitSpec::new("regulator").with_privilege(Privilege::add(exchange_tag.clone())),
+            Box::new(Regulator::new(
+                exchange_tag.clone(),
+                config.regulator_sample,
+                config.volume_quota,
+                Arc::clone(&regulator_shared),
+            )),
+        )?;
+        let regulator_tag =
+            engine.with_unit(regulator, |_, ctx| Ok(ctx.create_owned_tag("r-regulator")))?;
+
+        // Local Broker: owns b; matches orders through a managed subscription.
+        let broker_shared = BrokerShared::new();
+        let broker = engine.register_unit(
+            UnitSpec::new("local-broker"),
+            Box::new(Broker::new(regulator_tag, Arc::clone(&broker_shared))),
+        )?;
+        let broker_tag =
+            engine.with_unit(broker, |_, ctx| Ok(ctx.create_owned_tag("b-broker")))?;
+
+        // Traders: Zipf-assigned pairs; each is granted b+ so it can confine its
+        // orders to the broker.
+        let universe = SymbolUniverse::standard(config.symbols);
+        let pairs = assign_pairs(
+            &universe,
+            config.traders,
+            config.zipf_exponent,
+            config.seed,
+        );
+        let orders_placed = Arc::new(AtomicU64::new(0));
+        for (index, pair) in pairs.into_iter().enumerate() {
+            let trader = Trader::new(
+                index as u64,
+                pair,
+                broker_tag.clone(),
+                exchange_tag.clone(),
+                Arc::clone(&orders_placed),
+            );
+            engine.register_unit(
+                UnitSpec::new(format!("trader-{index}"))
+                    .with_privilege(Privilege::add(broker_tag.clone())),
+                Box::new(trader),
+            )?;
+        }
+
+        let generator = TickGenerator::new(universe, config.tick_config.clone());
+        Ok(TradingPlatform {
+            config,
+            engine,
+            exchange,
+            exchange_tag,
+            broker_shared,
+            regulator_shared,
+            orders_placed,
+            generator,
+            throughput: ThroughputRecorder::new(),
+            ticks_published: 0,
+        })
+    }
+
+    /// Returns the underlying engine (for inspection and tests).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Returns the broker's shared state (order book, latency, trade counters).
+    pub fn broker(&self) -> &Arc<BrokerShared> {
+        &self.broker_shared
+    }
+
+    /// Returns the regulator's shared state (audits, warnings, republished ticks).
+    pub fn regulator(&self) -> &Arc<RegulatorShared> {
+        &self.regulator_shared
+    }
+
+    /// Publishes the next synthetic tick as the Stock Exchange and fully processes
+    /// the cascade it triggers (monitors, traders, broker, regulator).
+    pub fn publish_tick(&mut self) -> EngineResult<()> {
+        let tick = self.generator.next_tick();
+        let tag = self.exchange_tag.clone();
+        self.engine.with_unit(self.exchange, |_, ctx| {
+            StockExchange::publish_tick(ctx, &tag, &tick)
+        })?;
+        let dispatched = self.engine.pump_until_idle()?;
+        self.ticks_published += 1;
+        // Figure 5 counts processed events; every dispatched event (ticks plus the
+        // derived matches, orders, trades, ...) contributes to the supported rate.
+        self.throughput.record(dispatched.max(1) as u64);
+        Ok(())
+    }
+
+    /// Replays `n` ticks as fast as the engine can absorb them.
+    pub fn run_ticks(&mut self, n: usize) -> EngineResult<PlatformReport> {
+        for _ in 0..n {
+            self.publish_tick()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Produces the current metrics row.
+    pub fn report(&self) -> PlatformReport {
+        PlatformReport {
+            mode: self.config.mode,
+            traders: self.config.traders,
+            ticks: self.ticks_published,
+            orders: self.orders_placed.load(Ordering::Relaxed),
+            trades: self.broker_shared.trades.load(Ordering::Relaxed),
+            warnings: self.regulator_shared.warnings.load(Ordering::Relaxed),
+            throughput_eps: self.throughput.median_rate().unwrap_or(0.0),
+            latency_p70_ms: self.broker_shared.latency.p70_ms().unwrap_or(0.0),
+            latency_p50_ms: self.broker_shared.latency.p50_ms().unwrap_or(0.0),
+            memory_mib: self.engine.memory_mib(),
+        }
+    }
+}

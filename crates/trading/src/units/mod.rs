@@ -1,0 +1,7 @@
+//! The processing units of the trading platform (Figure 4).
+
+pub mod broker;
+pub mod monitor;
+pub mod regulator;
+pub mod stock_exchange;
+pub mod trader;

@@ -1,0 +1,64 @@
+//! The Stock Exchange unit.
+//!
+//! "A Stock Exchange unit is responsible for the communication with the stock
+//! exchange. In its simplest form, it is the source of events regarding trades that
+//! occur there" (§6.1). The unit owns the integrity tag `s`; every tick it publishes
+//! is endorsed with `s`, which is what lets Pair Monitors — instantiated with read
+//! integrity `s` — accept only genuine market data (integrity requirement of §2.2).
+//!
+//! The unit itself is passive: the platform's driver thread replays the synthetic
+//! trace *as* the exchange through [`StockExchange::publish_tick`], mirroring the
+//! paper's single-threaded Stock Exchange unit.
+
+use defcon_core::{EngineResult, Unit, UnitContext};
+use defcon_defc::{Label, Tag, TagSet};
+use defcon_events::{Event, Value};
+use defcon_workload::Tick;
+
+use crate::messages::{event_type, tick, PART_TYPE};
+
+/// The passive Stock Exchange unit.
+#[derive(Debug, Default)]
+pub struct StockExchange;
+
+impl StockExchange {
+    /// Creates the unit.
+    pub fn new() -> Self {
+        StockExchange
+    }
+
+    /// Publishes one tick, endorsed with the exchange integrity tag, on behalf of
+    /// the exchange unit (`ctx` must belong to it and its output label must already
+    /// contain `integrity_tag`).
+    pub fn publish_tick(
+        ctx: &mut UnitContext<'_>,
+        integrity_tag: &Tag,
+        tick: &Tick,
+    ) -> EngineResult<()> {
+        let endorsed = Label::endorsed(TagSet::singleton(integrity_tag.clone()));
+        let draft = ctx.create_event();
+        ctx.add_part(&draft, endorsed.clone(), PART_TYPE, Value::str(event_type::TICK))?;
+        ctx.add_part(
+            &draft,
+            endorsed.clone(),
+            tick::SYMBOL,
+            Value::str(tick.symbol.as_str()),
+        )?;
+        ctx.add_part(&draft, endorsed.clone(), tick::PRICE, Value::Float(tick.price))?;
+        ctx.add_part(
+            &draft,
+            endorsed,
+            tick::SEQUENCE,
+            Value::Int(tick.sequence as i64),
+        )?;
+        ctx.publish(draft)?;
+        Ok(())
+    }
+}
+
+impl Unit for StockExchange {
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+        // The exchange subscribes to nothing; it is a pure source.
+        Ok(())
+    }
+}

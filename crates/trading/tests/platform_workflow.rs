@@ -1,0 +1,113 @@
+//! End-to-end tests of the Figure 4 workflow on the assembled trading platform.
+
+use defcon_core::SecurityMode;
+use defcon_trading::{TradingPlatform, TradingPlatformConfig};
+use defcon_workload::TickGeneratorConfig;
+
+fn small_config(mode: SecurityMode, traders: usize) -> TradingPlatformConfig {
+    TradingPlatformConfig {
+        mode,
+        traders,
+        symbols: 8,
+        regulator_sample: 2,
+        volume_quota: 500,
+        event_cache: 1_000,
+        tick_config: TickGeneratorConfig {
+            seed: 7,
+            ..TickGeneratorConfig::default()
+        },
+        ..TradingPlatformConfig::default()
+    }
+}
+
+#[test]
+fn full_workflow_produces_matches_orders_trades_and_audits() {
+    let mut platform = TradingPlatform::build(small_config(
+        SecurityMode::LabelsFreezeIsolation,
+        8,
+    ))
+    .unwrap();
+
+    let report = platform.run_ticks(2_000).unwrap();
+
+    assert_eq!(report.ticks, 2_000);
+    assert!(report.orders > 0, "traders must have placed orders");
+    assert!(report.trades > 0, "the dark pool must have matched trades");
+    assert!(
+        platform.regulator().audited.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "the regulator must have audited sampled trades"
+    );
+    assert!(
+        platform
+            .regulator()
+            .republished
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "audited trades are republished as endorsed ticks (step 9)"
+    );
+    assert!(report.latency_p70_ms > 0.0, "latency must have been recorded");
+    assert!(report.throughput_eps > 0.0);
+    assert!(report.memory_mib > 0.0);
+    // With a small volume quota and repeated trading, warnings appear (step 8).
+    assert!(report.warnings > 0, "quota warnings expected: {report:?}");
+    // The row formatter mentions the mode.
+    assert!(report.as_row().contains("isolation"));
+}
+
+#[test]
+fn workflow_works_in_every_security_mode() {
+    for mode in SecurityMode::all() {
+        let mut platform = TradingPlatform::build(small_config(mode, 10)).unwrap();
+        let report = platform.run_ticks(1_500).unwrap();
+        assert!(report.orders > 0, "mode {mode}: no orders");
+        assert!(report.trades > 0, "mode {mode}: no trades");
+    }
+}
+
+#[test]
+fn traders_never_receive_other_traders_opportunities() {
+    // With label checks on, every match event is confined to one trader's tag, so
+    // the number of deliveries of match events equals the number of match events
+    // published (each goes to exactly one trader), never a multiple.
+    let mut platform =
+        TradingPlatform::build(small_config(SecurityMode::LabelsFreeze, 6)).unwrap();
+    platform.run_ticks(1_000).unwrap();
+    // Orders placed == match deliveries that resulted in an order; every order comes
+    // from exactly one trader seeing one match. If confinement were broken, a single
+    // match would fan out to all six traders and orders would explode accordingly.
+    let orders = platform.report().orders;
+    let trades = platform.report().trades;
+    assert!(orders >= trades, "every trade needs at least two orders in the pool");
+    assert!(
+        platform.engine().stats().label_rejections() > 0,
+        "label checks must have filtered deliveries"
+    );
+}
+
+#[test]
+fn isolation_mode_charges_interceptor_checks() {
+    let mut platform =
+        TradingPlatform::build(small_config(SecurityMode::LabelsFreezeIsolation, 10)).unwrap();
+    platform.run_ticks(1_200).unwrap();
+    // The isolation runtime is engaged: the run completes and produced trades while
+    // every part access went through the interception hook (validated indirectly by
+    // the run's success; the interceptor counters are internal to the engine).
+    assert!(platform.report().trades > 0);
+}
+
+#[test]
+fn managed_instances_stay_bounded_over_long_runs() {
+    // Orders and trades are protected by per-order tags, so the broker and regulator
+    // handler instances are created per contamination; the engine must keep their
+    // population bounded rather than growing with every order.
+    let mut platform =
+        TradingPlatform::build(small_config(SecurityMode::LabelsFreeze, 10)).unwrap();
+    platform.run_ticks(2_000).unwrap();
+    assert!(platform.report().trades > 0);
+    let cap = 1024; // EngineConfig default managed_instance_cap
+    assert!(
+        platform.engine().unit_count() <= 10 /* traders */ + 10 /* monitors */ + 3 + 2 * cap,
+        "unit population must stay bounded, got {}",
+        platform.engine().unit_count()
+    );
+}

@@ -1,0 +1,183 @@
+//! Order and trade records.
+//!
+//! These plain data types are shared between the DEFCon trading scenario and the
+//! Marketcetera-style baseline so that both platforms process the same workload and
+//! their outputs are directly comparable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbols::Symbol;
+
+/// The side of an order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderSide {
+    /// An offer to buy.
+    Buy,
+    /// An offer to sell.
+    Sell,
+}
+
+impl OrderSide {
+    /// Returns the opposite side.
+    pub fn opposite(&self) -> OrderSide {
+        match self {
+            OrderSide::Buy => OrderSide::Sell,
+            OrderSide::Sell => OrderSide::Buy,
+        }
+    }
+
+    /// A short string form used in event parts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OrderSide::Buy => "buy",
+            OrderSide::Sell => "sell",
+        }
+    }
+
+    /// Parses the short string form.
+    pub fn parse(s: &str) -> Option<OrderSide> {
+        match s {
+            "buy" => Some(OrderSide::Buy),
+            "sell" => Some(OrderSide::Sell),
+            _ => None,
+        }
+    }
+}
+
+/// A buy or sell order submitted by a trader.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Order {
+    /// Identifier of the submitting trader.
+    pub trader: u64,
+    /// The traded symbol.
+    pub symbol: Symbol,
+    /// Buy or sell.
+    pub side: OrderSide,
+    /// Limit price.
+    pub price: f64,
+    /// Quantity of shares.
+    pub quantity: u64,
+    /// Timestamp (nanoseconds) of the tick that triggered this order, for
+    /// end-to-end latency accounting.
+    pub origin_ns: u64,
+}
+
+/// A completed trade produced by matching two opposite orders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trade {
+    /// The traded symbol.
+    pub symbol: Symbol,
+    /// The execution price.
+    pub price: f64,
+    /// The traded quantity.
+    pub quantity: u64,
+    /// The buying trader.
+    pub buyer: u64,
+    /// The selling trader.
+    pub seller: u64,
+    /// Origin timestamp (nanoseconds) inherited from the triggering tick.
+    pub origin_ns: u64,
+}
+
+impl Order {
+    /// Returns `true` if this order can match `other`: same symbol, opposite sides
+    /// and compatible prices (buy price ≥ sell price), and distinct traders.
+    pub fn matches(&self, other: &Order) -> bool {
+        if self.symbol != other.symbol
+            || self.side == other.side
+            || self.trader == other.trader
+        {
+            return false;
+        }
+        let (buy, sell) = if self.side == OrderSide::Buy {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        buy.price >= sell.price
+    }
+
+    /// Builds the trade that results from matching this order with `other`.
+    ///
+    /// The execution price is the midpoint of the two limits; the quantity is the
+    /// smaller of the two; the origin timestamp is the older of the two so that the
+    /// reported latency covers the full path of the slower leg.
+    pub fn execute_against(&self, other: &Order) -> Option<Trade> {
+        if !self.matches(other) {
+            return None;
+        }
+        let (buy, sell) = if self.side == OrderSide::Buy {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Some(Trade {
+            symbol: buy.symbol.clone(),
+            price: (buy.price + sell.price) / 2.0,
+            quantity: buy.quantity.min(sell.quantity),
+            buyer: buy.trader,
+            seller: sell.trader,
+            origin_ns: buy.origin_ns.min(sell.origin_ns),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(trader: u64, side: OrderSide, price: f64) -> Order {
+        Order {
+            trader,
+            symbol: Symbol::new("MSFT"),
+            side,
+            price,
+            quantity: 100,
+            origin_ns: trader * 10,
+        }
+    }
+
+    #[test]
+    fn side_helpers() {
+        assert_eq!(OrderSide::Buy.opposite(), OrderSide::Sell);
+        assert_eq!(OrderSide::Sell.as_str(), "sell");
+        assert_eq!(OrderSide::parse("buy"), Some(OrderSide::Buy));
+        assert_eq!(OrderSide::parse("hold"), None);
+    }
+
+    #[test]
+    fn matching_requires_opposite_sides_compatible_prices_distinct_traders() {
+        let buy = order(1, OrderSide::Buy, 101.0);
+        let sell = order(2, OrderSide::Sell, 100.0);
+        assert!(buy.matches(&sell));
+        assert!(sell.matches(&buy));
+
+        // Same side never matches.
+        assert!(!buy.matches(&order(3, OrderSide::Buy, 99.0)));
+        // Incompatible prices.
+        assert!(!order(1, OrderSide::Buy, 99.0).matches(&order(2, OrderSide::Sell, 100.0)));
+        // Same trader.
+        assert!(!buy.matches(&order(1, OrderSide::Sell, 100.0)));
+        // Different symbol.
+        let mut other = order(2, OrderSide::Sell, 100.0);
+        other.symbol = Symbol::new("GOOG");
+        assert!(!buy.matches(&other));
+    }
+
+    #[test]
+    fn execute_produces_midpoint_trade_with_oldest_origin() {
+        let buy = order(1, OrderSide::Buy, 102.0);
+        let mut sell = order(2, OrderSide::Sell, 100.0);
+        sell.quantity = 50;
+        let trade = buy.execute_against(&sell).unwrap();
+        assert_eq!(trade.buyer, 1);
+        assert_eq!(trade.seller, 2);
+        assert_eq!(trade.quantity, 50);
+        assert!((trade.price - 101.0).abs() < 1e-9);
+        assert_eq!(trade.origin_ns, 10);
+        // Symmetric call yields the same trade.
+        assert_eq!(sell.execute_against(&buy).unwrap(), trade);
+        // Non-matching orders yield no trade.
+        assert!(buy.execute_against(&order(3, OrderSide::Buy, 1.0)).is_none());
+    }
+}

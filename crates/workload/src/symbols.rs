@@ -1,0 +1,160 @@
+//! Stock symbols and symbol pairs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A stock symbol (ticker), e.g. `MSFT`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from a ticker string.
+    pub fn new(ticker: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(ticker.as_ref()))
+    }
+
+    /// Returns the ticker string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+/// An ordered pair of distinct symbols monitored by a pairs-trading strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymbolPair {
+    /// The first symbol of the pair.
+    pub first: Symbol,
+    /// The second symbol of the pair.
+    pub second: Symbol,
+}
+
+impl SymbolPair {
+    /// Creates a pair; the two symbols must differ.
+    pub fn new(first: Symbol, second: Symbol) -> Self {
+        assert_ne!(first, second, "a pair requires two distinct symbols");
+        SymbolPair { first, second }
+    }
+
+    /// Returns `true` if `symbol` is one of the two members.
+    pub fn contains(&self, symbol: &Symbol) -> bool {
+        &self.first == symbol || &self.second == symbol
+    }
+}
+
+impl fmt::Display for SymbolPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.first, self.second)
+    }
+}
+
+/// The set of symbols traded on the synthetic exchange.
+#[derive(Debug, Clone)]
+pub struct SymbolUniverse {
+    symbols: Vec<Symbol>,
+}
+
+/// Well-known tickers used for the first few symbols so that examples and traces
+/// read naturally; further symbols are generated as `SYM<n>`.
+const KNOWN_TICKERS: &[&str] = &[
+    "MSFT", "GOOG", "AAPL", "AMZN", "IBM", "ORCL", "HSBA", "BARC", "VOD", "BP",
+    "SHEL", "GSK", "AZN", "ULVR", "RIO", "TSCO",
+];
+
+impl SymbolUniverse {
+    /// Creates a universe of `n` symbols.
+    pub fn standard(n: usize) -> Self {
+        let symbols = (0..n)
+            .map(|i| match KNOWN_TICKERS.get(i) {
+                Some(t) => Symbol::new(*t),
+                None => Symbol::new(format!("SYM{i}")),
+            })
+            .collect();
+        SymbolUniverse { symbols }
+    }
+
+    /// Returns all symbols.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the universe contains no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Returns the symbol at `index` (wrapping).
+    pub fn symbol(&self, index: usize) -> &Symbol {
+        &self.symbols[index % self.symbols.len()]
+    }
+
+    /// Enumerates the candidate monitored pairs: adjacent symbols in the universe
+    /// (pairing every symbol with every other would produce quadratically many
+    /// pairs, almost all of which no trader would monitor).
+    pub fn pairs(&self) -> Vec<SymbolPair> {
+        self.symbols
+            .windows(2)
+            .map(|w| SymbolPair::new(w[0].clone(), w[1].clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_uses_known_tickers_then_generated() {
+        let u = SymbolUniverse::standard(20);
+        assert_eq!(u.len(), 20);
+        assert_eq!(u.symbol(0).as_str(), "MSFT");
+        assert_eq!(u.symbol(17).as_str(), "SYM17");
+        // Wrapping access.
+        assert_eq!(u.symbol(20).as_str(), "MSFT");
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn pairs_are_adjacent_and_distinct() {
+        let u = SymbolUniverse::standard(5);
+        let pairs = u.pairs();
+        assert_eq!(pairs.len(), 4);
+        for p in &pairs {
+            assert_ne!(p.first, p.second);
+            assert!(p.contains(&p.first) && p.contains(&p.second));
+        }
+        assert_eq!(pairs[0].to_string(), "MSFT/GOOG");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn identical_pair_panics() {
+        let s = Symbol::new("MSFT");
+        let _ = SymbolPair::new(s.clone(), s);
+    }
+
+    #[test]
+    fn symbol_display_and_from() {
+        let s: Symbol = "BP".into();
+        assert_eq!(s.to_string(), "BP");
+        assert_eq!(s.as_str(), "BP");
+    }
+}

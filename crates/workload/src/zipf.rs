@@ -1,0 +1,133 @@
+//! A small Zipf-distributed sampler.
+//!
+//! Used to model §6.2's observation that "some symbol pairs are well known to be
+//! correlated and, as a result, the majority of Traders monitor their prices": the
+//! rank-`k` pair is chosen with probability proportional to `1 / k^s`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples ranks `0..n` with Zipf(`exponent`) probabilities, deterministically from
+/// a seed.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution over ranks.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with the given exponent (1.0 is classic
+    /// Zipf; larger exponents concentrate more mass on the first ranks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no ranks (never true; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability assigned to rank `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let sampler = ZipfSampler::new(50, 1.0, 1);
+        let total: f64 = (0..50).map(|k| sampler.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..50 {
+            assert!(
+                sampler.probability(k) <= sampler.probability(k - 1) + 1e-12,
+                "rank {k} must not be more likely than rank {}",
+                k - 1
+            );
+        }
+        assert_eq!(sampler.probability(1000), 0.0);
+        assert_eq!(sampler.len(), 50);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let mut sampler = ZipfSampler::new(10, 1.0, 7);
+        let mut counts = vec![0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[sampler.sample()] += 1;
+        }
+        // Rank 0 should receive roughly p0 of the draws (within a few percent).
+        let expected = sampler.probability(0) * draws as f64;
+        let observed = counts[0] as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.1,
+            "observed {observed}, expected {expected}"
+        );
+        // Monotone non-increasing counts, allowing sampling noise on the tail.
+        assert!(counts[0] > counts[9]);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = ZipfSampler::new(10, 1.2, 99);
+        let mut b = ZipfSampler::new(10, 1.2, 99);
+        let sa: Vec<usize> = (0..100).map(|_| a.sample()).collect();
+        let sb: Vec<usize> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Side-by-side comparison of DEFCon and the Marketcetera-style baseline on the
+//! same workload: the headline result of the paper's evaluation (§6.2).
+//!
+//! Run with: `cargo run --release --example baseline_comparison [traders] [ticks]`
+
+use defcon_baseline::{BaselineConfig, BaselinePlatform};
+use defcon_core::SecurityMode;
+use defcon_trading::{TradingPlatform, TradingPlatformConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let traders: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let ticks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5_000);
+
+    println!("== DEFCon (labels+freeze+isolation), {traders} traders, {ticks} ticks ==");
+    let mut defcon = TradingPlatform::build(TradingPlatformConfig::new(
+        SecurityMode::LabelsFreezeIsolation,
+        traders,
+    ))
+    .expect("platform builds");
+    let defcon_report = defcon.run_ticks(ticks).expect("run completes");
+    println!("{}", defcon_report.as_row());
+
+    println!("\n== Marketcetera-style baseline (one isolation domain per client) ==");
+    let baseline_report = BaselinePlatform::new(BaselineConfig {
+        traders,
+        ticks,
+        ..BaselineConfig::default()
+    })
+    .run();
+    println!("{}", baseline_report.as_row());
+
+    println!("\n== Comparison ==");
+    println!(
+        "throughput: DEFCon {:.0} ev/s vs baseline {:.0} ev/s",
+        defcon_report.throughput_eps, baseline_report.throughput_eps
+    );
+    println!(
+        "p70 latency: DEFCon {:.3} ms vs baseline {:.3} ms",
+        defcon_report.latency_p70_ms, baseline_report.total_p70_ms
+    );
+    println!(
+        "memory: DEFCon {:.1} MiB (shared engine) vs baseline {:.1} MiB (per-client domains)",
+        defcon_report.memory_mib, baseline_report.memory_mib
+    );
+}

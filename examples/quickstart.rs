@@ -1,0 +1,88 @@
+//! Quickstart: two units exchanging labelled events through the DEFCon engine.
+//!
+//! A `Producer` publishes readings; one part is public, one is confidential. A
+//! `Consumer` without the secrecy tag can only see the public part; a second
+//! consumer holding the tag in its input label sees everything.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use defcon::prelude::*;
+use defcon_core::context::LabelOp;
+use defcon_core::unit::NullUnit;
+
+struct Consumer {
+    name: &'static str,
+}
+
+impl Unit for Consumer {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(Filter::for_type("reading"))?;
+        Ok(())
+    }
+
+    fn on_event(&mut self, ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+        let room = ctx.read_first(event, "room")?;
+        let secret = ctx.read_part(event, "patient");
+        match secret {
+            Ok(parts) => println!(
+                "[{}] reading from room {room}: patient {} (authorised)",
+                self.name, parts[0].1
+            ),
+            Err(_) => println!(
+                "[{}] reading from room {room}: patient identity not visible",
+                self.name
+            ),
+        }
+        Ok(())
+    }
+}
+
+fn main() -> EngineResult<()> {
+    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+
+    // A producer that owns a confidentiality tag for patient identities.
+    let producer = engine.register_unit(UnitSpec::new("producer"), Box::new(NullUnit))?;
+    let patient_tag = engine.with_unit(producer, |_, ctx| Ok(ctx.create_owned_tag("s-patient")))?;
+
+    // An unprivileged consumer: sees only public parts.
+    engine.register_unit(
+        UnitSpec::new("public-dashboard"),
+        Box::new(Consumer {
+            name: "public-dashboard",
+        }),
+    )?;
+
+    // A privileged consumer: granted t+ so it can raise its input label and read the
+    // protected part.
+    let clinician = engine.register_unit(
+        UnitSpec::new("clinician").with_privilege(Privilege::add(patient_tag.clone())),
+        Box::new(Consumer { name: "clinician" }),
+    )?;
+    engine.with_unit(clinician, |_, ctx| {
+        ctx.change_in_out_label(Component::Confidentiality, LabelOp::Add, &patient_tag)
+    })?;
+
+    // Publish a reading with a public room number and a confidential patient id.
+    engine.with_unit(producer, |_, ctx| {
+        let draft = ctx.create_event();
+        ctx.add_part(&draft, Label::public(), "type", Value::str("reading"))?;
+        ctx.add_part(&draft, Label::public(), "room", Value::Int(302))?;
+        ctx.add_part(
+            &draft,
+            Label::confidential(TagSet::singleton(patient_tag.clone())),
+            "patient",
+            Value::str("patient-4711"),
+        )?;
+        ctx.publish(draft)?;
+        Ok(())
+    })?;
+
+    engine.pump_until_idle()?;
+    println!(
+        "events published: {}, deliveries: {}, label rejections: {}",
+        engine.stats().published(),
+        engine.stats().deliveries(),
+        engine.stats().label_rejections()
+    );
+    Ok(())
+}

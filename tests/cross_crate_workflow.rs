@@ -1,0 +1,118 @@
+//! Workspace-level integration tests spanning all crates: the Figure 4 workflow on
+//! the assembled platform, the analysis funnel of §4.2 and the DEFCon-vs-baseline
+//! comparison of §6.2, exercised through the umbrella crate's public API.
+
+use defcon::prelude::*;
+use defcon_baseline::{BaselineConfig, BaselinePlatform};
+use defcon_isolation::{ClassGraph, StaticAnalysis, TargetCatalog};
+use defcon_trading::{TradingPlatform, TradingPlatformConfig};
+use defcon_workload::TickGeneratorConfig;
+
+fn platform_config(mode: SecurityMode, traders: usize) -> TradingPlatformConfig {
+    TradingPlatformConfig {
+        mode,
+        traders,
+        symbols: 8,
+        regulator_sample: 2,
+        volume_quota: 500,
+        event_cache: 500,
+        tick_config: TickGeneratorConfig {
+            seed: 11,
+            ..TickGeneratorConfig::default()
+        },
+        ..TradingPlatformConfig::default()
+    }
+}
+
+#[test]
+fn figure4_workflow_end_to_end_through_umbrella_crate() {
+    let mut platform = TradingPlatform::build(platform_config(
+        SecurityMode::LabelsFreezeIsolation,
+        10,
+    ))
+    .expect("platform builds");
+    let report = platform.run_ticks(1_500).expect("run completes");
+
+    assert!(report.orders > 0);
+    assert!(report.trades > 0);
+    assert!(report.latency_p70_ms > 0.0);
+    assert!(report.memory_mib > 0.0);
+    // The engine enforced label checks along the way.
+    assert!(platform.engine().stats().label_rejections() > 0);
+}
+
+#[test]
+fn isolation_analysis_funnel_reproduces_papers_shape() {
+    // §4.2: thousands of targets in the JDK, hundreds reachable from unit code after
+    // heuristics, tens requiring manual attention.
+    let mut catalog = TargetCatalog::synthetic_jdk(1000);
+    let graph = ClassGraph::synthetic_for(&catalog);
+    let analysis = StaticAnalysis::with_default_whitelist(&catalog);
+    let report = analysis.run(&mut catalog, &graph);
+
+    assert!(report.total_targets > 5_000);
+    assert!(report.used < report.total_targets);
+    assert!(report.intercepted() < report.used);
+    assert!(report.whitelisted_heuristic > 0);
+}
+
+#[test]
+fn defcon_outperforms_baseline_latency_at_scale() {
+    // The paper's headline (§6.2): DEFCon's tick-to-trade latency stays in the
+    // low-millisecond range while the per-JVM baseline pays per-hop serialisation
+    // and per-agent filtering. Compare both on the same (small) workload.
+    let traders = 8;
+    let ticks = 2_000;
+
+    let mut defcon =
+        TradingPlatform::build(platform_config(SecurityMode::LabelsFreezeIsolation, traders))
+            .expect("platform builds");
+    let defcon_report = defcon.run_ticks(ticks).expect("run completes");
+
+    let baseline_report = BaselinePlatform::new(BaselineConfig {
+        traders,
+        symbols: 8,
+        ticks,
+        feed_rate: Some(2_000.0),
+        ..BaselineConfig::default()
+    })
+    .run();
+
+    assert!(defcon_report.trades > 0);
+    assert!(baseline_report.trades > 0);
+    // Relative claim only: the baseline's end-to-end latency must not be lower than
+    // DEFCon's. (Absolute values are host-dependent.)
+    assert!(
+        baseline_report.total_p70_ms >= defcon_report.latency_p70_ms,
+        "baseline p70 {} ms must be >= DEFCon p70 {} ms",
+        baseline_report.total_p70_ms,
+        defcon_report.latency_p70_ms
+    );
+    // And the per-client-domain baseline occupies more memory than the shared engine.
+    assert!(baseline_report.memory_mib > defcon_report.memory_mib);
+}
+
+#[test]
+fn prelude_covers_the_common_api_surface() {
+    // Compile-time check that the umbrella prelude exposes the types an application
+    // needs, plus a small runtime smoke test.
+    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let unit = engine
+        .register_unit(UnitSpec::new("u"), Box::new(defcon::core::unit::NullUnit))
+        .unwrap();
+    engine
+        .with_unit(unit, |_, ctx| {
+            let tag = ctx.create_owned_tag("t");
+            let draft = ctx.create_event();
+            ctx.add_part(
+                &draft,
+                Label::confidential(TagSet::singleton(tag)),
+                "type",
+                Value::str("x"),
+            )?;
+            ctx.publish(draft)?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(engine.pump_until_idle().unwrap(), 1);
+}
