@@ -57,7 +57,12 @@ pub struct StrategyAgent {
 
 impl StrategyAgent {
     /// Creates an agent monitoring `pair`.
-    pub fn new(id: u64, pair: SymbolPair, cache_capacity: usize, metrics: Arc<AgentMetrics>) -> Self {
+    pub fn new(
+        id: u64,
+        pair: SymbolPair,
+        cache_capacity: usize,
+        metrics: Arc<AgentMetrics>,
+    ) -> Self {
         StrategyAgent {
             id,
             pair,

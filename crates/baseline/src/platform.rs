@@ -217,12 +217,8 @@ impl BaselinePlatform {
         for (id, pair) in pairs.into_iter().enumerate() {
             let metrics = Arc::new(AgentMetrics::default());
             let channel = SerializingChannel::new(config.channel_capacity, config.hop_delay);
-            let agent = StrategyAgent::new(
-                id as u64,
-                pair,
-                config.agent_cache,
-                Arc::clone(&metrics),
-            );
+            let agent =
+                StrategyAgent::new(id as u64, pair, config.agent_cache, Arc::clone(&metrics));
             let market_data = channel.clone();
             let to_ors = ors_channel.clone();
             agent_threads.push(std::thread::spawn(move || agent.run(market_data, to_ors)));

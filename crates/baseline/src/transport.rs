@@ -66,7 +66,7 @@ fn get_symbol(buf: &mut Bytes) -> Option<Symbol> {
         return None;
     }
     let raw = buf.split_to(len);
-    Some(Symbol::new(String::from_utf8_lossy(&raw).into_owned()))
+    Some(Symbol::new(String::from_utf8_lossy(&raw)))
 }
 
 /// Serialises a message into a fresh buffer (the per-copy cost of crossing a JVM

@@ -1,0 +1,115 @@
+//! Fluent construction of engines — the entry point of the runtime API v2.
+//!
+//! ```
+//! use defcon_core::{Engine, SecurityMode};
+//!
+//! let engine = Engine::builder()
+//!     .mode(SecurityMode::LabelsFreezeIsolation)
+//!     .workers(4)
+//!     .event_cache(5_000)
+//!     .build();
+//! assert_eq!(engine.configured_workers(), 4);
+//! ```
+
+use crate::engine::{Engine, EngineConfig, SecurityMode};
+use crate::handle::EngineHandle;
+
+/// Builder for [`Engine`] instances.
+///
+/// Defaults match [`EngineConfig::default`]: `labels+freeze`, no worker threads
+/// (manual pumping), a 10,000-event cache and a 1,024-instance managed cap.
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Selects the security configuration (one of the paper's four series).
+    pub fn mode(mut self, mode: SecurityMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Sets the number of dispatcher worker threads [`Engine::start`] spawns.
+    ///
+    /// Zero (the default) means no background dispatch: the started handle is
+    /// pumped manually, which keeps single-threaded tests deterministic.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the capacity of the recently-dispatched event cache.
+    pub fn event_cache(mut self, capacity: usize) -> Self {
+        self.config.event_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the cap on live managed handler instances.
+    pub fn managed_instance_cap(mut self, cap: usize) -> Self {
+        self.config.managed_instance_cap = cap;
+        self
+    }
+
+    /// Replaces the whole configuration (for deployments described
+    /// declaratively as an [`EngineConfig`] value).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the engine without starting its runtime.
+    pub fn build(self) -> Engine {
+        Engine::new(self.config)
+    }
+
+    /// Builds the engine and starts its runtime in one step — shorthand for
+    /// `builder.build().start()`.
+    pub fn start(self) -> EngineHandle {
+        self.build().start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_every_knob() {
+        let engine = Engine::builder()
+            .mode(SecurityMode::LabelsClone)
+            .workers(3)
+            .event_cache(7)
+            .managed_instance_cap(9)
+            .build();
+        assert_eq!(engine.mode(), SecurityMode::LabelsClone);
+        assert_eq!(engine.configured_workers(), 3);
+    }
+
+    #[test]
+    fn builder_defaults_match_engine_config_defaults() {
+        let engine = EngineBuilder::new().build();
+        assert_eq!(engine.mode(), SecurityMode::LabelsFreeze);
+        assert_eq!(engine.configured_workers(), 0);
+    }
+
+    #[test]
+    fn config_override_replaces_prior_settings() {
+        let config = EngineConfig {
+            mode: SecurityMode::NoSecurity,
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::builder()
+            .mode(SecurityMode::LabelsClone)
+            .config(config)
+            .build();
+        assert_eq!(engine.mode(), SecurityMode::NoSecurity);
+        assert_eq!(engine.configured_workers(), 2);
+    }
+}

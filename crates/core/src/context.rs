@@ -72,6 +72,12 @@ pub struct UnitContext<'a> {
     released_additions: Vec<Part>,
     drafts: HashMap<u64, DraftState>,
     next_draft: u64,
+    /// Whether this context runs inside an in-flight dispatch (an `on_event`
+    /// delivery, or an `init` triggered transitively by one). Publications from
+    /// such contexts are main-path cascades and survive the shutdown drain;
+    /// driver-context publications are external and get rejected once the
+    /// runtime stops.
+    in_dispatch: bool,
 }
 
 impl<'a> UnitContext<'a> {
@@ -80,6 +86,7 @@ impl<'a> UnitContext<'a> {
         state: &'a mut UnitState,
         current: Option<&'a Event>,
         outputs: &'a mut Vec<Event>,
+        in_dispatch: bool,
     ) -> Self {
         UnitContext {
             core,
@@ -90,6 +97,7 @@ impl<'a> UnitContext<'a> {
             released_additions: Vec::new(),
             drafts: HashMap::new(),
             next_draft: 1,
+            in_dispatch,
         }
     }
 
@@ -154,7 +162,10 @@ impl<'a> UnitContext<'a> {
     /// Creates a fresh tag; the unit receives `t+auth` and `t-auth` over it
     /// (§3.1.3).
     pub fn create_tag(&mut self, name: impl AsRef<str>) -> Tag {
-        let tag = self.core.tags.create_tag(self.state.id, Some(name.as_ref()));
+        let tag = self
+            .core
+            .tags
+            .create_tag(self.state.id, Some(name.as_ref()));
         self.state
             .privileges
             .absorb(&PrivilegeSet::for_created_tag(&tag));
@@ -259,7 +270,9 @@ impl<'a> UnitContext<'a> {
             .parts
             .iter_mut()
             .find(|p| p.name() == name && p.label() == &label)
-            .ok_or_else(|| EngineError::Event(defcon_events::EventError::NoSuchPart(name.into())))?;
+            .ok_or_else(|| {
+                EngineError::Event(defcon_events::EventError::NoSuchPart(name.into()))
+            })?;
         *part = part.with_additional_privilege(privilege);
         Ok(())
     }
@@ -452,7 +465,8 @@ impl<'a> UnitContext<'a> {
         op: LabelOp,
         tag: &Tag,
     ) -> EngineResult<()> {
-        let new_output = self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
+        let new_output =
+            self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
         self.state.output_label = new_output;
         Ok(())
     }
@@ -466,7 +480,8 @@ impl<'a> UnitContext<'a> {
         tag: &Tag,
     ) -> EngineResult<()> {
         let new_input = self.apply_label_op(&self.state.input_label.clone(), component, op, tag)?;
-        let new_output = self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
+        let new_output =
+            self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
         self.state.input_label = new_input;
         self.state.output_label = new_output;
         Ok(())
@@ -533,7 +548,7 @@ impl<'a> UnitContext<'a> {
                     .intersection(self.state.output_label.integrity()),
             );
         }
-        self.core.register_unit(spec, instance)
+        self.core.register_unit(spec, instance, self.in_dispatch)
     }
 
     // ------------------------------------------------------------------

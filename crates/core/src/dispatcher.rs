@@ -33,29 +33,44 @@ use crate::context::UnitContext;
 use crate::engine::{EngineCore, UnitCell, UnitSlot};
 use crate::error::EngineResult;
 use crate::subscription::{Subscription, SubscriptionKind};
-use crate::unit::{UnitId, UnitSpec, UnitState};
+use crate::unit::{UnitSpec, UnitState};
 
-/// A single-threaded pump over an engine's event queue.
+/// A pump over an engine's sharded run queue.
 ///
-/// Multiple dispatchers over the same engine may run on different threads: per-unit
-/// mutexes serialise deliveries to the same unit while allowing different units to
-/// process different events in parallel.
+/// Multiple dispatchers over the same engine may run on different threads — that
+/// is exactly what [`Engine::start`](crate::Engine::start) does with
+/// `workers(n)`: per-unit mutexes serialise deliveries to the same unit while
+/// distinct units dispatch distinct events in parallel.
 pub struct Dispatcher {
     core: Arc<EngineCore>,
+    /// Run-queue shard this dispatcher prefers when popping (reduces contention
+    /// between workers; any dispatcher may steal from any shard).
+    preferred_shard: usize,
 }
 
 impl Dispatcher {
     pub(crate) fn new(core: Arc<EngineCore>) -> Self {
-        Dispatcher { core }
+        Dispatcher {
+            core,
+            preferred_shard: 0,
+        }
+    }
+
+    pub(crate) fn for_worker(core: Arc<EngineCore>, worker_index: usize) -> Self {
+        Dispatcher {
+            core,
+            preferred_shard: worker_index,
+        }
     }
 
     /// Dispatches at most one queued event; returns `true` if one was processed.
     pub fn pump_one(&self) -> EngineResult<bool> {
-        let event = self.core.queue.lock().pop_front();
-        match event {
+        match self.core.run_queue.pop(self.preferred_shard) {
             Some(event) => {
-                self.dispatch(event)?;
-                Ok(true)
+                // The guard re-balances the in-flight count even if a unit
+                // callback panics through `dispatch`.
+                let _guard = self.core.run_queue.complete_guard();
+                self.dispatch(event).map(|()| true)
             }
             None => Ok(false),
         }
@@ -63,6 +78,10 @@ impl Dispatcher {
 
     /// Dispatches events until the queue drains (including events published during
     /// dispatch). Returns the number of events dispatched.
+    ///
+    /// With worker threads running concurrently this drains the *queue*, not the
+    /// engine: use [`EngineHandle::wait_idle`](crate::EngineHandle::wait_idle) to
+    /// wait for in-flight dispatches as well.
     pub fn pump_until_idle(&self) -> EngineResult<usize> {
         let mut dispatched = 0;
         while self.pump_one()? {
@@ -72,23 +91,70 @@ impl Dispatcher {
     }
 
     /// Keeps pumping for at least `duration` (useful when other threads publish
-    /// concurrently); returns the number of events dispatched.
+    /// concurrently); returns the number of events dispatched. While the queue
+    /// is empty the thread parks on the run queue's wakeup signal instead of
+    /// spinning.
     pub fn pump_for(&self, duration: Duration) -> EngineResult<usize> {
         let deadline = Instant::now() + duration;
         let mut dispatched = 0;
         loop {
             if self.pump_one()? {
                 dispatched += 1;
-            } else if Instant::now() >= deadline {
-                break;
-            } else {
-                std::thread::yield_now();
+                continue;
             }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // On a stopped and fully drained engine nothing can ever arrive;
+            // waiting out the deadline (or worse, spinning) would be pointless.
+            if self.core.run_queue.is_stopping() && self.core.run_queue.is_idle() {
+                break;
+            }
+            self.core.run_queue.park_for_work(deadline - now);
         }
         Ok(dispatched)
     }
 
+    /// Runs the blocking worker loop: dispatch events as they arrive until the
+    /// run queue is stopped *and* fully drained. Returns the number of events
+    /// this worker dispatched.
+    pub(crate) fn run_worker(self) -> u64 {
+        let mut dispatched = 0;
+        while let Some(event) = self.core.run_queue.next_event(self.preferred_shard) {
+            // Neither an `Err` (engine-level inconsistency) nor a panic in a
+            // unit callback may take the worker down: a dead worker would leak
+            // its in-flight count and deadlock shutdown for the whole runtime.
+            // The guard keeps the count balanced even if the catch itself
+            // were to unwind.
+            let guard = self.core.run_queue.complete_guard();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(event)));
+            drop(guard);
+            dispatched += 1;
+            match outcome {
+                Ok(Ok(())) => {}
+                // Unit misbehaviour is already caught and counted per delivery
+                // inside `deliver`; anything that reaches here is an engine
+                // fault and gets its own counter so it cannot hide among
+                // expected unit errors. (In `workers(0)` mode the same error
+                // propagates to the pump caller instead.)
+                Ok(Err(_)) | Err(_) => {
+                    self.core
+                        .stats
+                        .engine_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        dispatched
+    }
+
     /// Spawns a background thread that pumps until `stop` becomes `true`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::builder().workers(..)` and `Engine::start()` instead"
+    )]
     pub fn run_background(self, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<usize> {
         std::thread::spawn(move || {
             let mut dispatched = 0;
@@ -171,9 +237,32 @@ impl Dispatcher {
                 } else {
                     owner_input.clone()
                 };
-                match self.managed_instance(subscription, &owner_output, &owner_privileges, &owner_name, required) {
-                    Ok(slot) => slot,
-                    Err(_) => continue,
+                // A resolved instance can be evicted (retired) by another worker
+                // before we deliver; re-resolving then creates a fresh handler.
+                // Bounded so that pathological cap pressure cannot livelock us —
+                // `deliver` skips retired slots, so the last attempt is safe.
+                let mut resolved = None;
+                for _ in 0..4 {
+                    match self.managed_instance(
+                        subscription,
+                        &owner_output,
+                        &owner_privileges,
+                        &owner_name,
+                        required.clone(),
+                    ) {
+                        Ok(slot) => {
+                            let retired = slot.cell.lock().retired;
+                            resolved = Some(slot);
+                            if !retired {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                match resolved {
+                    Some(slot) => slot,
+                    None => continue,
                 }
             } else {
                 owner_slot
@@ -204,6 +293,10 @@ impl Dispatcher {
         subscription: &Subscription,
     ) -> Vec<Part> {
         let mut cell = slot.cell.lock();
+        if cell.retired {
+            // Evicted between resolution and delivery; its isolate is gone.
+            return Vec::new();
+        }
         cell.state.delivered += 1;
         self.core.stats.deliveries.fetch_add(1, Ordering::Relaxed);
 
@@ -220,8 +313,14 @@ impl Dispatcher {
         } = *cell;
         let mut outputs = Vec::new();
         let additions = {
-            let mut ctx = UnitContext::new(&self.core, state, Some(&event), &mut outputs);
-            if let Err(_error) = instance.on_event(&mut ctx, &event) {
+            let mut ctx = UnitContext::new(&self.core, state, Some(&event), &mut outputs, true);
+            // Errors *and* panics in unit code are isolated per delivery, so a
+            // misbehaving unit cannot rob later subscribers of the same event
+            // (nor, with workers, take a dispatcher thread down).
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                instance.on_event(&mut ctx, &event)
+            }));
+            if !matches!(outcome, Ok(Ok(()))) {
                 self.core.stats.unit_errors.fetch_add(1, Ordering::Relaxed);
             }
             ctx.finish()
@@ -244,7 +343,16 @@ impl Dispatcher {
         required: Label,
     ) -> EngineResult<Arc<UnitSlot>> {
         let key = (subscription.id, required.clone());
-        if let Some(existing) = self.core.managed_instances.lock().get(&key) {
+        // Hold the registry lock across lookup *and* creation so that two workers
+        // racing on the same contamination cannot each instantiate (and leak) a
+        // handler for the same key.
+        //
+        // Lock order: managed_instances -> units -> (units released) -> cell.
+        // Unit callbacks run with their cell locked and may take units.write()
+        // (instantiate_unit), so a cell mutex must never be acquired while a
+        // units guard is held — see the eviction path below.
+        let mut instances = self.core.managed_instances.lock();
+        if let Some(existing) = instances.get(&key) {
             if let Ok(slot) = self.core.slot(*existing) {
                 return Ok(slot);
             }
@@ -254,7 +362,7 @@ impl Dispatcher {
             unreachable!("managed_instance called for a direct subscription");
         };
         let instance = factory();
-        let id = UnitId::next();
+        let id = self.core.next_unit_id();
         let isolate = self.core.isolation.create_isolate();
         let spec = UnitSpec::new(format!("{owner_name}::managed"))
             .with_input_label(required)
@@ -270,35 +378,50 @@ impl Dispatcher {
                 instance,
                 mailbox: Default::default(),
                 pull_mode: false,
+                retired: false,
             }),
             mailbox_signal: parking_lot::Condvar::new(),
         });
         self.core.units.write().insert(id, Arc::clone(&slot));
-        {
-            // Bound the number of live managed instances: orders protected by
-            // per-order tags create one instance per contamination, so without a cap
-            // a long run would accumulate unboundedly many handler objects.
-            let mut instances = self.core.managed_instances.lock();
-            if instances.len() >= self.core.config.managed_instance_cap {
-                let evicted_keys: Vec<_> = instances
-                    .keys()
-                    .take(instances.len() / 2 + 1)
-                    .cloned()
-                    .collect();
+        // Bound the number of live managed instances: orders protected by
+        // per-order tags create one instance per contamination, so without a cap
+        // a long run would accumulate unboundedly many handler objects.
+        if instances.len() >= self.core.config.managed_instance_cap {
+            let evicted_keys: Vec<_> = instances
+                .keys()
+                .take(instances.len() / 2 + 1)
+                .cloned()
+                .collect();
+            // Unregister all victims under one short units.write(), collecting
+            // their slots; their cell mutexes are only taken after the write
+            // guard is gone. Locking a cell while holding units.write() would
+            // invert the cell -> units order of in-progress deliveries (whose
+            // unit code may call instantiate_unit) and deadlock the workers.
+            let mut evicted_slots = Vec::with_capacity(evicted_keys.len());
+            {
+                let mut units = self.core.units.write();
                 for evicted_key in evicted_keys {
                     if let Some(evicted_id) = instances.remove(&evicted_key) {
-                        if let Some(evicted_slot) = self.core.units.write().remove(&evicted_id) {
-                            let cell = evicted_slot.cell.lock();
-                            self.core.isolation.destroy_isolate(cell.state.isolate);
-                            self.core
-                                .memory
-                                .release(MemoryCategory::UnitState, cell.state.estimated_size());
+                        if let Some(evicted_slot) = units.remove(&evicted_id) {
+                            evicted_slots.push(evicted_slot);
                         }
                     }
                 }
             }
-            instances.insert(key, id);
+            for evicted_slot in evicted_slots {
+                let mut cell = evicted_slot.cell.lock();
+                // A dispatch may have resolved this slot just before eviction;
+                // retiring it under the cell lock makes such racers skip the
+                // delivery (and re-resolve) instead of running unit code against
+                // a destroyed isolate.
+                cell.retired = true;
+                self.core.isolation.destroy_isolate(cell.state.isolate);
+                self.core
+                    .memory
+                    .release(MemoryCategory::UnitState, cell.state.estimated_size());
+            }
         }
+        instances.insert(key, id);
         self.core
             .stats
             .managed_instances

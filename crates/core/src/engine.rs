@@ -17,9 +17,12 @@ use defcon_isolation::IsolationRuntime;
 use defcon_metrics::{memory::MemoryCategory, MemoryAccountant};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::builder::EngineBuilder;
 use crate::context::UnitContext;
 use crate::dispatcher::Dispatcher;
 use crate::error::{EngineError, EngineResult};
+use crate::handle::{EngineHandle, Publisher};
+use crate::run_queue::RunQueue;
 use crate::subscription::{Subscription, SubscriptionId};
 use crate::tag_store::TagStore;
 use crate::unit::{Unit, UnitId, UnitSpec, UnitState};
@@ -83,10 +86,19 @@ impl fmt::Display for SecurityMode {
 }
 
 /// Engine construction parameters.
+///
+/// Applications normally build this through [`Engine::builder`]; the struct
+/// itself stays public so that deployments can be described declaratively (e.g.
+/// in a platform config) and handed to [`EngineBuilder::config`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// The security configuration.
     pub mode: SecurityMode,
+    /// Number of dispatcher worker threads spawned by [`Engine::start`]. Zero
+    /// means no background dispatch: the returned handle is driven manually via
+    /// [`EngineHandle::pump_until_idle`] / [`EngineHandle::run_for`], which is
+    /// what single-threaded tests and benchmarks want.
+    pub workers: usize,
     /// Number of recently dispatched events retained in the cache. The paper's
     /// deployment caches tick events (~300 MiB); the cache exists so that the
     /// memory experiment (Figure 7) sees the same population of live objects.
@@ -100,21 +112,32 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Creates a configuration with the given mode and the default cache size.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::builder().mode(..)` instead; this shim will be removed next release"
+    )]
     pub fn new(mode: SecurityMode) -> Self {
         EngineConfig {
             mode,
-            event_cache_capacity: 10_000,
-            managed_instance_cap: 1024,
+            ..EngineConfig::default()
         }
     }
 
     /// Overrides the managed-instance cap.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::builder().managed_instance_cap(..)` instead"
+    )]
     pub fn with_managed_instance_cap(mut self, cap: usize) -> Self {
         self.managed_instance_cap = cap;
         self
     }
 
     /// Overrides the event cache capacity.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::builder().event_cache(..)` instead"
+    )]
     pub fn with_event_cache(mut self, capacity: usize) -> Self {
         self.event_cache_capacity = capacity;
         self
@@ -123,7 +146,12 @@ impl EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig::new(SecurityMode::LabelsFreeze)
+        EngineConfig {
+            mode: SecurityMode::LabelsFreeze,
+            workers: 0,
+            event_cache_capacity: 10_000,
+            managed_instance_cap: 1024,
+        }
     }
 }
 
@@ -142,6 +170,9 @@ pub struct EngineStats {
     /// Errors returned by unit callbacks (isolated and counted, never propagated to
     /// other units).
     pub unit_errors: AtomicU64,
+    /// Engine-level dispatch failures on worker threads (distinct from unit
+    /// misbehaviour; any nonzero value indicates an engine bug worth reporting).
+    pub engine_errors: AtomicU64,
     /// Managed handler instances created on demand.
     pub managed_instances: AtomicU64,
 }
@@ -172,6 +203,11 @@ impl EngineStats {
         self.unit_errors.load(Ordering::Relaxed)
     }
 
+    /// Engine-level dispatch failures on worker threads.
+    pub fn engine_errors(&self) -> u64 {
+        self.engine_errors.load(Ordering::Relaxed)
+    }
+
     /// Managed instances created.
     pub fn managed_instances(&self) -> u64 {
         self.managed_instances.load(Ordering::Relaxed)
@@ -187,6 +223,10 @@ pub(crate) struct UnitCell {
     /// When `true`, deliveries are queued in the mailbox instead of invoking
     /// `on_event`.
     pub(crate) pull_mode: bool,
+    /// Set under the cell lock when the unit is evicted/removed and its isolate
+    /// destroyed; a dispatch that resolved this slot concurrently must not
+    /// deliver into the dead isolate.
+    pub(crate) retired: bool,
 }
 
 pub(crate) struct UnitSlot {
@@ -201,18 +241,74 @@ pub(crate) struct EngineCore {
     pub(crate) isolation: IsolationRuntime,
     pub(crate) units: RwLock<HashMap<UnitId, Arc<UnitSlot>>>,
     pub(crate) subscriptions: RwLock<Arc<Vec<Subscription>>>,
-    pub(crate) queue: Mutex<VecDeque<Event>>,
+    pub(crate) run_queue: RunQueue,
     pub(crate) event_cache: Mutex<VecDeque<Event>>,
     pub(crate) managed_instances: Mutex<HashMap<(SubscriptionId, Label), UnitId>>,
     pub(crate) memory: MemoryAccountant,
     pub(crate) stats: EngineStats,
+    /// Per-engine unit identifier sequence: two engines in one process (or in
+    /// parallel tests) each number their units 1, 2, 3, ... independently.
+    unit_sequence: AtomicU64,
+    /// Set by the first [`Engine::start`]; the runtime lifecycle is one-shot.
+    pub(crate) started: std::sync::atomic::AtomicBool,
 }
 
 impl EngineCore {
-    /// Enqueues an event for dispatch and updates the published counter.
+    /// Allocates the next unit identifier for this engine.
+    pub(crate) fn next_unit_id(&self) -> UnitId {
+        UnitId::from_raw(self.unit_sequence.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Enqueues an event published from inside dispatch (always accepted; the
+    /// publishing dispatch keeps the queue non-idle until it drains).
     pub(crate) fn enqueue(&self, event: Event) {
         self.stats.published.fetch_add(1, Ordering::Relaxed);
-        self.queue.lock().push_back(event);
+        self.run_queue.push(event);
+    }
+
+    /// Enqueues an event from an external driver; fails once the runtime has
+    /// shut down instead of silently losing the event.
+    pub(crate) fn enqueue_external(&self, event: Event) -> EngineResult<()> {
+        if self.run_queue.push_external(event) {
+            self.stats.published.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            Err(EngineError::InvalidOperation(
+                "engine runtime has shut down; event rejected".into(),
+            ))
+        }
+    }
+
+    /// Runs a closure with exclusive access to a unit and a [`UnitContext`] for
+    /// it, enqueueing whatever the closure published once the unit is unlocked.
+    ///
+    /// Driver closures count as external publishers: events they publish after
+    /// the runtime has shut down are rejected (the closure's other effects —
+    /// tag creation, label changes — stand).
+    pub(crate) fn with_unit_context<R>(
+        self: &Arc<Self>,
+        unit: UnitId,
+        f: impl FnOnce(&mut dyn Unit, &mut UnitContext<'_>) -> EngineResult<R>,
+    ) -> EngineResult<R> {
+        let slot = self.slot(unit)?;
+        let mut cell = slot.cell.lock();
+        let UnitCell {
+            ref mut state,
+            ref mut instance,
+            ..
+        } = *cell;
+        let mut outputs = Vec::new();
+        let result = {
+            let mut ctx = UnitContext::new(self, state, None, &mut outputs, false);
+            let r = f(instance.as_mut(), &mut ctx);
+            ctx.finish();
+            r
+        };
+        drop(cell);
+        for event in outputs {
+            self.enqueue_external(event)?;
+        }
+        result
     }
 
     /// Inserts an event into the bounded cache, charging/releasing memory.
@@ -241,13 +337,17 @@ impl EngineCore {
             .ok_or_else(|| EngineError::UnknownUnit(format!("{unit}")))
     }
 
-    /// Registers a unit and runs its `init` callback.
+    /// Registers a unit and runs its `init` callback. `in_dispatch` records
+    /// whether the registration was triggered from inside an in-flight dispatch
+    /// (`ctx.instantiate_unit` in an `on_event`); it decides how init-published
+    /// bootstrap events are enqueued.
     pub(crate) fn register_unit(
         self: &Arc<Self>,
         spec: UnitSpec,
         mut instance: Box<dyn Unit>,
+        in_dispatch: bool,
     ) -> EngineResult<UnitId> {
-        let id = UnitId::next();
+        let id = self.next_unit_id();
         let isolate = self.isolation.create_isolate();
         let mut state = UnitState::new(id, spec, isolate);
         self.memory
@@ -257,7 +357,7 @@ impl EngineCore {
         // that its subscriptions are in place atomically with registration.
         let mut outputs = Vec::new();
         {
-            let mut ctx = UnitContext::new(self, &mut state, None, &mut outputs);
+            let mut ctx = UnitContext::new(self, &mut state, None, &mut outputs, in_dispatch);
             instance.init(&mut ctx)?;
             ctx.finish();
         }
@@ -268,12 +368,22 @@ impl EngineCore {
                 instance,
                 mailbox: VecDeque::new(),
                 pull_mode: false,
+                retired: false,
             }),
             mailbox_signal: Condvar::new(),
         });
         self.units.write().insert(id, slot);
         for event in outputs {
-            self.enqueue(event);
+            if in_dispatch {
+                // Part of a main-path cascade: guaranteed to drain, like any
+                // other event published from inside a dispatch.
+                self.enqueue(event);
+            } else {
+                // Registration from a driver thread: after shutdown the
+                // bootstrap events are rejected loudly (the unit itself stays
+                // registered) instead of rotting on the stopped queue.
+                self.enqueue_external(event)?;
+            }
         }
         Ok(id)
     }
@@ -286,13 +396,36 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Shares the engine internals with in-crate runtime components.
+    pub(crate) fn core(&self) -> Arc<EngineCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Returns a builder for configuring and creating an engine — the v2 entry
+    /// point of the runtime API.
+    ///
+    /// ```
+    /// use defcon_core::{Engine, SecurityMode};
+    ///
+    /// let handle = Engine::builder()
+    ///     .mode(SecurityMode::LabelsFreeze)
+    ///     .workers(4)
+    ///     .start();
+    /// handle.shutdown().unwrap();
+    /// ```
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Creates an engine directly from a configuration (the low-level
+    /// constructor behind [`EngineBuilder::build`]).
     pub fn new(config: EngineConfig) -> Self {
         let isolation = if config.mode.isolates() {
             IsolationRuntime::standard()
         } else {
             IsolationRuntime::disabled()
         };
+        let run_queue = RunQueue::new(config.workers.max(1));
         Engine {
             core: Arc::new(EngineCore {
                 config,
@@ -300,18 +433,63 @@ impl Engine {
                 isolation,
                 units: RwLock::new(HashMap::new()),
                 subscriptions: RwLock::new(Arc::new(Vec::new())),
-                queue: Mutex::new(VecDeque::new()),
+                run_queue,
                 event_cache: Mutex::new(VecDeque::new()),
                 managed_instances: Mutex::new(HashMap::new()),
                 memory: MemoryAccountant::new(),
                 stats: EngineStats::default(),
+                unit_sequence: AtomicU64::new(1),
+                started: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
 
     /// Creates an engine with the default configuration (`labels+freeze`).
+    #[deprecated(since = "0.2.0", note = "use `Engine::builder().build()` instead")]
     pub fn with_default_config() -> Self {
         Engine::new(EngineConfig::default())
+    }
+
+    /// Starts the engine's runtime, spawning the configured number of dispatcher
+    /// worker threads over the sharded run queue, and returns the
+    /// [`EngineHandle`] through which the running engine is driven and
+    /// eventually shut down.
+    ///
+    /// With `workers == 0` no threads are spawned; the handle's
+    /// [`pump_until_idle`](EngineHandle::pump_until_idle) and
+    /// [`run_for`](EngineHandle::run_for) drive dispatch on the calling thread.
+    ///
+    /// The runtime lifecycle is **one-shot**: shutting the handle down (or
+    /// dropping it) stops this engine for good.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called a second time, or after the runtime was shut down —
+    /// both are programming errors that would otherwise produce an engine that
+    /// silently never dispatches (workers of a re-`start` would observe the
+    /// stopped queue and exit immediately).
+    pub fn start(&self) -> EngineHandle {
+        assert!(
+            !self.core.run_queue.is_stopping(),
+            "Engine::start called after the runtime was shut down; create a new engine"
+        );
+        assert!(
+            !self
+                .core
+                .started
+                .swap(true, std::sync::atomic::Ordering::SeqCst),
+            "Engine::start may only be called once per engine (the runtime lifecycle is one-shot)"
+        );
+        EngineHandle::launch(self.clone())
+    }
+
+    /// Returns a typed publisher handle that lets an external driver (a
+    /// market-data feed, a test harness) publish events *as* `unit` without
+    /// going through a [`Engine::with_unit`] closure.
+    pub fn publisher(&self, unit: UnitId) -> EngineResult<Publisher> {
+        // Fail fast if the unit does not exist.
+        self.core.slot(unit)?;
+        Ok(Publisher::new(Arc::clone(&self.core), unit))
     }
 
     /// Returns the configured security mode.
@@ -319,10 +497,15 @@ impl Engine {
         self.core.config.mode
     }
 
+    /// Returns the number of dispatcher workers [`Engine::start`] will spawn.
+    pub fn configured_workers(&self) -> usize {
+        self.core.config.workers
+    }
+
     /// Registers a processing unit, running its `init` callback, and returns its
     /// identifier.
     pub fn register_unit(&self, spec: UnitSpec, instance: Box<dyn Unit>) -> EngineResult<UnitId> {
-        self.core.register_unit(spec, instance)
+        self.core.register_unit(spec, instance, false)
     }
 
     /// Removes a unit, destroying its isolate and its subscriptions.
@@ -333,7 +516,10 @@ impl Engine {
             .write()
             .remove(&unit)
             .ok_or_else(|| EngineError::UnknownUnit(format!("{unit}")))?;
-        let cell = slot.cell.lock();
+        let mut cell = slot.cell.lock();
+        // A concurrent dispatch may already hold this slot's Arc; retiring the
+        // cell makes it skip the delivery instead of using the dead isolate.
+        cell.retired = true;
         self.core.isolation.destroy_isolate(cell.state.isolate);
         self.core
             .memory
@@ -361,25 +547,7 @@ impl Engine {
         unit: UnitId,
         f: impl FnOnce(&mut dyn Unit, &mut UnitContext<'_>) -> EngineResult<R>,
     ) -> EngineResult<R> {
-        let slot = self.core.slot(unit)?;
-        let mut cell = slot.cell.lock();
-        let UnitCell {
-            ref mut state,
-            ref mut instance,
-            ..
-        } = *cell;
-        let mut outputs = Vec::new();
-        let result = {
-            let mut ctx = UnitContext::new(&self.core, state, None, &mut outputs);
-            let r = f(instance.as_mut(), &mut ctx);
-            ctx.finish();
-            r
-        };
-        drop(cell);
-        for event in outputs {
-            self.core.enqueue(event);
-        }
-        result
+        self.core.with_unit_context(unit, f)
     }
 
     /// Returns a snapshot of a unit's security state (labels, privileges).
@@ -429,19 +597,27 @@ impl Engine {
 
     /// Dispatches at most one queued event. Returns `true` if an event was
     /// processed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::start()` and drive the returned handle instead"
+    )]
     pub fn pump_one(&self) -> EngineResult<bool> {
         self.dispatcher().pump_one()
     }
 
     /// Dispatches queued events until the queue is empty (including events published
     /// during dispatch). Returns the number of events dispatched.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::start()` and `EngineHandle::pump_until_idle` instead"
+    )]
     pub fn pump_until_idle(&self) -> EngineResult<usize> {
         self.dispatcher().pump_until_idle()
     }
 
     /// Number of events waiting in the dispatch queue.
     pub fn queue_depth(&self) -> usize {
-        self.core.queue.lock().len()
+        self.core.run_queue.len()
     }
 
     /// Returns the engine statistics counters.
@@ -474,7 +650,6 @@ impl Engine {
     pub fn memory(&self) -> &MemoryAccountant {
         &self.core.memory
     }
-
 }
 
 impl fmt::Debug for Engine {

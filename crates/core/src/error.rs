@@ -84,8 +84,12 @@ mod tests {
         assert!(isolation.to_string().contains("isolation"));
 
         assert!(EngineError::EmptyFilter.to_string().contains("filter"));
-        assert!(EngineError::UnknownUnit("x".into()).to_string().contains('x'));
-        assert!(EngineError::UnknownSubscription(3).to_string().contains('3'));
+        assert!(EngineError::UnknownUnit("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(EngineError::UnknownSubscription(3)
+            .to_string()
+            .contains('3'));
         assert!(EngineError::UnknownDraft(9).to_string().contains('9'));
         assert!(EngineError::InvalidOperation("nope".into())
             .to_string()

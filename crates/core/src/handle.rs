@@ -1,0 +1,496 @@
+//! The running engine: worker threads, typed publishers and graceful shutdown.
+//!
+//! [`Engine::start`] returns an [`EngineHandle`] owning the dispatcher worker
+//! threads (the multi-core deployment of §6: distinct units process distinct
+//! events in parallel inside one address space, while per-unit locks keep each
+//! unit single-threaded from its own point of view). The handle is how drivers
+//! interact with a live engine:
+//!
+//! * [`EngineHandle::publisher`] hands out typed [`Publisher`]s for external
+//!   event sources, replacing most `with_unit` closures;
+//! * [`EngineHandle::pump_until_idle`] / [`EngineHandle::run_for`] drive
+//!   dispatch inline when the engine was built with `workers(0)` — the
+//!   single-threaded mode tests and benchmarks use;
+//! * [`EngineHandle::wait_idle`] blocks until the queue has drained *and* no
+//!   dispatch is in flight;
+//! * [`EngineHandle::shutdown`] drains the queue, joins every worker and
+//!   returns the engine — termination is part of the API, not "stop calling
+//!   pump".
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use defcon_defc::Label;
+use defcon_events::{Event, Value};
+
+use crate::context::UnitContext;
+use crate::dispatcher::Dispatcher;
+use crate::engine::{Engine, EngineCore};
+use crate::error::{EngineError, EngineResult};
+use crate::unit::UnitId;
+
+/// A handle to a started engine runtime.
+///
+/// Dropping the handle without calling [`EngineHandle::shutdown`] also drains
+/// and joins the workers (so tests cannot leak threads), but swallows the
+/// drain statistics; prefer an explicit shutdown.
+pub struct EngineHandle {
+    engine: Engine,
+    workers: Vec<JoinHandle<u64>>,
+}
+
+impl EngineHandle {
+    pub(crate) fn launch(engine: Engine) -> Self {
+        let core = engine.core();
+        let workers = (0..core.config.workers)
+            .map(|index| {
+                let dispatcher = Dispatcher::for_worker(Arc::clone(&core), index);
+                std::thread::Builder::new()
+                    .name(format!("defcon-dispatch-{index}"))
+                    .spawn(move || dispatcher.run_worker())
+                    .expect("spawning dispatcher worker")
+            })
+            .collect();
+        EngineHandle { engine, workers }
+    }
+
+    /// The engine this handle drives.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of live dispatcher worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Returns a typed publisher for `unit` (see [`Publisher`]).
+    pub fn publisher(&self, unit: UnitId) -> EngineResult<Publisher> {
+        self.engine.publisher(unit)
+    }
+
+    /// Dispatches queued events on the calling thread until the queue drains;
+    /// returns the number of events dispatched here.
+    ///
+    /// This is the drive mode for `workers(0)` handles. It is safe (if rarely
+    /// useful) with workers running: the calling thread simply competes for
+    /// events.
+    pub fn pump_until_idle(&self) -> EngineResult<usize> {
+        self.engine.dispatcher().pump_until_idle()
+    }
+
+    /// Dispatches on the calling thread for at least `duration`, yielding while
+    /// the queue is empty; returns the number of events dispatched here.
+    pub fn run_for(&self, duration: Duration) -> EngineResult<usize> {
+        self.engine.dispatcher().pump_for(duration)
+    }
+
+    /// Blocks until the engine is idle — queue empty and no dispatch in flight —
+    /// or `timeout` elapses; returns whether idleness was reached.
+    ///
+    /// With `workers(0)` nothing drains the queue in the background, so callers
+    /// should pump instead of waiting.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        self.engine.core().run_queue.wait_idle(timeout)
+    }
+
+    /// Gracefully shuts the runtime down: lets the workers drain the queue
+    /// (including events published during the drain), joins them, and returns
+    /// the total number of events the workers dispatched over their lifetime.
+    ///
+    /// With `workers(0)` the remaining queue is drained on the calling thread.
+    pub fn shutdown(mut self) -> EngineResult<u64> {
+        self.shutdown_in_place()
+    }
+
+    fn shutdown_in_place(&mut self) -> EngineResult<u64> {
+        let core = self.engine.core();
+        core.run_queue.stop();
+        let mut dispatched = 0;
+        // Join *every* worker before reporting an error: bailing on the first
+        // panicked thread would leak the remaining ones.
+        let mut panicked = 0;
+        for worker in self.workers.drain(..) {
+            match worker.join() {
+                Ok(count) => dispatched += count,
+                Err(_) => panicked += 1,
+            }
+        }
+        // Final drain on the calling thread: the whole queue in `workers(0)`
+        // mode, and any external publish that raced `stop` and slipped in after
+        // the workers' last idle check otherwise — accepted events are never
+        // lost.
+        dispatched += self.pump_until_idle()? as u64;
+        if panicked > 0 {
+            return Err(EngineError::InvalidOperation(format!(
+                "{panicked} dispatcher worker(s) panicked during the run"
+            )));
+        }
+        Ok(dispatched)
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() || !self.engine.core().run_queue.is_stopping() {
+            let _ = self.shutdown_in_place();
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandle")
+            .field("workers", &self.workers.len())
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+/// An event under construction by an external driver, published through a
+/// [`Publisher`].
+///
+/// Unlike [`UnitContext::create_event`] drafts, an `EventDraft` is a plain
+/// value: it can be built off-thread, ahead of time, and batched. Labels are
+/// requests — at publish time each part's label is raised to the publishing
+/// unit's output label (contamination independence, §5), exactly as
+/// `UnitContext::add_part` would. The argument order of [`EventDraft::part`]
+/// matches [`defcon_events::EventBuilder::part`].
+#[derive(Debug, Default)]
+pub struct EventDraft {
+    parts: Vec<(Label, String, Value)>,
+}
+
+impl EventDraft {
+    /// Creates an empty draft.
+    pub fn new() -> Self {
+        EventDraft::default()
+    }
+
+    /// Adds a part with the requested label.
+    pub fn part(mut self, name: impl Into<String>, label: Label, data: Value) -> Self {
+        self.parts.push((label, name.into(), data));
+        self
+    }
+
+    /// Adds a public part.
+    pub fn public_part(self, name: impl Into<String>, data: Value) -> Self {
+        self.part(name, Label::public(), data)
+    }
+
+    /// Number of parts added so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Returns `true` if no parts have been added.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// A typed handle for publishing events *as* a registered unit from outside the
+/// engine — the market-data-feed pattern.
+///
+/// A `Publisher` replaces the `engine.with_unit(id, |_, ctx| { ... publish
+/// ... })` closures external drivers used to need: it is `Send`, cheap to
+/// clone, and keeps the unit lock only for the label computation, not for the
+/// whole closure body. For operations beyond publishing (creating tags,
+/// changing labels), [`Publisher::with_context`] still exposes the full
+/// Table 1 API.
+#[derive(Clone)]
+pub struct Publisher {
+    core: Arc<EngineCore>,
+    unit: UnitId,
+}
+
+impl Publisher {
+    pub(crate) fn new(core: Arc<EngineCore>, unit: UnitId) -> Self {
+        Publisher { core, unit }
+    }
+
+    /// The unit this publisher publishes as.
+    pub fn unit_id(&self) -> UnitId {
+        self.unit
+    }
+
+    /// Publishes a draft, raising each part's label to the unit's output label
+    /// (when label checks are enabled). Returns `Ok(false)` for empty drafts,
+    /// which are dropped per Table 1.
+    pub fn publish(&self, draft: EventDraft) -> EngineResult<bool> {
+        if draft.parts.is_empty() {
+            return Ok(false);
+        }
+        let checks = self.core.config.mode.checks_labels();
+        let isolates = self.core.config.mode.isolates();
+        let output_label = {
+            let slot = self.core.slot(self.unit)?;
+            let guard = slot.cell.lock();
+            guard.state.output_label.clone()
+        };
+        let parts = draft
+            .parts
+            .into_iter()
+            .map(|(label, name, data)| {
+                // Mirror `UnitContext::add_part`: the isolation runtime charges
+                // one interception per part entering the engine, so externally
+                // published parts keep counting toward Figure 5's
+                // isolation-overhead series.
+                if isolates {
+                    self.core.isolation.intercept();
+                }
+                let label = if checks {
+                    label.raised_to_output(&output_label)
+                } else {
+                    label
+                };
+                defcon_events::Part::new(name, label, data)
+            })
+            .collect();
+        let event = Event::new(parts)?;
+        self.core.enqueue_external(event)?;
+        Ok(true)
+    }
+
+    /// Runs a closure with the full [`UnitContext`] API as this unit — the
+    /// escape hatch for drivers that need more than publishing (tag creation,
+    /// label changes, subscriptions).
+    pub fn with_context<R>(
+        &self,
+        f: impl FnOnce(&mut UnitContext<'_>) -> EngineResult<R>,
+    ) -> EngineResult<R> {
+        self.core.with_unit_context(self.unit, |_, ctx| f(ctx))
+    }
+}
+
+impl std::fmt::Debug for Publisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Publisher")
+            .field("unit", &self.unit)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SecurityMode;
+    use crate::unit::{NullUnit, Unit, UnitSpec};
+    use defcon_events::Filter;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counter {
+        seen: Arc<AtomicU64>,
+    }
+
+    impl Unit for Counter {
+        fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+            ctx.subscribe(Filter::for_type("tick"))?;
+            Ok(())
+        }
+        fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+            self.seen.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn publisher_routes_events_through_dispatch() {
+        let engine = Engine::builder().mode(SecurityMode::LabelsFreeze).build();
+        let seen = Arc::new(AtomicU64::new(0));
+        engine
+            .register_unit(
+                UnitSpec::new("counter"),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            )
+            .unwrap();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+
+        let handle = engine.start();
+        let publisher = handle.publisher(source).unwrap();
+        assert!(publisher
+            .publish(EventDraft::new().public_part("type", Value::str("tick")))
+            .unwrap());
+        assert!(
+            !publisher.publish(EventDraft::new()).unwrap(),
+            "empty drafts drop"
+        );
+        handle.pump_until_idle().unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn publisher_for_unknown_unit_fails_fast() {
+        let engine = Engine::builder().build();
+        assert!(engine.publisher(UnitId::from_raw(999)).is_err());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_events_with_workers() {
+        let engine = Engine::builder().workers(2).build();
+        let seen = Arc::new(AtomicU64::new(0));
+        engine
+            .register_unit(
+                UnitSpec::new("counter"),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            )
+            .unwrap();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+
+        let handle = engine.start();
+        assert_eq!(handle.worker_count(), 2);
+        let publisher = handle.publisher(source).unwrap();
+        for _ in 0..100 {
+            publisher
+                .publish(EventDraft::new().public_part("type", Value::str("tick")))
+                .unwrap();
+        }
+        let dispatched = handle.shutdown().unwrap();
+        assert_eq!(dispatched, 100, "shutdown must drain everything");
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn publish_after_shutdown_is_rejected_not_lost() {
+        let engine = Engine::builder().workers(2).build();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+        let publisher = engine.publisher(source).unwrap();
+        engine.start().shutdown().unwrap();
+
+        let result = publisher.publish(EventDraft::new().public_part("type", Value::str("tick")));
+        assert!(
+            matches!(result, Err(crate::EngineError::InvalidOperation(_))),
+            "late publishes must fail loudly, got {result:?}"
+        );
+        assert_eq!(engine.queue_depth(), 0, "nothing may linger on the queue");
+        assert_eq!(engine.stats().published(), 0);
+    }
+
+    #[test]
+    fn bootstrap_publishes_during_late_registration_are_rejected() {
+        struct Bootstrapper;
+        impl Unit for Bootstrapper {
+            fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+                let draft = ctx.create_event();
+                ctx.add_part(&draft, Label::public(), "type", Value::str("boot"))?;
+                ctx.publish(draft)?;
+                Ok(())
+            }
+            fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+                Ok(())
+            }
+        }
+
+        let engine = Engine::builder().workers(1).build();
+        engine.start().shutdown().unwrap();
+        // Registering after shutdown is allowed, but the unit's init-published
+        // bootstrap events cannot be dispatched any more: loud error, no event
+        // rotting on the stopped queue.
+        let result = engine.register_unit(UnitSpec::new("late"), Box::new(Bootstrapper));
+        assert!(
+            matches!(result, Err(crate::EngineError::InvalidOperation(_))),
+            "got {result:?}"
+        );
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn panicking_unit_does_not_deadlock_shutdown() {
+        struct Bomb;
+        impl Unit for Bomb {
+            fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+                ctx.subscribe(defcon_events::Filter::for_type("tick"))?;
+                Ok(())
+            }
+            fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+                panic!("unit code misbehaved");
+            }
+        }
+
+        let engine = Engine::builder().workers(2).build();
+        let seen = Arc::new(AtomicU64::new(0));
+        engine
+            .register_unit(UnitSpec::new("bomb"), Box::new(Bomb))
+            .unwrap();
+        engine
+            .register_unit(
+                UnitSpec::new("counter"),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            )
+            .unwrap();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+
+        let handle = engine.start();
+        let publisher = handle.publisher(source).unwrap();
+        for _ in 0..20 {
+            publisher
+                .publish(EventDraft::new().public_part("type", Value::str("tick")))
+                .unwrap();
+        }
+        // The workers survive the panics, keep dispatching to healthy units and
+        // shutdown still drains and joins instead of hanging.
+        let dispatched = handle.shutdown().unwrap();
+        assert_eq!(dispatched, 20);
+        assert_eq!(seen.load(Ordering::Relaxed), 20);
+        assert_eq!(engine.stats().unit_errors(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "once per engine")]
+    fn double_start_panics() {
+        let engine = Engine::builder().build();
+        let _handle = engine.start();
+        let _second = engine.start();
+    }
+
+    #[test]
+    #[should_panic(expected = "after the runtime was shut down")]
+    fn start_after_shutdown_panics() {
+        let engine = Engine::builder().build();
+        engine.start().shutdown().unwrap();
+        let _revenant = engine.start();
+    }
+
+    #[test]
+    fn dropping_a_handle_joins_workers() {
+        let engine = Engine::builder().workers(2).build();
+        {
+            let _handle = engine.start();
+        }
+        // After the drop the queue is stopped; a new start() would need a new
+        // engine, which is the documented one-shot lifecycle.
+        assert!(engine.queue_depth() == 0);
+    }
+
+    #[test]
+    fn with_context_exposes_the_full_table1_api() {
+        let engine = Engine::builder().build();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+        let handle = engine.start();
+        let publisher = handle.publisher(source).unwrap();
+        let tag = publisher
+            .with_context(|ctx| Ok(ctx.create_owned_tag("t")))
+            .unwrap();
+        assert_eq!(tag.name(), Some("t"));
+        handle.shutdown().unwrap();
+    }
+}

@@ -23,10 +23,14 @@
 //!
 //! # Quick start
 //!
+//! The runtime API follows an [`EngineBuilder`] → [`Engine`] → [`EngineHandle`]
+//! lifecycle: configure, register units, start (optionally with dispatcher
+//! worker threads), publish through typed [`Publisher`] handles, and shut down
+//! gracefully.
+//!
 //! ```
-//! use defcon_core::{Engine, EngineConfig, SecurityMode, Unit, UnitContext, UnitSpec};
-//! use defcon_core::EngineResult;
-//! use defcon_defc::Label;
+//! use defcon_core::{Engine, EngineResult, EventDraft, SecurityMode, Unit, UnitContext, UnitSpec};
+//! use defcon_core::unit::NullUnit;
 //! use defcon_events::{Event, Filter, Value};
 //!
 //! struct Printer;
@@ -42,37 +46,47 @@
 //!     }
 //! }
 //!
-//! let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
-//! let printer = engine.register_unit(UnitSpec::new("printer"), Box::new(Printer)).unwrap();
-//! # let _ = printer;
+//! let engine = Engine::builder()
+//!     .mode(SecurityMode::LabelsFreeze)
+//!     .workers(2) // distinct units dispatch in parallel; use 0 for manual pumping
+//!     .build();
+//! engine.register_unit(UnitSpec::new("printer"), Box::new(Printer)).unwrap();
+//! let source = engine.register_unit(UnitSpec::new("source"), Box::new(NullUnit)).unwrap();
 //!
-//! // Publish an event from outside (e.g. a driver thread) on behalf of a source unit.
-//! let source = engine.register_unit(UnitSpec::new("source"), Box::new(defcon_core::unit::NullUnit)).unwrap();
-//! engine.with_unit(source, |_, ctx| {
-//!     let draft = ctx.create_event();
-//!     ctx.add_part(&draft, Label::public(), "type", Value::str("greeting"))?;
-//!     ctx.add_part(&draft, Label::public(), "text", Value::str("hello"))?;
-//!     ctx.publish(draft)
-//! }).unwrap();
+//! // Start the runtime and publish from outside (e.g. a market-data feed
+//! // thread) through a typed publisher handle.
+//! let handle = engine.start();
+//! let feed = handle.publisher(source).unwrap();
+//! feed.publish(
+//!     EventDraft::new()
+//!         .public_part("type", Value::str("greeting"))
+//!         .public_part("text", Value::str("hello")),
+//! ).unwrap();
 //!
-//! engine.pump_until_idle().unwrap();
+//! // Graceful termination: drain the queue, join the workers.
+//! handle.shutdown().unwrap();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod context;
 pub mod dispatcher;
 pub mod engine;
 pub mod error;
+pub mod handle;
+mod run_queue;
 pub mod subscription;
 pub mod tag_store;
 pub mod unit;
 
+pub use builder::EngineBuilder;
 pub use context::{DraftEvent, UnitContext};
 pub use dispatcher::Dispatcher;
 pub use engine::{Engine, EngineConfig, EngineStats, SecurityMode};
 pub use error::{EngineError, EngineResult};
+pub use handle::{EngineHandle, EventDraft, Publisher};
 pub use subscription::{Subscription, SubscriptionId, SubscriptionKind};
 pub use tag_store::TagStore;
 pub use unit::{Unit, UnitFactory, UnitId, UnitSpec, UnitState};

@@ -1,0 +1,412 @@
+//! The engine's sharded run queue.
+//!
+//! Published-but-not-yet-dispatched events live here. The queue is split into
+//! shards so that concurrent dispatcher workers (§6's multi-core configuration)
+//! do not all contend on one mutex: producers enqueue round-robin, and each
+//! worker prefers "its" shard, stealing from the others when it runs dry.
+//! Ordering is therefore FIFO per shard, not globally — the engine has never
+//! promised a global dispatch order across independent events, only that each
+//! event's deliveries happen in subscription order and that deliveries to one
+//! unit are serialised (by the per-unit mutex, not by the queue).
+//!
+//! The queue also tracks how many events are *in flight* (popped but whose
+//! dispatch has not finished), which is what makes [`RunQueue::wait_idle`] and
+//! graceful shutdown deterministic: a drained queue with an in-flight dispatch
+//! may still grow again, so "idle" means empty *and* nothing in flight.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use defcon_events::Event;
+use parking_lot::{Condvar, Mutex};
+
+/// How long blocked consumers sleep between wakeup checks. Wakeups are signalled
+/// explicitly; the timeout is a safety net against lost notifications.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// A multi-producer multi-consumer queue of events awaiting dispatch.
+pub(crate) struct RunQueue {
+    shards: Vec<Mutex<VecDeque<Event>>>,
+    /// Events queued across all shards.
+    len: AtomicUsize,
+    /// Events accepted but not yet *completed* (queued + in flight). Idleness
+    /// is this single counter reaching zero — reading `len` and an in-flight
+    /// count as a pair would admit a race where a cascade publication between
+    /// the two loads makes a busy queue look idle.
+    pending: AtomicUsize,
+    /// Set by [`RunQueue::stop`]; workers exit once the queue is fully idle.
+    stopping: AtomicBool,
+    /// Round-robin cursor for enqueue shard selection.
+    next_shard: AtomicUsize,
+    /// Consumers currently parked (or about to park) on `work_signal`; lets the
+    /// hot internal push skip the signal lock when nobody is listening.
+    waiters: AtomicUsize,
+    /// Guards the wakeup condvars (the counters themselves are atomics).
+    signal_lock: Mutex<()>,
+    /// Signalled when work arrives or the queue starts stopping.
+    work_signal: Condvar,
+    /// Signalled when the queue becomes fully idle.
+    idle_signal: Condvar,
+}
+
+impl RunQueue {
+    /// Creates a queue with `shards` internal shards (at least one).
+    pub(crate) fn new(shards: usize) -> Self {
+        RunQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            len: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            next_shard: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            signal_lock: Mutex::new(()),
+            work_signal: Condvar::new(),
+            idle_signal: Condvar::new(),
+        }
+    }
+
+    /// Number of events currently queued (not counting in-flight dispatches).
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` if nothing is queued and nothing is being dispatched.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0
+    }
+
+    /// Enqueues an event from *inside* dispatch (main-path cascades). Always
+    /// accepted: the publishing dispatch is in flight, so stopping workers
+    /// cannot have exited yet and the event is guaranteed to drain. This is the
+    /// hot path — it touches only its shard, never the global signal lock,
+    /// unless a consumer is actually parked.
+    pub(crate) fn push(&self, event: Event) {
+        self.insert(event);
+        // SeqCst pairs with the waiter registration in `next_event`: either this
+        // load sees the registered waiter (and we wake it), or the waiter's
+        // pre-sleep `len` recheck — sequenced after its registration — sees our
+        // insert and never parks. WAIT_SLICE further bounds any surprise.
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _signal = self.signal_lock.lock();
+            self.work_signal.notify_one();
+        }
+    }
+
+    /// Enqueues an event from an external driver (publisher handles, `with_unit`
+    /// closures). Returns `false` — without enqueueing — once the queue is
+    /// stopping: after the drain finishes nothing would ever dispatch the
+    /// event, so accepting it would lose it silently.
+    ///
+    /// Lock-free on the accept path, with a re-check after the insert closing
+    /// the race against a concurrent full shutdown: if `stop` was observed
+    /// false before the insert, the insert is SeqCst-ordered before the flag
+    /// flip and the stopping drain is guaranteed to see the event; if stopping
+    /// is observed afterwards, the event is taken back out (unless a drain
+    /// already popped it, in which case it is being dispatched). Either way an
+    /// `accepted` return means the event will be dispatched.
+    pub(crate) fn push_external(&self, event: Event) -> bool {
+        if self.stopping.load(Ordering::SeqCst) {
+            return false;
+        }
+        let id = event.id();
+        let shard = self.insert(event);
+        if self.stopping.load(Ordering::SeqCst) {
+            // Raced with shutdown; the drain may already be past this shard.
+            // Withdraw the event by identity — if it is gone, a consumer has
+            // it and will dispatch it, so the publish stands.
+            let mut queue = self.shards[shard].lock();
+            if let Some(position) = queue.iter().position(|queued| queued.id() == id) {
+                queue.remove(position);
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                drop(queue);
+                self.complete();
+                return false;
+            }
+        }
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _signal = self.signal_lock.lock();
+            self.work_signal.notify_one();
+        }
+        true
+    }
+
+    fn insert(&self, event: Event) -> usize {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut queue = self.shards[shard].lock();
+        // `pending` rises with the insert and only falls at `complete`, so a
+        // cascade event published during a dispatch is counted before that
+        // dispatch completes — idleness can never be observed in between.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        queue.push_back(event);
+        // Incremented while the shard lock is held so `len` can never lag a
+        // concurrent pop and wrap below zero.
+        self.len.fetch_add(1, Ordering::SeqCst);
+        shard
+    }
+
+    /// Pops one event, preferring shard `preferred` and stealing from the others.
+    /// The popped event counts as in flight until [`RunQueue::complete`] is
+    /// called for it.
+    pub(crate) fn pop(&self, preferred: usize) -> Option<Event> {
+        let shard_count = self.shards.len();
+        for offset in 0..shard_count {
+            let shard = &self.shards[(preferred + offset) % shard_count];
+            let mut queue = shard.lock();
+            if let Some(event) = queue.pop_front() {
+                // Only `len` drops here; `pending` keeps counting the event
+                // until its dispatch calls `complete`.
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(event);
+            }
+        }
+        None
+    }
+
+    /// Marks one popped event's dispatch as finished.
+    pub(crate) fn complete(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        if self.is_idle() {
+            let _signal = self.signal_lock.lock();
+            self.idle_signal.notify_all();
+            // Stopping workers park on the work signal; wake them so they can
+            // observe the idle queue and exit.
+            self.work_signal.notify_all();
+        }
+    }
+
+    /// Returns a guard that calls [`RunQueue::complete`] when dropped, so the
+    /// in-flight count stays balanced even if a dispatch panics.
+    pub(crate) fn complete_guard(&self) -> CompleteGuard<'_> {
+        CompleteGuard { queue: self }
+    }
+
+    /// Blocks until an event is available (returning it, in-flight) or until the
+    /// queue is stopping *and* fully idle (returning `None`, telling a worker to
+    /// exit).
+    pub(crate) fn next_event(&self, preferred: usize) -> Option<Event> {
+        loop {
+            if let Some(event) = self.pop(preferred) {
+                return Some(event);
+            }
+            if self.stopping.load(Ordering::Acquire) && self.is_idle() {
+                return None;
+            }
+            let mut signal = self.signal_lock.lock();
+            // Register as a waiter *before* the recheck (SeqCst, pairing with
+            // `push`), then re-check: a push or the final `complete` may have
+            // raced with the checks above.
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            if self.len.load(Ordering::SeqCst) > 0
+                || (self.stopping.load(Ordering::Acquire) && self.is_idle())
+            {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            self.work_signal.wait_for(&mut signal, WAIT_SLICE);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Parks the caller until work may be available or `max_wait` (bounded by
+    /// the safety slice) elapses — the blocking primitive behind
+    /// [`Dispatcher::pump_for`](crate::Dispatcher::pump_for), so polling drivers
+    /// do not spin a core while the queue is empty. Parks regardless of the
+    /// stopping flag (callers exit on `stopping && idle` themselves): in-flight
+    /// dispatches of a stopping queue may still publish, and `complete` wakes
+    /// all waiters when the queue goes idle.
+    pub(crate) fn park_for_work(&self, max_wait: Duration) {
+        let mut signal = self.signal_lock.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        if self.len.load(Ordering::SeqCst) == 0 {
+            self.work_signal
+                .wait_for(&mut signal, max_wait.min(WAIT_SLICE));
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Asks consumers to exit once the queue has fully drained. External pushes
+    /// are rejected from this point on (see `push_external` for how the flag
+    /// flip and racing inserts reconcile).
+    pub(crate) fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let _signal = self.signal_lock.lock();
+        self.work_signal.notify_all();
+        self.idle_signal.notify_all();
+    }
+
+    /// Returns `true` once [`RunQueue::stop`] has been called.
+    pub(crate) fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the queue is fully idle or `timeout` elapses; returns whether
+    /// idleness was reached.
+    pub(crate) fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.is_idle() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let mut signal = self.signal_lock.lock();
+            if self.is_idle() {
+                return true;
+            }
+            self.idle_signal
+                .wait_for(&mut signal, (deadline - now).min(WAIT_SLICE));
+        }
+    }
+}
+
+/// RAII guard balancing an in-flight dispatch (see [`RunQueue::complete_guard`]).
+pub(crate) struct CompleteGuard<'a> {
+    queue: &'a RunQueue,
+}
+
+impl Drop for CompleteGuard<'_> {
+    fn drop(&mut self) {
+        self.queue.complete();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_defc::Label;
+    use defcon_events::{EventBuilder, Value};
+    use std::sync::Arc;
+
+    fn event(n: i64) -> Event {
+        EventBuilder::new()
+            .part("n", Label::public(), Value::Int(n))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_pop_complete_round_trip() {
+        let queue = RunQueue::new(4);
+        assert!(queue.is_idle());
+        queue.push(event(1));
+        queue.push(event(2));
+        assert_eq!(queue.len(), 2);
+
+        let first = queue.pop(0).expect("event queued");
+        assert!(!queue.is_idle(), "popped event is in flight");
+        queue.complete();
+        let _ = first;
+        assert!(queue.pop(0).is_some());
+        queue.complete();
+        assert!(queue.is_idle());
+        assert!(queue.pop(0).is_none());
+    }
+
+    #[test]
+    fn pop_steals_from_other_shards() {
+        let queue = RunQueue::new(4);
+        queue.push(event(1)); // lands on shard 0 (round-robin from 0)
+        assert!(queue.pop(3).is_some(), "worker 3 must steal from shard 0");
+        queue.complete();
+    }
+
+    #[test]
+    fn next_event_returns_none_only_when_stopped_and_idle() {
+        let queue = Arc::new(RunQueue::new(2));
+        queue.push(event(1));
+        queue.stop();
+        // Still one event queued: consumers must drain it before exiting.
+        let got = queue.next_event(0).expect("queued event survives stop");
+        let _ = got;
+        queue.complete();
+        assert!(queue.next_event(0).is_none());
+    }
+
+    #[test]
+    fn external_pushes_are_rejected_after_stop_but_internal_ones_drain() {
+        let queue = RunQueue::new(2);
+        assert!(queue.push_external(event(1)), "accepted while running");
+        queue.stop();
+        assert!(!queue.push_external(event(2)), "rejected once stopping");
+        // Internal (cascade) pushes are still accepted and drainable.
+        queue.push(event(3));
+        assert_eq!(queue.len(), 2);
+        while queue.next_event(0).is_some() {
+            queue.complete();
+        }
+        assert!(queue.is_idle());
+    }
+
+    #[test]
+    fn complete_guard_balances_in_flight_on_panic() {
+        let queue = Arc::new(RunQueue::new(1));
+        queue.push(event(1));
+        let inner = Arc::clone(&queue);
+        let result = std::panic::catch_unwind(move || {
+            let _event = inner.pop(0).unwrap();
+            let _guard = inner.complete_guard();
+            panic!("dispatch blew up");
+        });
+        assert!(result.is_err());
+        assert!(
+            queue.is_idle(),
+            "guard must complete the dispatch on unwind"
+        );
+    }
+
+    #[test]
+    fn wait_idle_times_out_while_in_flight() {
+        let queue = RunQueue::new(1);
+        queue.push(event(1));
+        let _event = queue.pop(0).unwrap();
+        assert!(!queue.wait_idle(Duration::from_millis(20)));
+        queue.complete();
+        assert!(queue.wait_idle(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_drain_exactly() {
+        let queue = Arc::new(RunQueue::new(4));
+        let produced = 4 * 500;
+        let consumed = Arc::new(AtomicUsize::new(0));
+
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        queue.push(event((p * 500 + i) as i64));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    while let Some(_event) = queue.next_event(w) {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                        queue.complete();
+                    }
+                })
+            })
+            .collect();
+
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        assert!(queue.wait_idle(Duration::from_secs(10)));
+        queue.stop();
+        for consumer in consumers {
+            consumer.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert!(queue.is_idle());
+    }
+}

@@ -12,7 +12,6 @@
 //! API (`changeInOutLabel`, `changeOutLabel`, privilege-carrying events, ...).
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use defcon_defc::{Label, Privilege, PrivilegeSet};
 use defcon_events::Event;
@@ -22,18 +21,17 @@ use crate::context::UnitContext;
 use crate::error::EngineResult;
 
 /// Identifier of a registered processing unit.
+///
+/// Identifiers are allocated *per engine* (each engine numbers its units
+/// 1, 2, 3, ...), so two engines in one process — or tests running in
+/// parallel — produce identical, deterministic id sequences instead of
+/// interleaving a process-global counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UnitId(u64);
 
-static UNIT_SEQUENCE: AtomicU64 = AtomicU64::new(1);
-
 impl UnitId {
-    /// Allocates a fresh unit identifier.
-    pub fn next() -> Self {
-        UnitId(UNIT_SEQUENCE.fetch_add(1, Ordering::Relaxed))
-    }
-
-    /// Builds a unit identifier from a raw value (tests only).
+    /// Builds a unit identifier from a raw value. Engines allocate ids through
+    /// their own sequence; this constructor exists for tests and diagnostics.
     pub fn from_raw(raw: u64) -> Self {
         UnitId(raw)
     }
@@ -192,12 +190,33 @@ mod tests {
     use defcon_defc::{Tag, TagSet};
 
     #[test]
-    fn unit_ids_are_unique() {
-        let a = UnitId::next();
-        let b = UnitId::next();
+    fn unit_ids_compare_and_display_by_raw_value() {
+        let a = UnitId::from_raw(1);
+        let b = UnitId::from_raw(2);
         assert_ne!(a, b);
         assert!(b.as_u64() > a.as_u64());
         assert!(a.to_string().starts_with("unit#"));
+    }
+
+    #[test]
+    fn engines_allocate_unit_ids_independently() {
+        use crate::engine::Engine;
+
+        // Two engines registering units "in parallel" must not interleave ids:
+        // each numbers its own units from 1.
+        let first = Engine::builder().build();
+        let second = Engine::builder().build();
+        let a1 = first
+            .register_unit(UnitSpec::new("a1"), Box::new(NullUnit))
+            .unwrap();
+        let b1 = second
+            .register_unit(UnitSpec::new("b1"), Box::new(NullUnit))
+            .unwrap();
+        let a2 = first
+            .register_unit(UnitSpec::new("a2"), Box::new(NullUnit))
+            .unwrap();
+        assert_eq!(a1, b1, "both engines start their sequence at 1");
+        assert_eq!(a1.as_u64() + 1, a2.as_u64());
     }
 
     #[test]
@@ -209,15 +228,17 @@ mod tests {
         assert_eq!(spec.name, "broker");
         assert!(spec.input_label.confidentiality().contains(&t));
         assert!(spec.output_label.confidentiality().contains(&t));
-        assert!(spec.privileges.holds(&t, defcon_defc::PrivilegeKind::Remove));
+        assert!(spec
+            .privileges
+            .holds(&t, defcon_defc::PrivilegeKind::Remove));
     }
 
     #[test]
     fn can_see_follows_can_flow_to() {
         let t = Tag::with_name("t");
-        let spec = UnitSpec::new("u")
-            .with_input_label(Label::confidential(TagSet::singleton(t.clone())));
-        let state = UnitState::new(UnitId::next(), spec, IsolateId::engine());
+        let spec =
+            UnitSpec::new("u").with_input_label(Label::confidential(TagSet::singleton(t.clone())));
+        let state = UnitState::new(UnitId::from_raw(1), spec, IsolateId::engine());
 
         assert!(state.can_see(&Label::public()));
         assert!(state.can_see(&Label::confidential(TagSet::singleton(t.clone()))));
@@ -232,7 +253,7 @@ mod tests {
         let s = Tag::with_name("i-exchange");
         let spec = UnitSpec::new("monitor")
             .with_input_label(Label::endorsed(TagSet::singleton(s.clone())));
-        let state = UnitState::new(UnitId::next(), spec, IsolateId::engine());
+        let state = UnitState::new(UnitId::from_raw(1), spec, IsolateId::engine());
 
         assert!(state.can_see(&Label::endorsed(TagSet::singleton(s))));
         assert!(!state.can_see(&Label::public()));
@@ -240,7 +261,7 @@ mod tests {
 
     #[test]
     fn estimated_size_is_positive() {
-        let state = UnitState::new(UnitId::next(), UnitSpec::new("x"), IsolateId::engine());
+        let state = UnitState::new(UnitId::from_raw(1), UnitSpec::new("x"), IsolateId::engine());
         assert!(state.estimated_size() > 0);
     }
 }

@@ -1,17 +1,31 @@
 //! End-to-end tests of the DEFCon engine: the Table 1 API, the can-flow-to checks
 //! performed during dispatch, privilege delegation through events, managed
-//! subscriptions and the four security modes.
+//! subscriptions and the four security modes — driven through the v2 runtime API
+//! (`Engine::builder()` → `Engine` → `EngineHandle`), plus concurrent-dispatch
+//! coverage for multi-worker engines.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use defcon_core::context::LabelOp;
 use defcon_core::unit::NullUnit;
 use defcon_core::{
-    Engine, EngineConfig, EngineError, EngineResult, SecurityMode, Unit, UnitContext, UnitSpec,
+    Engine, EngineError, EngineHandle, EngineResult, EventDraft, SecurityMode, Unit, UnitContext,
+    UnitSpec,
 };
 use defcon_defc::{Component, Label, Privilege, PrivilegeKind, Tag, TagSet};
 use defcon_events::{Event, Filter, Value};
+
+/// Builds an unstarted single-threaded engine in the given mode.
+fn engine(mode: SecurityMode) -> Engine {
+    Engine::builder().mode(mode).build()
+}
+
+/// Starts a single-threaded (manually pumped) engine in the given mode.
+fn started(mode: SecurityMode) -> EngineHandle {
+    engine(mode).start()
+}
 
 /// A unit that records how many events it received and, optionally, the data of a
 /// named part of each.
@@ -61,37 +75,38 @@ impl Unit for Recorder {
     }
 }
 
-/// Publishes an event with the given public parts from a throwaway source unit.
+/// Publishes an event with the given public parts from a throwaway source unit,
+/// through the typed publisher handle.
 fn publish_public(engine: &Engine, parts: &[(&str, Value)]) {
     let source = engine
         .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
         .unwrap();
-    engine
-        .with_unit(source, |_, ctx| {
-            let draft = ctx.create_event();
-            for (name, value) in parts {
-                ctx.add_part(&draft, Label::public(), *name, value.clone())?;
-            }
-            ctx.publish(draft)?;
-            Ok(())
-        })
-        .unwrap();
+    let publisher = engine.publisher(source).unwrap();
+    let mut draft = EventDraft::new();
+    for (name, value) in parts {
+        draft = draft.public_part(*name, value.clone());
+    }
+    publisher.publish(draft).unwrap();
 }
 
 #[test]
 fn basic_publish_subscribe_roundtrip() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
     let (recorder, received, seen) = Recorder::new(Filter::for_type("tick"));
     engine
-        .register_unit(UnitSpec::new("recorder"), Box::new(recorder.reading("price")))
+        .register_unit(
+            UnitSpec::new("recorder"),
+            Box::new(recorder.reading("price")),
+        )
         .unwrap();
 
     publish_public(
-        &engine,
+        engine,
         &[("type", Value::str("tick")), ("price", Value::Float(10.0))],
     );
-    publish_public(&engine, &[("type", Value::str("other"))]);
-    engine.pump_until_idle().unwrap();
+    publish_public(engine, &[("type", Value::str("other"))]);
+    handle.pump_until_idle().unwrap();
 
     assert_eq!(received.load(Ordering::Relaxed), 1);
     assert_eq!(seen.lock().as_slice(), &[Value::Float(10.0)]);
@@ -105,7 +120,8 @@ fn confidential_parts_are_hidden_from_untagged_units() {
     // A subscriber without the secrecy tag must not receive events whose filtered
     // part is confidential, and must not be able to read hidden parts of events it
     // does receive.
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
 
     let (recorder, received, _) = Recorder::new(Filter::for_type("order"));
     engine
@@ -114,11 +130,12 @@ fn confidential_parts_are_hidden_from_untagged_units() {
 
     // The publisher owns a tag and publishes the order body under it, with a public
     // type part.
-    let publisher = engine
+    let publisher_unit = engine
         .register_unit(UnitSpec::new("publisher"), Box::new(NullUnit))
         .unwrap();
-    engine
-        .with_unit(publisher, |_, ctx| {
+    let publisher = engine.publisher(publisher_unit).unwrap();
+    publisher
+        .with_context(|ctx| {
             let t = ctx.create_owned_tag("s-trader-1");
             let draft = ctx.create_event();
             ctx.add_part(&draft, Label::public(), "type", Value::str("order"))?;
@@ -132,7 +149,7 @@ fn confidential_parts_are_hidden_from_untagged_units() {
             Ok(())
         })
         .unwrap();
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
 
     // The curious unit receives the event (the type part is public)...
     assert_eq!(received.load(Ordering::Relaxed), 1);
@@ -141,21 +158,22 @@ fn confidential_parts_are_hidden_from_untagged_units() {
     let curious2 = engine
         .register_unit(UnitSpec::new("curious2"), Box::new(NullUnit))
         .unwrap();
-    // Re-publish and read through a context to verify part-level hiding.
-    engine
-        .with_unit(publisher, |_, ctx| {
-            let t = ctx.create_owned_tag("s-trader-2");
-            let draft = ctx.create_event();
-            ctx.add_part(&draft, Label::public(), "type", Value::str("order"))?;
-            ctx.add_part(
-                &draft,
-                Label::confidential(TagSet::singleton(t)),
-                "body",
-                Value::Float(1.0),
-            )?;
-            ctx.publish(draft)?;
-            Ok(())
-        })
+    // Re-publish and read through a context to verify part-level hiding. The
+    // draft can also be built externally: the confidential label is a request
+    // honoured by the typed publisher.
+    let tag = publisher
+        .with_context(|ctx| Ok(ctx.create_owned_tag("s-trader-2")))
+        .unwrap();
+    publisher
+        .publish(
+            EventDraft::new()
+                .public_part("type", Value::str("order"))
+                .part(
+                    "body",
+                    Label::confidential(TagSet::singleton(tag)),
+                    Value::Float(1.0),
+                ),
+        )
         .unwrap();
     engine.set_pull_mode(curious2, true).unwrap();
     engine
@@ -164,11 +182,14 @@ fn confidential_parts_are_hidden_from_untagged_units() {
             Ok(())
         })
         .unwrap();
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
     let (event, _) = engine.poll_event(curious2).unwrap().expect("delivered");
     engine
         .with_unit(curious2, |_, ctx| {
-            assert!(ctx.read_part(&event, "body").is_err(), "body must be hidden");
+            assert!(
+                ctx.read_part(&event, "body").is_err(),
+                "body must be hidden"
+            );
             assert!(ctx.read_part(&event, "type").is_ok());
             Ok(())
         })
@@ -179,14 +200,16 @@ fn confidential_parts_are_hidden_from_untagged_units() {
 fn integrity_subscription_requires_endorsed_events() {
     // A unit instantiated with read integrity {s} only perceives events published
     // with that integrity tag (the Pair Monitor rule, §6.1 step 2).
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
 
     let exchange = engine
         .register_unit(UnitSpec::new("exchange"), Box::new(NullUnit))
         .unwrap();
+    let feed = engine.publisher(exchange).unwrap();
     // The exchange owns the integrity tag s and endorses its ticks with it.
-    let s = engine
-        .with_unit(exchange, |_, ctx| Ok(ctx.create_owned_tag("i-exchange")))
+    let s = feed
+        .with_context(|ctx| Ok(ctx.create_owned_tag("i-exchange")))
         .unwrap();
 
     let (recorder, received, _) = Recorder::new(Filter::for_type("tick"));
@@ -201,41 +224,43 @@ fn integrity_subscription_requires_endorsed_events() {
     // An endorsed tick is delivered. The exchange must hold s in its output label
     // (the precondition for endorsing) and request the endorsed label for the part;
     // the contamination-independence transform I' = I ∩ I_out keeps the tag.
-    engine
-        .with_unit(exchange, |_, ctx| {
-            ctx.change_out_label(Component::Integrity, LabelOp::Add, &s)?;
-            let draft = ctx.create_event();
-            ctx.add_part(
-                &draft,
-                Label::endorsed(TagSet::singleton(s.clone())),
-                "type",
-                Value::str("tick"),
-            )?;
-            ctx.publish(draft)?;
-            Ok(())
-        })
-        .unwrap();
+    feed.with_context(|ctx| {
+        ctx.change_out_label(Component::Integrity, LabelOp::Add, &s)?;
+        Ok(())
+    })
+    .unwrap();
+    feed.publish(EventDraft::new().part(
+        "type",
+        Label::endorsed(TagSet::singleton(s.clone())),
+        Value::str("tick"),
+    ))
+    .unwrap();
     // A forged tick from a unit without the integrity tag is not delivered.
-    publish_public(&engine, &[("type", Value::str("tick"))]);
+    publish_public(engine, &[("type", Value::str("tick"))]);
 
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
     assert_eq!(received.load(Ordering::Relaxed), 1);
     assert!(engine.stats().label_rejections() >= 1);
 }
 
 #[test]
 fn no_security_mode_skips_label_checks() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::NoSecurity));
+    let handle = started(SecurityMode::NoSecurity);
+    let engine = handle.engine();
     let (recorder, received, seen) = Recorder::new(Filter::for_type("order"));
     engine
-        .register_unit(UnitSpec::new("observer"), Box::new(recorder.reading("body")))
+        .register_unit(
+            UnitSpec::new("observer"),
+            Box::new(recorder.reading("body")),
+        )
         .unwrap();
 
-    let publisher = engine
+    let publisher_unit = engine
         .register_unit(UnitSpec::new("publisher"), Box::new(NullUnit))
         .unwrap();
-    engine
-        .with_unit(publisher, |_, ctx| {
+    let publisher = engine.publisher(publisher_unit).unwrap();
+    publisher
+        .with_context(|ctx| {
             let t = ctx.create_owned_tag("secret");
             let draft = ctx.create_event();
             ctx.add_part(&draft, Label::public(), "type", Value::str("order"))?;
@@ -249,7 +274,7 @@ fn no_security_mode_skips_label_checks() {
             Ok(())
         })
         .unwrap();
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
 
     // Without security, the confidential body is visible to everyone.
     assert_eq!(received.load(Ordering::Relaxed), 1);
@@ -260,7 +285,8 @@ fn no_security_mode_skips_label_checks() {
 fn privilege_carrying_parts_bestow_privileges_on_read() {
     // A regulator-like unit gains t+ by reading a privilege-carrying part and can
     // then raise its input label to read the protected identity (§3.1.5).
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
 
     let trader = engine
         .register_unit(UnitSpec::new("trader"), Box::new(NullUnit))
@@ -300,7 +326,7 @@ fn privilege_carrying_parts_bestow_privileges_on_read() {
         })
         .unwrap();
 
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
     let (event, _) = engine.poll_event(regulator).unwrap().expect("delivered");
 
     engine
@@ -325,7 +351,7 @@ fn privilege_carrying_parts_bestow_privileges_on_read() {
 
 #[test]
 fn label_changes_require_privileges() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let engine = engine(SecurityMode::LabelsFreeze);
     let unit = engine
         .register_unit(UnitSpec::new("u"), Box::new(NullUnit))
         .unwrap();
@@ -356,10 +382,12 @@ fn label_changes_require_privileges() {
 #[test]
 fn contamination_independence_raises_part_labels() {
     // A unit whose output label carries tag d cannot write a public part: the tag is
-    // transparently added (Table 1 footnote).
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    // transparently added (Table 1 footnote) — including for parts published through
+    // the typed publisher handle.
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
 
-    let publisher = engine
+    let publisher_unit = engine
         .register_unit(UnitSpec::new("publisher"), Box::new(NullUnit))
         .unwrap();
     let observer = engine
@@ -373,18 +401,19 @@ fn contamination_independence_raises_part_labels() {
         })
         .unwrap();
 
-    engine
-        .with_unit(publisher, |_, ctx| {
+    let publisher = engine.publisher(publisher_unit).unwrap();
+    publisher
+        .with_context(|ctx| {
             let d = ctx.create_owned_tag("d");
             ctx.change_out_label(Component::Confidentiality, LabelOp::Add, &d)?;
-            let draft = ctx.create_event();
-            // The unit *asks* for a public label, but the part must come out tagged.
-            ctx.add_part(&draft, Label::public(), "type", Value::str("note"))?;
-            ctx.publish(draft)?;
             Ok(())
         })
         .unwrap();
-    engine.pump_until_idle().unwrap();
+    // The driver *asks* for a public label, but the part must come out tagged.
+    publisher
+        .publish(EventDraft::new().public_part("type", Value::str("note")))
+        .unwrap();
+    handle.pump_until_idle().unwrap();
 
     // The observer lacks tag d, so the filtered part is invisible and the event is
     // not delivered at all.
@@ -396,7 +425,8 @@ fn contamination_independence_raises_part_labels() {
 fn managed_subscription_keeps_owner_clean() {
     // A broker-like unit uses a managed subscription to process confidential orders
     // without permanently contaminating its own state.
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
 
     struct ManagedHandler {
         processed: Arc<AtomicU64>,
@@ -447,23 +477,23 @@ fn managed_subscription_keeps_owner_clean() {
         let trader = engine
             .register_unit(UnitSpec::new(name), Box::new(NullUnit))
             .unwrap();
-        engine
-            .with_unit(trader, |_, ctx| {
-                let t = ctx.create_owned_tag(format!("s-{name}"));
-                let draft = ctx.create_event();
-                ctx.add_part(&draft, Label::public(), "type", Value::str("order"))?;
-                ctx.add_part(
-                    &draft,
-                    Label::confidential(TagSet::singleton(t)),
-                    "body",
-                    Value::Float(10.0),
-                )?;
-                ctx.publish(draft)?;
-                Ok(())
-            })
+        let publisher = engine.publisher(trader).unwrap();
+        let tag = publisher
+            .with_context(|ctx| Ok(ctx.create_owned_tag(format!("s-{name}"))))
+            .unwrap();
+        publisher
+            .publish(
+                EventDraft::new()
+                    .public_part("type", Value::str("order"))
+                    .part(
+                        "body",
+                        Label::confidential(TagSet::singleton(tag)),
+                        Value::Float(10.0),
+                    ),
+            )
             .unwrap();
     }
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
 
     assert_eq!(processed.load(Ordering::Relaxed), 2);
     // Two distinct contaminations -> two managed instances.
@@ -477,7 +507,8 @@ fn managed_subscription_keeps_owner_clean() {
 fn main_path_augmentation_is_visible_to_later_subscribers() {
     // Unit A (registered first) annotates orders with a "reason" part; unit B
     // (registered later) sees the annotation on the same event (§3.1.6).
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
 
     struct Annotator;
     impl Unit for Annotator {
@@ -497,11 +528,14 @@ fn main_path_augmentation_is_visible_to_later_subscribers() {
         .unwrap();
     let (recorder, received, seen) = Recorder::new(Filter::for_type("order"));
     engine
-        .register_unit(UnitSpec::new("auditor"), Box::new(recorder.reading("reason")))
+        .register_unit(
+            UnitSpec::new("auditor"),
+            Box::new(recorder.reading("reason")),
+        )
         .unwrap();
 
-    publish_public(&engine, &[("type", Value::str("order"))]);
-    engine.pump_until_idle().unwrap();
+    publish_public(engine, &[("type", Value::str("order"))]);
+    handle.pump_until_idle().unwrap();
 
     assert_eq!(received.load(Ordering::Relaxed), 1);
     assert_eq!(seen.lock().as_slice(), &[Value::str("checked")]);
@@ -509,7 +543,8 @@ fn main_path_augmentation_is_visible_to_later_subscribers() {
 
 #[test]
 fn clone_event_applies_output_label_and_new_identity() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
     let unit = engine
         .register_unit(UnitSpec::new("cloner"), Box::new(NullUnit))
         .unwrap();
@@ -534,7 +569,7 @@ fn clone_event_applies_output_label_and_new_identity() {
             Ok(())
         })
         .unwrap();
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
 
     // The clone's parts now carry tag d, so the (untagged) subscription of the same
     // unit cannot see them — the event is filtered out.
@@ -543,7 +578,7 @@ fn clone_event_applies_output_label_and_new_identity() {
 
 #[test]
 fn instantiate_unit_checks_delegation_and_inherits_contamination() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let engine = engine(SecurityMode::LabelsFreeze);
     let parent = engine
         .register_unit(UnitSpec::new("parent"), Box::new(NullUnit))
         .unwrap();
@@ -574,7 +609,8 @@ fn instantiate_unit_checks_delegation_and_inherits_contamination() {
 
 #[test]
 fn empty_filters_and_empty_events_are_rejected() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
     let unit = engine
         .register_unit(UnitSpec::new("u"), Box::new(NullUnit))
         .unwrap();
@@ -586,27 +622,28 @@ fn empty_filters_and_empty_events_are_rejected() {
             ));
             // Publishing a draft without parts is dropped (returns false).
             let draft = ctx.create_event();
-            assert_eq!(ctx.publish(draft)?, false);
+            assert!(!ctx.publish(draft)?);
             Ok(())
         })
         .unwrap();
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
     assert_eq!(engine.stats().published(), 0);
 }
 
 #[test]
 fn all_security_modes_deliver_functional_events() {
     for mode in SecurityMode::all() {
-        let engine = Engine::new(EngineConfig::new(mode));
+        let handle = started(mode);
+        let engine = handle.engine();
         let (recorder, received, seen) = Recorder::new(Filter::for_type("tick"));
         engine
             .register_unit(UnitSpec::new("r"), Box::new(recorder.reading("price")))
             .unwrap();
         publish_public(
-            &engine,
+            engine,
             &[("type", Value::str("tick")), ("price", Value::Float(3.5))],
         );
-        engine.pump_until_idle().unwrap();
+        handle.pump_until_idle().unwrap();
         assert_eq!(received.load(Ordering::Relaxed), 1, "mode {mode}");
         assert_eq!(seen.lock().as_slice(), &[Value::Float(3.5)], "mode {mode}");
     }
@@ -614,7 +651,8 @@ fn all_security_modes_deliver_functional_events() {
 
 #[test]
 fn pull_mode_get_event_blocks_until_delivery() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
     let unit = engine
         .register_unit(UnitSpec::new("puller"), Box::new(NullUnit))
         .unwrap();
@@ -632,8 +670,8 @@ fn pull_mode_get_event_blocks_until_delivery() {
         .unwrap();
     assert!(nothing.is_none());
 
-    publish_public(&engine, &[("type", Value::str("tick"))]);
-    engine.pump_until_idle().unwrap();
+    publish_public(engine, &[("type", Value::str("tick"))]);
+    handle.pump_until_idle().unwrap();
     let something = engine
         .get_event(unit, std::time::Duration::from_millis(100))
         .unwrap();
@@ -651,7 +689,8 @@ fn pull_mode_get_event_blocks_until_delivery() {
 
 #[test]
 fn remove_unit_cleans_up_subscriptions() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
     let (recorder, received, _) = Recorder::new(Filter::for_type("tick"));
     let unit = engine
         .register_unit(UnitSpec::new("r"), Box::new(recorder))
@@ -659,25 +698,35 @@ fn remove_unit_cleans_up_subscriptions() {
     assert_eq!(engine.subscription_count(), 1);
     engine.remove_unit(unit).unwrap();
     assert_eq!(engine.subscription_count(), 0);
-    publish_public(&engine, &[("type", Value::str("tick"))]);
-    engine.pump_until_idle().unwrap();
+    publish_public(engine, &[("type", Value::str("tick"))]);
+    handle.pump_until_idle().unwrap();
     assert_eq!(received.load(Ordering::Relaxed), 0);
     assert!(engine.remove_unit(unit).is_err());
 }
 
 #[test]
 fn memory_accounting_reflects_cached_events_and_units() {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze).with_event_cache(100));
+    let handle = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .event_cache(100)
+        .start();
+    let engine = handle.engine();
     let before = engine.memory_mib();
     for _ in 0..50 {
         publish_public(
-            &engine,
-            &[("type", Value::str("tick")), ("blob", Value::str("x".repeat(10_000)))],
+            engine,
+            &[
+                ("type", Value::str("tick")),
+                ("blob", Value::str("x".repeat(10_000))),
+            ],
         );
     }
-    engine.pump_until_idle().unwrap();
+    handle.pump_until_idle().unwrap();
     let after = engine.memory_mib();
-    assert!(after > before, "memory accounting must grow: {before} -> {after}");
+    assert!(
+        after > before,
+        "memory accounting must grow: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -695,7 +744,8 @@ fn unit_errors_are_isolated_and_counted() {
         }
     }
 
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let handle = started(SecurityMode::LabelsFreeze);
+    let engine = handle.engine();
     engine
         .register_unit(UnitSpec::new("faulty"), Box::new(Faulty))
         .unwrap();
@@ -704,8 +754,8 @@ fn unit_errors_are_isolated_and_counted() {
         .register_unit(UnitSpec::new("healthy"), Box::new(recorder))
         .unwrap();
 
-    publish_public(&engine, &[("type", Value::str("tick"))]);
-    engine.pump_until_idle().unwrap();
+    publish_public(engine, &[("type", Value::str("tick"))]);
+    handle.pump_until_idle().unwrap();
 
     assert_eq!(engine.stats().unit_errors(), 1);
     assert_eq!(
@@ -713,4 +763,391 @@ fn unit_errors_are_isolated_and_counted() {
         1,
         "other units still receive the event"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent dispatch: workers(4) over the sharded run queue.
+// ---------------------------------------------------------------------------
+
+/// A unit that counts deliveries and asserts it is never re-entered: per-unit
+/// delivery must stay serialised even with four dispatcher workers.
+struct SerialProbe {
+    received: Arc<AtomicU64>,
+    reentered: Arc<AtomicBool>,
+    in_callback: AtomicBool,
+}
+
+impl Unit for SerialProbe {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(Filter::for_type("tick"))?;
+        Ok(())
+    }
+
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+        if self.in_callback.swap(true, Ordering::SeqCst) {
+            self.reentered.store(true, Ordering::SeqCst);
+        }
+        self.received.fetch_add(1, Ordering::SeqCst);
+        self.in_callback.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[test]
+fn concurrent_dispatch_delivers_exactly_once_per_subscription_in_every_mode() {
+    const SUBSCRIBERS: u64 = 3;
+    const PUBLISHERS: u64 = 4;
+    const EVENTS_EACH: u64 = 250;
+
+    for mode in SecurityMode::all() {
+        let engine = Engine::builder().mode(mode).workers(4).build();
+
+        let reentered = Arc::new(AtomicBool::new(false));
+        let counters: Vec<Arc<AtomicU64>> = (0..SUBSCRIBERS)
+            .map(|i| {
+                let received = Arc::new(AtomicU64::new(0));
+                engine
+                    .register_unit(
+                        UnitSpec::new(format!("probe-{i}")),
+                        Box::new(SerialProbe {
+                            received: Arc::clone(&received),
+                            reentered: Arc::clone(&reentered),
+                            in_callback: AtomicBool::new(false),
+                        }),
+                    )
+                    .unwrap();
+                received
+            })
+            .collect();
+
+        let sources: Vec<_> = (0..PUBLISHERS)
+            .map(|i| {
+                engine
+                    .register_unit(UnitSpec::new(format!("feed-{i}")), Box::new(NullUnit))
+                    .unwrap()
+            })
+            .collect();
+
+        let handle = engine.start();
+        assert_eq!(handle.worker_count(), 4, "mode {mode}");
+
+        // Publish from four driver threads while four workers dispatch.
+        let threads: Vec<_> = sources
+            .iter()
+            .map(|&source| {
+                let publisher = handle.publisher(source).unwrap();
+                std::thread::spawn(move || {
+                    for n in 0..EVENTS_EACH {
+                        publisher
+                            .publish(
+                                EventDraft::new()
+                                    .public_part("type", Value::str("tick"))
+                                    .public_part("n", Value::Int(n as i64)),
+                            )
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+
+        let published = PUBLISHERS * EVENTS_EACH;
+        // Graceful shutdown drains everything the drivers published.
+        let dispatched = handle.shutdown().unwrap();
+        assert_eq!(dispatched, published, "mode {mode}: shutdown must drain");
+
+        for (i, counter) in counters.iter().enumerate() {
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                published,
+                "mode {mode}: probe {i} must see every event exactly once"
+            );
+        }
+        assert!(
+            !reentered.load(Ordering::SeqCst),
+            "mode {mode}: per-unit delivery must stay serialised"
+        );
+        assert_eq!(engine.stats().published(), published);
+        assert_eq!(engine.stats().dispatched(), published);
+        assert_eq!(engine.stats().deliveries(), published * SUBSCRIBERS);
+        assert_eq!(engine.queue_depth(), 0);
+    }
+}
+
+#[test]
+fn label_checks_hold_under_concurrent_dispatch() {
+    const PUBLISHERS: u64 = 4;
+    const EVENTS_EACH: u64 = 150;
+
+    for mode in SecurityMode::all() {
+        let engine = Engine::builder().mode(mode).workers(4).build();
+
+        // A curious unit subscribes on the public type part and tries to read the
+        // confidential body of every delivery.
+        struct Curious {
+            received: Arc<AtomicU64>,
+            bodies_seen: Arc<AtomicU64>,
+        }
+        impl Unit for Curious {
+            fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+                ctx.subscribe(Filter::for_type("order"))?;
+                Ok(())
+            }
+            fn on_event(&mut self, ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+                self.received.fetch_add(1, Ordering::SeqCst);
+                if ctx.read_part(event, "body").is_ok() {
+                    self.bodies_seen.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(())
+            }
+        }
+
+        let received = Arc::new(AtomicU64::new(0));
+        let bodies_seen = Arc::new(AtomicU64::new(0));
+        engine
+            .register_unit(
+                UnitSpec::new("curious"),
+                Box::new(Curious {
+                    received: Arc::clone(&received),
+                    bodies_seen: Arc::clone(&bodies_seen),
+                }),
+            )
+            .unwrap();
+
+        let sources: Vec<_> = (0..PUBLISHERS)
+            .map(|i| {
+                engine
+                    .register_unit(UnitSpec::new(format!("trader-{i}")), Box::new(NullUnit))
+                    .unwrap()
+            })
+            .collect();
+
+        let handle = engine.start();
+        let threads: Vec<_> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &source)| {
+                let publisher = handle.publisher(source).unwrap();
+                std::thread::spawn(move || {
+                    // Each driver confines its order bodies under its own tag.
+                    let tag = publisher
+                        .with_context(|ctx| Ok(ctx.create_owned_tag(format!("s-{i}"))))
+                        .unwrap();
+                    for _ in 0..EVENTS_EACH {
+                        publisher
+                            .publish(
+                                EventDraft::new()
+                                    .public_part("type", Value::str("order"))
+                                    .part(
+                                        "body",
+                                        Label::confidential(TagSet::singleton(tag.clone())),
+                                        Value::Float(1.0),
+                                    ),
+                            )
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        handle.shutdown().unwrap();
+
+        let published = PUBLISHERS * EVENTS_EACH;
+        assert_eq!(received.load(Ordering::SeqCst), published, "mode {mode}");
+        if mode.checks_labels() {
+            assert_eq!(
+                bodies_seen.load(Ordering::SeqCst),
+                0,
+                "mode {mode}: confidential bodies must stay hidden under contention"
+            );
+        } else {
+            assert_eq!(
+                bodies_seen.load(Ordering::SeqCst),
+                published,
+                "mode {mode}: without security every body is readable"
+            );
+        }
+    }
+}
+
+#[test]
+fn managed_eviction_under_workers_does_not_deadlock_or_leak() {
+    // A tight managed-instance cap plus per-event tags forces constant handler
+    // creation and eviction while four workers dispatch, and each managed
+    // delivery calls instantiate_unit (cell -> units.write lock order) — the
+    // combination that would deadlock if eviction locked cells while holding
+    // the units registry.
+    struct SpawningHandler {
+        processed: Arc<AtomicU64>,
+    }
+    impl Unit for SpawningHandler {
+        fn on_event(&mut self, ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+            ctx.instantiate_unit(UnitSpec::new("ephemeral"), Box::new(NullUnit))?;
+            self.processed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    struct Broker {
+        processed: Arc<AtomicU64>,
+    }
+    impl Unit for Broker {
+        fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+            let processed = Arc::clone(&self.processed);
+            ctx.subscribe_managed(
+                Box::new(move || {
+                    Box::new(SpawningHandler {
+                        processed: Arc::clone(&processed),
+                    }) as Box<dyn Unit>
+                }),
+                Filter::for_type("order"),
+            )?;
+            Ok(())
+        }
+        fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+            Ok(())
+        }
+    }
+
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers(4)
+        .managed_instance_cap(4)
+        .build();
+    let processed = Arc::new(AtomicU64::new(0));
+    engine
+        .register_unit(
+            UnitSpec::new("broker"),
+            Box::new(Broker {
+                processed: Arc::clone(&processed),
+            }),
+        )
+        .unwrap();
+    let sources: Vec<_> = (0..4)
+        .map(|i| {
+            engine
+                .register_unit(UnitSpec::new(format!("trader-{i}")), Box::new(NullUnit))
+                .unwrap()
+        })
+        .collect();
+
+    let handle = engine.start();
+    let threads: Vec<_> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &source)| {
+            let publisher = handle.publisher(source).unwrap();
+            std::thread::spawn(move || {
+                for n in 0..100u64 {
+                    // A fresh tag per order: every event demands a new managed
+                    // contamination, churning the capped instance registry.
+                    let tag = publisher
+                        .with_context(|ctx| Ok(ctx.create_owned_tag(format!("s-{i}-{n}"))))
+                        .unwrap();
+                    publisher
+                        .publish(
+                            EventDraft::new()
+                                .public_part("type", Value::str("order"))
+                                .part(
+                                    "body",
+                                    Label::confidential(TagSet::singleton(tag)),
+                                    Value::Float(1.0),
+                                ),
+                        )
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+    let dispatched = handle.shutdown().unwrap();
+    assert_eq!(dispatched, 400);
+    assert_eq!(processed.load(Ordering::SeqCst), 400);
+    // Eviction kept the registry bounded: 1 broker + 4 traders + at most the
+    // capped handlers, plus the 400 ephemeral instantiations.
+    assert!(
+        engine.stats().managed_instances() >= 396,
+        "one handler per contamination"
+    );
+}
+
+#[test]
+fn run_for_drives_dispatch_against_live_publishers() {
+    let handle = Engine::builder().mode(SecurityMode::LabelsFreeze).start();
+    let engine = handle.engine();
+    let (recorder, received, _) = Recorder::new(Filter::for_type("tick"));
+    engine
+        .register_unit(UnitSpec::new("r"), Box::new(recorder))
+        .unwrap();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+    let publisher = handle.publisher(source).unwrap();
+
+    let driver = std::thread::spawn(move || {
+        for _ in 0..50 {
+            publisher
+                .publish(EventDraft::new().public_part("type", Value::str("tick")))
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    // run_for keeps pumping while the driver publishes from another thread.
+    while received.load(Ordering::Relaxed) < 50 {
+        handle.run_for(Duration::from_millis(20)).unwrap();
+    }
+    driver.join().unwrap();
+    assert_eq!(received.load(Ordering::Relaxed), 50);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_waits_for_cascading_publications() {
+    // A relay republishes every tick as a "boom" event from inside dispatch;
+    // shutdown must also drain the events published *during* the drain.
+    struct Relay;
+    impl Unit for Relay {
+        fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+            ctx.subscribe(Filter::for_type("tick"))?;
+            Ok(())
+        }
+        fn on_event(&mut self, ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+            let draft = ctx.create_event();
+            ctx.add_part(&draft, Label::public(), "type", Value::str("boom"))?;
+            ctx.publish(draft)?;
+            Ok(())
+        }
+    }
+
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers(4)
+        .build();
+    engine
+        .register_unit(UnitSpec::new("relay"), Box::new(Relay))
+        .unwrap();
+    let (recorder, received, _) = Recorder::new(Filter::for_type("boom"));
+    engine
+        .register_unit(UnitSpec::new("sink"), Box::new(recorder))
+        .unwrap();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+
+    let handle = engine.start();
+    let publisher = handle.publisher(source).unwrap();
+    for _ in 0..200 {
+        publisher
+            .publish(EventDraft::new().public_part("type", Value::str("tick")))
+            .unwrap();
+    }
+    let dispatched = handle.shutdown().unwrap();
+    assert_eq!(dispatched, 400, "ticks plus relayed booms must both drain");
+    assert_eq!(received.load(Ordering::Relaxed), 200);
 }

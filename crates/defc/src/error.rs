@@ -63,7 +63,9 @@ mod tests {
     fn display_is_informative() {
         let t = TagId::from_raw(0xdead_beef);
         assert!(DefcError::MissingAddPrivilege(t).to_string().contains("t+"));
-        assert!(DefcError::MissingRemovePrivilege(t).to_string().contains("t-"));
+        assert!(DefcError::MissingRemovePrivilege(t)
+            .to_string()
+            .contains("t-"));
         assert!(DefcError::MissingDelegationPrivilege(t)
             .to_string()
             .contains("auth"));

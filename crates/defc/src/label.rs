@@ -278,7 +278,9 @@ mod tests {
         let s = tag("s");
         let i = tag("i");
         let mut label = Label::public();
-        label.component_mut(Component::Confidentiality).insert(s.clone());
+        label
+            .component_mut(Component::Confidentiality)
+            .insert(s.clone());
         label.component_mut(Component::Integrity).insert(i.clone());
         assert!(label.component(Component::Confidentiality).contains(&s));
         assert!(label.component(Component::Integrity).contains(&i));

@@ -207,7 +207,7 @@ mod tests {
         let mut tags: Vec<Tag> = (0..100).map(|_| Tag::new()).collect();
         tags.sort();
         for w in tags.windows(2) {
-            assert!(w[0] < w[1] || w[0] == w[1]);
+            assert!(w[0] <= w[1]);
         }
     }
 }

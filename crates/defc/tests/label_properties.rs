@@ -19,8 +19,8 @@ proptest! {
     #[test]
     fn can_flow_to_is_reflexive(mask in prop::collection::vec(any::<bool>(), 16)) {
         let uni = universe();
-        let s: TagSet = uni.iter().zip(&mask[..8]).filter_map(|(t, k)| k.then(|| t.clone())).collect();
-        let i: TagSet = uni.iter().zip(&mask[8..]).filter_map(|(t, k)| k.then(|| t.clone())).collect();
+        let s: TagSet = uni.iter().zip(&mask[..8]).filter(|(_, k)| **k).map(|(t, _)| t.clone()).collect();
+        let i: TagSet = uni.iter().zip(&mask[8..]).filter(|(_, k)| **k).map(|(t, _)| t.clone()).collect();
         let l = Label::new(s, i);
         prop_assert!(l.can_flow_to(&l));
     }

@@ -203,12 +203,7 @@ impl Event {
 
     /// Estimated heap footprint in bytes (Figure 7 accounting).
     pub fn estimated_size(&self) -> usize {
-        std::mem::size_of::<Event>()
-            + self
-                .parts
-                .iter()
-                .map(Part::estimated_size)
-                .sum::<usize>()
+        std::mem::size_of::<Event>() + self.parts.iter().map(Part::estimated_size).sum::<usize>()
     }
 }
 
@@ -324,8 +319,8 @@ mod tests {
 
     #[test]
     fn parts_named_returns_all_versions() {
-        let event = simple_event()
-            .with_part(Part::new("price", Label::public(), Value::Float(11.0)));
+        let event =
+            simple_event().with_part(Part::new("price", Label::public(), Value::Float(11.0)));
         let versions: Vec<_> = event.parts_named("price").collect();
         assert_eq!(versions.len(), 2, "conflicting versions both retained");
         assert_eq!(event.part_names(), vec!["type", "price"]);
@@ -336,7 +331,11 @@ mod tests {
     fn with_part_shares_existing_parts_and_keeps_id() {
         let event = simple_event();
         let extended = event.with_part(Part::new("reason", Label::public(), Value::str("ok")));
-        assert_eq!(extended.id(), event.id(), "main-path augmentation keeps identity");
+        assert_eq!(
+            extended.id(),
+            event.id(),
+            "main-path augmentation keeps identity"
+        );
         assert_eq!(extended.part_count(), 3);
         assert_eq!(event.part_count(), 2);
         assert_eq!(extended.origin_ns(), event.origin_ns());
@@ -384,8 +383,16 @@ mod tests {
         let a = Tag::with_name("a");
         let b = Tag::with_name("b");
         let event = EventBuilder::new()
-            .part("x", Label::confidential(TagSet::singleton(a.clone())), Value::Int(1))
-            .part("y", Label::confidential(TagSet::singleton(b.clone())), Value::Int(2))
+            .part(
+                "x",
+                Label::confidential(TagSet::singleton(a.clone())),
+                Value::Int(1),
+            )
+            .part(
+                "y",
+                Label::confidential(TagSet::singleton(b.clone())),
+                Value::Int(2),
+            )
             .build()
             .unwrap();
         let overall = event.overall_label();

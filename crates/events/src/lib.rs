@@ -34,7 +34,7 @@ pub mod value;
 
 pub use event::{Event, EventBuilder, EventId};
 pub use filter::{Filter, Predicate};
-pub use freeze::{FreezeError, FreezeFlag, Freezable};
+pub use freeze::{Freezable, FreezeError, FreezeFlag};
 pub use part::{Part, PartName};
 pub use value::{Value, ValueList, ValueMap};
 

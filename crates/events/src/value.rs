@@ -18,7 +18,7 @@ use std::sync::Arc;
 use defcon_defc::TagId;
 use parking_lot::RwLock;
 
-use crate::freeze::{FreezeError, FreezeFlag, FreezeState, Freezable};
+use crate::freeze::{Freezable, FreezeError, FreezeFlag, FreezeState};
 
 /// A single datum stored in an event part.
 #[derive(Clone, Debug, Default)]
@@ -333,7 +333,10 @@ impl ValueList {
     pub fn structurally_equals(&self, other: &ValueList) -> bool {
         let a = self.inner.storage.read();
         let b = other.inner.storage.read();
-        a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.structurally_equals(y))
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| x.structurally_equals(y))
     }
 }
 
@@ -442,9 +445,9 @@ impl ValueMap {
         let a = self.inner.storage.read();
         let b = other.inner.storage.read();
         a.len() == b.len()
-            && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
-                ka == kb && va.structurally_equals(vb)
-            })
+            && a.iter()
+                .zip(b.iter())
+                .all(|((ka, va), (kb, vb))| ka == kb && va.structurally_equals(vb))
     }
 }
 

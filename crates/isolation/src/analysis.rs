@@ -111,7 +111,11 @@ impl ClassGraph {
                 }
             }
             // Everything references a few core java.lang classes.
-            for core in class_list.iter().filter(|c| c.starts_with("java.lang.")).take(3) {
+            for core in class_list
+                .iter()
+                .filter(|c| c.starts_with("java.lang."))
+                .take(3)
+            {
                 if core != class {
                     graph.add_edge(class.clone(), core.clone());
                 }
@@ -186,9 +190,9 @@ impl StaticAnalysis {
             if !seen.insert(target.class.clone()) {
                 continue;
             }
-            if target.class.starts_with("java.lang.") && !target.class.contains("reflect") {
-                unit_visible.push(target.class.clone());
-            } else if target.class.starts_with("java.util.") {
+            if (target.class.starts_with("java.lang.") && !target.class.contains("reflect"))
+                || target.class.starts_with("java.util.")
+            {
                 unit_visible.push(target.class.clone());
             } else if target.class.starts_with("java.io.")
                 || target.class.starts_with("java.security.")
@@ -221,9 +225,8 @@ impl StaticAnalysis {
         );
 
         // Stage 2: reachability from unit-visible roots only (T_units).
-        let unit_reachable = graph.reachable_from(
-            self.unit_visible_classes.iter().map(String::as_str),
-        );
+        let unit_reachable =
+            graph.reachable_from(self.unit_visible_classes.iter().map(String::as_str));
 
         for target in catalog.iter_mut() {
             if !used_classes.contains(&target.class) {
@@ -313,8 +316,16 @@ mod tests {
     #[test]
     fn manual_whitelist_is_respected() {
         let mut catalog = TargetCatalog::new();
-        catalog.add(Target::new("java.lang.Object", "hashCode()", TargetKind::NativeMethod));
-        catalog.add(Target::new("java.lang.Object", "wait()", TargetKind::NativeMethod));
+        catalog.add(Target::new(
+            "java.lang.Object",
+            "hashCode()",
+            TargetKind::NativeMethod,
+        ));
+        catalog.add(Target::new(
+            "java.lang.Object",
+            "wait()",
+            TargetKind::NativeMethod,
+        ));
         let mut graph = ClassGraph::new();
         graph.add_class("java.lang.Object");
 
@@ -327,7 +338,10 @@ mod tests {
         assert_eq!(report.whitelisted_manual, 1);
         assert_eq!(report.denied, 1);
         assert_eq!(
-            catalog.get("java.lang.Object.hashCode()").unwrap().disposition,
+            catalog
+                .get("java.lang.Object.hashCode()")
+                .unwrap()
+                .disposition,
             TargetDisposition::WhitelistedManual
         );
         assert_eq!(
@@ -339,8 +353,16 @@ mod tests {
     #[test]
     fn unreachable_classes_are_eliminated() {
         let mut catalog = TargetCatalog::new();
-        catalog.add(Target::new("javax.swing.JFrame", "defaultLookAndFeel", TargetKind::StaticField));
-        catalog.add(Target::new("java.lang.String", "hash", TargetKind::StaticField));
+        catalog.add(Target::new(
+            "javax.swing.JFrame",
+            "defaultLookAndFeel",
+            TargetKind::StaticField,
+        ));
+        catalog.add(Target::new(
+            "java.lang.String",
+            "hash",
+            TargetKind::StaticField,
+        ));
         let mut graph = ClassGraph::new();
         graph.add_class("javax.swing.JFrame");
         graph.add_class("java.lang.String");
@@ -353,7 +375,10 @@ mod tests {
         let report = analysis.run(&mut catalog, &graph);
         assert_eq!(report.eliminated, 1);
         assert_eq!(
-            catalog.get("javax.swing.JFrame.defaultLookAndFeel").unwrap().disposition,
+            catalog
+                .get("javax.swing.JFrame.defaultLookAndFeel")
+                .unwrap()
+                .disposition,
             TargetDisposition::Eliminated
         );
     }
@@ -361,8 +386,16 @@ mod tests {
     #[test]
     fn static_fields_duplicate_and_native_methods_deny() {
         let mut catalog = TargetCatalog::new();
-        catalog.add(Target::new("java.lang.Thread", "threadSeqNum", TargetKind::StaticField));
-        catalog.add(Target::new("java.lang.Runtime", "availableProcessors()", TargetKind::NativeMethod));
+        catalog.add(Target::new(
+            "java.lang.Thread",
+            "threadSeqNum",
+            TargetKind::StaticField,
+        ));
+        catalog.add(Target::new(
+            "java.lang.Runtime",
+            "availableProcessors()",
+            TargetKind::NativeMethod,
+        ));
         let mut graph = ClassGraph::new();
         graph.add_class("java.lang.Thread");
         graph.add_class("java.lang.Runtime");
@@ -381,19 +414,24 @@ mod tests {
     fn never_shared_sync_targets_are_whitelisted() {
         let mut catalog = TargetCatalog::new();
         catalog.add(
-            Target::new("java.lang.StringBuffer", "synchronized()", TargetKind::SyncPrimitive)
-                .never_shared_type(),
+            Target::new(
+                "java.lang.StringBuffer",
+                "synchronized()",
+                TargetKind::SyncPrimitive,
+            )
+            .never_shared_type(),
         );
-        catalog.add(Target::new("java.lang.String", "synchronized()", TargetKind::SyncPrimitive));
+        catalog.add(Target::new(
+            "java.lang.String",
+            "synchronized()",
+            TargetKind::SyncPrimitive,
+        ));
         let mut graph = ClassGraph::new();
         graph.add_class("java.lang.StringBuffer");
         graph.add_class("java.lang.String");
         let analysis = StaticAnalysis {
             engine_classes: vec![],
-            unit_visible_classes: vec![
-                "java.lang.StringBuffer".into(),
-                "java.lang.String".into(),
-            ],
+            unit_visible_classes: vec!["java.lang.StringBuffer".into(), "java.lang.String".into()],
             manual_whitelist: vec![],
         };
         let report = analysis.run(&mut catalog, &graph);
@@ -423,10 +461,7 @@ mod tests {
             report.reachable_from_units,
             report.used - classified_unreached
         );
-        assert_eq!(
-            report.total_targets,
-            report.eliminated + report.used,
-        );
+        assert_eq!(report.total_targets, report.eliminated + report.used,);
         // Every target received a non-default disposition.
         assert_eq!(
             catalog.count_by_disposition(TargetDisposition::Unclassified),

@@ -68,9 +68,9 @@ impl InterceptorTable {
             | Some(TargetDisposition::WhitelistedManual) => AccessDecision::Allowed,
             Some(TargetDisposition::DuplicatePerIsolate) => AccessDecision::Duplicated,
             // Unknown or unclassified targets and denied targets are blocked.
-            Some(TargetDisposition::Deny)
-            | Some(TargetDisposition::Unclassified)
-            | None => AccessDecision::Denied,
+            Some(TargetDisposition::Deny) | Some(TargetDisposition::Unclassified) | None => {
+                AccessDecision::Denied
+            }
         }
     }
 }
@@ -261,7 +261,11 @@ impl IsolationRuntime {
         if !self.enabled {
             return Ok(());
         }
-        if self.registry.write_field(isolate, field, value.clone()).is_err() {
+        if self
+            .registry
+            .write_field(isolate, field, value.clone())
+            .is_err()
+        {
             self.registry.register_field(field, Vec::new());
             return self.registry.write_field(isolate, field, value);
         }
@@ -302,8 +306,14 @@ mod tests {
     #[test]
     fn engine_access_is_always_allowed() {
         let table = small_table();
-        assert_eq!(table.decide("java.lang.Runtime.exec()", false), AccessDecision::Allowed);
-        assert_eq!(table.decide("completely.unknown.Target", false), AccessDecision::Allowed);
+        assert_eq!(
+            table.decide("java.lang.Runtime.exec()", false),
+            AccessDecision::Allowed
+        );
+        assert_eq!(
+            table.decide("completely.unknown.Target", false),
+            AccessDecision::Allowed
+        );
     }
 
     #[test]
@@ -317,7 +327,10 @@ mod tests {
             table.decide("java.lang.Thread.threadSeqNum", true),
             AccessDecision::Duplicated
         );
-        assert_eq!(table.decide("java.lang.Runtime.exec()", true), AccessDecision::Denied);
+        assert_eq!(
+            table.decide("java.lang.Runtime.exec()", true),
+            AccessDecision::Denied
+        );
         // Unknown targets are denied, not allowed.
         assert_eq!(table.decide("not.in.table", true), AccessDecision::Denied);
     }
@@ -352,7 +365,9 @@ mod tests {
                 .unwrap(),
             AccessDecision::Duplicated
         );
-        assert!(runtime.access_target(isolate, "java.lang.Runtime.exec()").is_err());
+        assert!(runtime
+            .access_target(isolate, "java.lang.Runtime.exec()")
+            .is_err());
 
         assert_eq!(runtime.stats().intercepted(), 3);
         assert_eq!(runtime.stats().allowed(), 1);
@@ -369,11 +384,15 @@ mod tests {
             .write_duplicated_field(a, "Thread.threadSeqNum", vec![7])
             .unwrap();
         assert_eq!(
-            runtime.read_duplicated_field(a, "Thread.threadSeqNum").unwrap(),
+            runtime
+                .read_duplicated_field(a, "Thread.threadSeqNum")
+                .unwrap(),
             vec![7]
         );
         assert_eq!(
-            runtime.read_duplicated_field(b, "Thread.threadSeqNum").unwrap(),
+            runtime
+                .read_duplicated_field(b, "Thread.threadSeqNum")
+                .unwrap(),
             Vec::<u8>::new()
         );
         assert!(runtime.memory_overhead_bytes() > 0);

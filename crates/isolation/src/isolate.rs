@@ -172,16 +172,28 @@ mod tests {
         let b = registry.create_isolate();
 
         // Both start from the initial value.
-        assert_eq!(registry.read_field(a, "Thread.threadSeqNum").unwrap(), vec![0]);
-        assert_eq!(registry.read_field(b, "Thread.threadSeqNum").unwrap(), vec![0]);
+        assert_eq!(
+            registry.read_field(a, "Thread.threadSeqNum").unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            registry.read_field(b, "Thread.threadSeqNum").unwrap(),
+            vec![0]
+        );
 
         // A write by isolate a is invisible to isolate b: the storage channel that
         // the paper describes (§4, exploitation route 1) is closed.
         registry
             .write_field(a, "Thread.threadSeqNum", vec![42])
             .unwrap();
-        assert_eq!(registry.read_field(a, "Thread.threadSeqNum").unwrap(), vec![42]);
-        assert_eq!(registry.read_field(b, "Thread.threadSeqNum").unwrap(), vec![0]);
+        assert_eq!(
+            registry.read_field(a, "Thread.threadSeqNum").unwrap(),
+            vec![42]
+        );
+        assert_eq!(
+            registry.read_field(b, "Thread.threadSeqNum").unwrap(),
+            vec![0]
+        );
     }
 
     #[test]

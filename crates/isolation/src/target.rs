@@ -232,8 +232,7 @@ impl TargetCatalog {
             // One synchronisation target on a subset of classes; most of those types
             // are never shared between units (StringBuffer, ClassLoader, ...).
             if c % 5 == 0 {
-                let mut t =
-                    Target::new(&class, "synchronized()", TargetKind::SyncPrimitive);
+                let mut t = Target::new(&class, "synchronized()", TargetKind::SyncPrimitive);
                 if c % 10 == 0 {
                     t = t.never_shared_type();
                 }
@@ -252,7 +251,11 @@ mod tests {
     fn add_get_and_replace() {
         let mut catalog = TargetCatalog::new();
         assert!(catalog.is_empty());
-        catalog.add(Target::new("java.lang.Thread", "threadSeqNum", TargetKind::StaticField));
+        catalog.add(Target::new(
+            "java.lang.Thread",
+            "threadSeqNum",
+            TargetKind::StaticField,
+        ));
         assert_eq!(catalog.len(), 1);
         assert!(catalog.get("java.lang.Thread.threadSeqNum").is_some());
         // Replacing keeps the count stable.
@@ -261,7 +264,12 @@ mod tests {
                 .immutable_constant(),
         );
         assert_eq!(catalog.len(), 1);
-        assert!(catalog.get("java.lang.Thread.threadSeqNum").unwrap().immutable_constant);
+        assert!(
+            catalog
+                .get("java.lang.Thread.threadSeqNum")
+                .unwrap()
+                .immutable_constant
+        );
     }
 
     #[test]
@@ -295,11 +303,15 @@ mod tests {
 
     #[test]
     fn builder_flags() {
-        let t = Target::new("java.lang.String", "CASE_INSENSITIVE_ORDER", TargetKind::StaticField)
-            .immutable_constant()
-            .security_guarded()
-            .private_write_once()
-            .never_shared_type();
+        let t = Target::new(
+            "java.lang.String",
+            "CASE_INSENSITIVE_ORDER",
+            TargetKind::StaticField,
+        )
+        .immutable_constant()
+        .security_guarded()
+        .private_write_once()
+        .never_shared_type();
         assert!(t.immutable_constant && t.security_guarded);
         assert!(t.private_write_once && t.never_shared_type);
         assert_eq!(t.name, "java.lang.String.CASE_INSENSITIVE_ORDER");

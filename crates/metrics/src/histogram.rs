@@ -193,7 +193,7 @@ mod tests {
         h.record(1_000_000); // 1 ms
         for pct in [0.0, 50.0, 70.0, 99.0, 100.0] {
             let v = h.percentile_ns(pct).unwrap();
-            assert!(v >= 950_000 && v <= 1_050_000, "pct {pct}: {v}");
+            assert!((950_000..=1_050_000).contains(&v), "pct {pct}: {v}");
         }
         assert_eq!(h.min_ns(), Some(1_000_000));
         assert_eq!(h.max_ns(), Some(1_000_000));

@@ -68,7 +68,8 @@ impl MemoryAccountant {
 
     /// Records an allocation of `bytes` in `category`.
     pub fn charge(&self, category: MemoryCategory, bytes: usize) {
-        self.cell(category).fetch_add(bytes as i64, Ordering::Relaxed);
+        self.cell(category)
+            .fetch_add(bytes as i64, Ordering::Relaxed);
         let total = self.total_bytes() as i64;
         let mut peak = self.peak.write();
         if total > *peak {
@@ -78,7 +79,8 @@ impl MemoryAccountant {
 
     /// Records a release of `bytes` in `category`.
     pub fn release(&self, category: MemoryCategory, bytes: usize) {
-        self.cell(category).fetch_sub(bytes as i64, Ordering::Relaxed);
+        self.cell(category)
+            .fetch_sub(bytes as i64, Ordering::Relaxed);
     }
 
     /// Returns the live bytes currently accounted in `category`.

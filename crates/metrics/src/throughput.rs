@@ -103,7 +103,7 @@ impl ThroughputRecorder {
             let mut sorted = state.samples.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
             let mid = sorted.len() / 2;
-            let median = if sorted.len() % 2 == 0 {
+            let median = if sorted.len().is_multiple_of(2) {
                 (sorted[mid - 1] + sorted[mid]) / 2.0
             } else {
                 sorted[mid]

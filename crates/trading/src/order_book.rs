@@ -51,11 +51,7 @@ impl OrderBook {
 
     /// Submits an order; returns the resulting trade and the identity tags of both
     /// sides if the order matched a resting one, or stores it otherwise.
-    pub fn submit(
-        &mut self,
-        order: Order,
-        identity_tag: TagId,
-    ) -> Option<(Trade, RestingOrder)> {
+    pub fn submit(&mut self, order: Order, identity_tag: TagId) -> Option<(Trade, RestingOrder)> {
         self.submitted += 1;
         let key = order.symbol.as_str().to_string();
         let queue = self.resting.entry(key).or_default();
@@ -125,7 +121,9 @@ mod tests {
     #[test]
     fn opposite_orders_match_and_report_both_tags() {
         let mut book = OrderBook::new();
-        assert!(book.submit(order(1, OrderSide::Buy, 101.0), tag(1)).is_none());
+        assert!(book
+            .submit(order(1, OrderSide::Buy, 101.0), tag(1))
+            .is_none());
         let (trade, resting) = book
             .submit(order(2, OrderSide::Sell, 100.0), tag(2))
             .expect("must match");
@@ -140,8 +138,12 @@ mod tests {
     #[test]
     fn same_side_orders_rest() {
         let mut book = OrderBook::new();
-        assert!(book.submit(order(1, OrderSide::Buy, 100.0), tag(1)).is_none());
-        assert!(book.submit(order(2, OrderSide::Buy, 100.0), tag(2)).is_none());
+        assert!(book
+            .submit(order(1, OrderSide::Buy, 100.0), tag(1))
+            .is_none());
+        assert!(book
+            .submit(order(2, OrderSide::Buy, 100.0), tag(2))
+            .is_none());
         assert_eq!(book.resting_depth(), 2);
         assert_eq!(book.matched(), 0);
     }
@@ -150,7 +152,10 @@ mod tests {
     fn depth_is_bounded() {
         let mut book = OrderBook::new().with_max_depth(10);
         for i in 0..100 {
-            book.submit(order(i, OrderSide::Buy, 1.0 + i as f64 * 0.0), tag(i as u128));
+            book.submit(
+                order(i, OrderSide::Buy, 1.0 + i as f64 * 0.0),
+                tag(i as u128),
+            );
         }
         assert!(book.resting_depth() <= 10);
         assert!(book.estimated_size() > 0);

@@ -10,8 +10,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use defcon_core::{Engine, EngineConfig, EngineResult, SecurityMode, UnitId, UnitSpec};
+use defcon_core::{Engine, EngineHandle, EngineResult, Publisher, SecurityMode, UnitSpec};
 use defcon_defc::{Privilege, Tag};
 use defcon_metrics::ThroughputRecorder;
 use defcon_workload::{assign_pairs, SymbolUniverse, TickGenerator, TickGeneratorConfig};
@@ -26,6 +27,9 @@ use crate::units::trader::Trader;
 pub struct TradingPlatformConfig {
     /// The engine security configuration (one of the four series of Figures 5–7).
     pub mode: SecurityMode,
+    /// Dispatcher worker threads (§6's multi-core deployment). Zero replays each
+    /// tick's cascade on the driver thread, which keeps runs deterministic.
+    pub workers: usize,
     /// Number of Trader units (the x-axis of Figures 5–7).
     pub traders: usize,
     /// Number of symbols on the synthetic exchange.
@@ -48,6 +52,7 @@ impl Default for TradingPlatformConfig {
     fn default() -> Self {
         TradingPlatformConfig {
             mode: SecurityMode::LabelsFreezeIsolation,
+            workers: 0,
             traders: 200,
             symbols: 64,
             zipf_exponent: 1.0,
@@ -117,7 +122,8 @@ impl PlatformReport {
 pub struct TradingPlatform {
     config: TradingPlatformConfig,
     engine: Engine,
-    exchange: UnitId,
+    handle: EngineHandle,
+    exchange_feed: Publisher,
     exchange_tag: Tag,
     broker_shared: Arc<BrokerShared>,
     regulator_shared: Arc<RegulatorShared>,
@@ -129,18 +135,22 @@ pub struct TradingPlatform {
 
 impl TradingPlatform {
     /// Builds the platform: engine, exchange, regulator, broker and traders (each of
-    /// which instantiates its Pair Monitor).
+    /// which instantiates its Pair Monitor), then starts the engine runtime with the
+    /// configured number of dispatcher workers.
     pub fn build(config: TradingPlatformConfig) -> EngineResult<Self> {
-        let engine = Engine::new(
-            EngineConfig::new(config.mode).with_event_cache(config.event_cache),
-        );
+        let engine = Engine::builder()
+            .mode(config.mode)
+            .workers(config.workers)
+            .event_cache(config.event_cache)
+            .build();
 
         // Stock Exchange: owns the integrity tag s and endorses with it.
         let exchange = engine.register_unit(
             UnitSpec::new("stock-exchange"),
             Box::new(StockExchange::new()),
         )?;
-        let exchange_tag = engine.with_unit(exchange, |_, ctx| {
+        let exchange_feed = engine.publisher(exchange)?;
+        let exchange_tag = exchange_feed.with_context(|ctx| {
             let s = ctx.create_owned_tag("i-exchange");
             ctx.change_out_label(
                 defcon_defc::Component::Integrity,
@@ -170,18 +180,12 @@ impl TradingPlatform {
             UnitSpec::new("local-broker"),
             Box::new(Broker::new(regulator_tag, Arc::clone(&broker_shared))),
         )?;
-        let broker_tag =
-            engine.with_unit(broker, |_, ctx| Ok(ctx.create_owned_tag("b-broker")))?;
+        let broker_tag = engine.with_unit(broker, |_, ctx| Ok(ctx.create_owned_tag("b-broker")))?;
 
         // Traders: Zipf-assigned pairs; each is granted b+ so it can confine its
         // orders to the broker.
         let universe = SymbolUniverse::standard(config.symbols);
-        let pairs = assign_pairs(
-            &universe,
-            config.traders,
-            config.zipf_exponent,
-            config.seed,
-        );
+        let pairs = assign_pairs(&universe, config.traders, config.zipf_exponent, config.seed);
         let orders_placed = Arc::new(AtomicU64::new(0));
         for (index, pair) in pairs.into_iter().enumerate() {
             let trader = Trader::new(
@@ -199,10 +203,12 @@ impl TradingPlatform {
         }
 
         let generator = TickGenerator::new(universe, config.tick_config.clone());
+        let handle = engine.start();
         Ok(TradingPlatform {
             config,
             engine,
-            exchange,
+            handle,
+            exchange_feed,
             exchange_tag,
             broker_shared,
             regulator_shared,
@@ -218,6 +224,11 @@ impl TradingPlatform {
         &self.engine
     }
 
+    /// Returns the running engine's handle (workers, publishers, idle waits).
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+
     /// Returns the broker's shared state (order book, latency, trade counters).
     pub fn broker(&self) -> &Arc<BrokerShared> {
         &self.broker_shared
@@ -229,18 +240,28 @@ impl TradingPlatform {
     }
 
     /// Publishes the next synthetic tick as the Stock Exchange and fully processes
-    /// the cascade it triggers (monitors, traders, broker, regulator).
+    /// the cascade it triggers (monitors, traders, broker, regulator): inline when
+    /// the platform runs without workers, or by waiting for the dispatcher workers
+    /// to drain the cascade.
     pub fn publish_tick(&mut self) -> EngineResult<()> {
         let tick = self.generator.next_tick();
-        let tag = self.exchange_tag.clone();
-        self.engine.with_unit(self.exchange, |_, ctx| {
-            StockExchange::publish_tick(ctx, &tag, &tick)
-        })?;
-        let dispatched = self.engine.pump_until_idle()?;
+        let before = self.engine.stats().dispatched();
+        self.exchange_feed
+            .publish(StockExchange::tick_draft(&self.exchange_tag, &tick))?;
+        let dispatched = if self.handle.worker_count() == 0 {
+            self.handle.pump_until_idle()? as u64
+        } else {
+            if !self.handle.wait_idle(Duration::from_secs(30)) {
+                return Err(defcon_core::EngineError::InvalidOperation(
+                    "dispatcher workers did not drain the tick cascade within 30s".into(),
+                ));
+            }
+            self.engine.stats().dispatched() - before
+        };
         self.ticks_published += 1;
         // Figure 5 counts processed events; every dispatched event (ticks plus the
         // derived matches, orders, trades, ...) contributes to the supported rate.
-        self.throughput.record(dispatched.max(1) as u64);
+        self.throughput.record(dispatched.max(1));
         Ok(())
     }
 

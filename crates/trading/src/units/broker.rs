@@ -99,10 +99,7 @@ struct BrokerHandler {
 }
 
 impl BrokerHandler {
-    fn parse_order(
-        ctx: &mut UnitContext<'_>,
-        event: &Event,
-    ) -> EngineResult<Option<(Order, Tag)>> {
+    fn parse_order(ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<Option<(Order, Tag)>> {
         // Reading the details part bestows t_r+ on the handler (step 5).
         let body = ctx.read_first(event, order::BODY)?;
         // Reading the identity part bestows t_r+auth and reveals trader and tag.
@@ -113,11 +110,13 @@ impl BrokerHandler {
             return Ok(None);
         };
         let (Some(symbol), Some(side), Some(price), Some(quantity)) = (
-            body.get(order::body_keys::SYMBOL).and_then(|v| v.as_str().map(str::to_owned)),
+            body.get(order::body_keys::SYMBOL)
+                .and_then(|v| v.as_str().map(str::to_owned)),
             body.get(order::body_keys::SIDE)
                 .and_then(|v| v.as_str().and_then(OrderSide::parse)),
             body.get(order::body_keys::PRICE).and_then(|v| v.as_float()),
-            body.get(order::body_keys::QUANTITY).and_then(|v| v.as_int()),
+            body.get(order::body_keys::QUANTITY)
+                .and_then(|v| v.as_int()),
         ) else {
             return Ok(None);
         };
@@ -171,8 +170,11 @@ impl Unit for BrokerHandler {
         };
 
         let body = ValueMap::new();
-        body.insert(trade::body_keys::SYMBOL, Value::str(completed.symbol.as_str()))
-            .expect("fresh map");
+        body.insert(
+            trade::body_keys::SYMBOL,
+            Value::str(completed.symbol.as_str()),
+        )
+        .expect("fresh map");
         body.insert(trade::body_keys::PRICE, Value::Float(completed.price))
             .expect("fresh map");
         body.insert(
@@ -190,7 +192,12 @@ impl Unit for BrokerHandler {
             .expect("fresh map");
 
         let draft = ctx.create_event();
-        ctx.add_part(&draft, Label::public(), PART_TYPE, Value::str(event_type::TRADE))?;
+        ctx.add_part(
+            &draft,
+            Label::public(),
+            PART_TYPE,
+            Value::str(event_type::TRADE),
+        )?;
         ctx.add_part(&draft, Label::public(), trade::BODY, Value::Map(body))?;
         ctx.add_part(
             &draft,
@@ -207,7 +214,12 @@ impl Unit for BrokerHandler {
         // Audit part for the Regulator: confined to r, carrying the aggressor's tag
         // and the t_r+ privilege (the handler holds t_r+auth from the identity part).
         let regulator_label = Label::confidential(TagSet::singleton(self.regulator_tag.clone()));
-        ctx.add_part(&draft, regulator_label.clone(), trade::AUDIT, Value::Map(audit))?;
+        ctx.add_part(
+            &draft,
+            regulator_label.clone(),
+            trade::AUDIT,
+            Value::Map(audit),
+        )?;
         ctx.attach_privilege_to_part(
             &draft,
             trade::AUDIT,

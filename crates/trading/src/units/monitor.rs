@@ -100,7 +100,12 @@ impl Unit for PairMonitor {
             ),
         };
         let draft = ctx.create_event();
-        ctx.add_part(&draft, Label::public(), PART_TYPE, Value::str(event_type::MATCH))?;
+        ctx.add_part(
+            &draft,
+            Label::public(),
+            PART_TYPE,
+            Value::str(event_type::MATCH),
+        )?;
         ctx.add_part(
             &draft,
             Label::public(),

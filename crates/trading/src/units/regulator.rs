@@ -114,7 +114,7 @@ struct RegulatorHandler {
 impl Unit for RegulatorHandler {
     fn on_event(&mut self, ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
         let seen = self.shared.trades_seen.fetch_add(1, Ordering::Relaxed) + 1;
-        if seen % self.sample_every != 0 {
+        if !seen.is_multiple_of(self.sample_every) {
             return Ok(());
         }
         self.shared.audited.fetch_add(1, Ordering::Relaxed);
@@ -127,7 +127,8 @@ impl Unit for RegulatorHandler {
             body.get(trade::body_keys::SYMBOL)
                 .and_then(|v| v.as_str().map(str::to_owned)),
             body.get(trade::body_keys::PRICE).and_then(|v| v.as_float()),
-            body.get(trade::body_keys::QUANTITY).and_then(|v| v.as_int()),
+            body.get(trade::body_keys::QUANTITY)
+                .and_then(|v| v.as_int()),
         ) else {
             return Ok(());
         };
@@ -163,7 +164,12 @@ impl Unit for RegulatorHandler {
             // read it.
             let confined = Label::confidential(TagSet::singleton(order_tag.clone()));
             let draft = ctx.create_event();
-            ctx.add_part(&draft, confined.clone(), PART_TYPE, Value::str(event_type::WARNING))?;
+            ctx.add_part(
+                &draft,
+                confined.clone(),
+                PART_TYPE,
+                Value::str(event_type::WARNING),
+            )?;
             ctx.add_part(
                 &draft,
                 confined,

@@ -10,7 +10,7 @@
 //! trace *as* the exchange through [`StockExchange::publish_tick`], mirroring the
 //! paper's single-threaded Stock Exchange unit.
 
-use defcon_core::{EngineResult, Unit, UnitContext};
+use defcon_core::{EngineResult, EventDraft, Unit, UnitContext};
 use defcon_defc::{Label, Tag, TagSet};
 use defcon_events::{Event, Value};
 use defcon_workload::Tick;
@@ -27,9 +27,26 @@ impl StockExchange {
         StockExchange
     }
 
-    /// Publishes one tick, endorsed with the exchange integrity tag, on behalf of
-    /// the exchange unit (`ctx` must belong to it and its output label must already
-    /// contain `integrity_tag`).
+    /// Builds the draft for one tick, every part endorsed with the exchange
+    /// integrity tag. The draft is published through the exchange's typed
+    /// [`Publisher`](defcon_core::Publisher) handle, whose unit must already
+    /// hold `integrity_tag` in its output label for the endorsement to survive
+    /// the contamination-independence transform.
+    pub fn tick_draft(integrity_tag: &Tag, tick: &Tick) -> EventDraft {
+        let endorsed = Label::endorsed(TagSet::singleton(integrity_tag.clone()));
+        EventDraft::new()
+            .part(PART_TYPE, endorsed.clone(), Value::str(event_type::TICK))
+            .part(
+                tick::SYMBOL,
+                endorsed.clone(),
+                Value::str(tick.symbol.as_str()),
+            )
+            .part(tick::PRICE, endorsed.clone(), Value::Float(tick.price))
+            .part(tick::SEQUENCE, endorsed, Value::Int(tick.sequence as i64))
+    }
+
+    /// Publishes one tick through a [`UnitContext`] (the in-engine variant of
+    /// [`StockExchange::tick_draft`], for units that replay ticks themselves).
     pub fn publish_tick(
         ctx: &mut UnitContext<'_>,
         integrity_tag: &Tag,
@@ -37,14 +54,24 @@ impl StockExchange {
     ) -> EngineResult<()> {
         let endorsed = Label::endorsed(TagSet::singleton(integrity_tag.clone()));
         let draft = ctx.create_event();
-        ctx.add_part(&draft, endorsed.clone(), PART_TYPE, Value::str(event_type::TICK))?;
+        ctx.add_part(
+            &draft,
+            endorsed.clone(),
+            PART_TYPE,
+            Value::str(event_type::TICK),
+        )?;
         ctx.add_part(
             &draft,
             endorsed.clone(),
             tick::SYMBOL,
             Value::str(tick.symbol.as_str()),
         )?;
-        ctx.add_part(&draft, endorsed.clone(), tick::PRICE, Value::Float(tick.price))?;
+        ctx.add_part(
+            &draft,
+            endorsed.clone(),
+            tick::PRICE,
+            Value::Float(tick.price),
+        )?;
         ctx.add_part(
             &draft,
             endorsed,

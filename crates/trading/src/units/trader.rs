@@ -85,15 +85,16 @@ impl Unit for Trader {
         // and pinning it to genuine exchange data via read integrity s.
         let monitor = PairMonitor::new(self.pair.clone(), self.id, tag.clone());
         let spec = UnitSpec::new(format!("pair-monitor-{}", self.id))
-            .with_input_label(Label::endorsed(TagSet::singleton(self.exchange_tag.clone())))
+            .with_input_label(Label::endorsed(TagSet::singleton(
+                self.exchange_tag.clone(),
+            )))
             .with_privilege(Privilege::add(tag.clone()));
         ctx.instantiate_unit(spec, Box::new(monitor))?;
 
         // Opportunities arrive confined to t_i; only this trader can see them. The
         // explicit trader field keeps routing identical when label checks are off.
         ctx.subscribe(
-            Filter::for_type(event_type::MATCH)
-                .where_eq(pairs_match::TRADER, self.id as i64),
+            Filter::for_type(event_type::MATCH).where_eq(pairs_match::TRADER, self.id as i64),
         )?;
 
         self.own_tag = Some(tag);
@@ -156,7 +157,12 @@ impl Unit for Trader {
             .expect("fresh map");
 
         let draft = ctx.create_event();
-        ctx.add_part(&draft, broker.clone(), PART_TYPE, Value::str(event_type::ORDER))?;
+        ctx.add_part(
+            &draft,
+            broker.clone(),
+            PART_TYPE,
+            Value::str(event_type::ORDER),
+        )?;
         ctx.add_part(&draft, broker.clone(), order::BODY, Value::Map(body))?;
         // The details part carries t_r+ so the Broker can accept the contamination
         // needed to learn the identity.
@@ -168,7 +174,12 @@ impl Unit for Trader {
         )?;
         // The identity part is protected by {b, t_r} and carries t_r+auth so the
         // Broker can later delegate inspection to the Regulator (step 7).
-        ctx.add_part(&draft, broker_and_order.clone(), order::NAME, Value::Map(identity))?;
+        ctx.add_part(
+            &draft,
+            broker_and_order.clone(),
+            order::NAME,
+            Value::Map(identity),
+        )?;
         ctx.attach_privilege_to_part(
             &draft,
             order::NAME,

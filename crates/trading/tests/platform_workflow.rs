@@ -22,11 +22,8 @@ fn small_config(mode: SecurityMode, traders: usize) -> TradingPlatformConfig {
 
 #[test]
 fn full_workflow_produces_matches_orders_trades_and_audits() {
-    let mut platform = TradingPlatform::build(small_config(
-        SecurityMode::LabelsFreezeIsolation,
-        8,
-    ))
-    .unwrap();
+    let mut platform =
+        TradingPlatform::build(small_config(SecurityMode::LabelsFreezeIsolation, 8)).unwrap();
 
     let report = platform.run_ticks(2_000).unwrap();
 
@@ -34,7 +31,11 @@ fn full_workflow_produces_matches_orders_trades_and_audits() {
     assert!(report.orders > 0, "traders must have placed orders");
     assert!(report.trades > 0, "the dark pool must have matched trades");
     assert!(
-        platform.regulator().audited.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        platform
+            .regulator()
+            .audited
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
         "the regulator must have audited sampled trades"
     );
     assert!(
@@ -45,7 +46,10 @@ fn full_workflow_produces_matches_orders_trades_and_audits() {
             > 0,
         "audited trades are republished as endorsed ticks (step 9)"
     );
-    assert!(report.latency_p70_ms > 0.0, "latency must have been recorded");
+    assert!(
+        report.latency_p70_ms > 0.0,
+        "latency must have been recorded"
+    );
     assert!(report.throughput_eps > 0.0);
     assert!(report.memory_mib > 0.0);
     // With a small volume quota and repeated trading, warnings appear (step 8).
@@ -65,19 +69,45 @@ fn workflow_works_in_every_security_mode() {
 }
 
 #[test]
+fn workflow_works_with_dispatcher_workers_in_every_security_mode() {
+    // The same Figure 4 cascade, but dispatched by four worker threads over the
+    // sharded run queue: distinct units process in parallel while label checks
+    // and per-unit serialisation keep the workflow's semantics.
+    for mode in SecurityMode::all() {
+        let config = TradingPlatformConfig {
+            workers: 4,
+            ..small_config(mode, 10)
+        };
+        let mut platform = TradingPlatform::build(config).unwrap();
+        assert_eq!(platform.handle().worker_count(), 4);
+        let report = platform.run_ticks(600).unwrap();
+        assert!(report.orders > 0, "mode {mode}: no orders with workers");
+        assert!(report.trades > 0, "mode {mode}: no trades with workers");
+        if mode.checks_labels() {
+            assert!(
+                platform.engine().stats().label_rejections() > 0,
+                "mode {mode}: label checks must run under concurrent dispatch"
+            );
+        }
+    }
+}
+
+#[test]
 fn traders_never_receive_other_traders_opportunities() {
     // With label checks on, every match event is confined to one trader's tag, so
     // the number of deliveries of match events equals the number of match events
     // published (each goes to exactly one trader), never a multiple.
-    let mut platform =
-        TradingPlatform::build(small_config(SecurityMode::LabelsFreeze, 6)).unwrap();
+    let mut platform = TradingPlatform::build(small_config(SecurityMode::LabelsFreeze, 6)).unwrap();
     platform.run_ticks(1_000).unwrap();
     // Orders placed == match deliveries that resulted in an order; every order comes
     // from exactly one trader seeing one match. If confinement were broken, a single
     // match would fan out to all six traders and orders would explode accordingly.
     let orders = platform.report().orders;
     let trades = platform.report().trades;
-    assert!(orders >= trades, "every trade needs at least two orders in the pool");
+    assert!(
+        orders >= trades,
+        "every trade needs at least two orders in the pool"
+    );
     assert!(
         platform.engine().stats().label_rejections() > 0,
         "label checks must have filtered deliveries"

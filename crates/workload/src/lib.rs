@@ -42,7 +42,9 @@ pub fn assign_pairs(
         return Vec::new();
     }
     let mut sampler = ZipfSampler::new(pairs.len(), exponent, seed);
-    (0..traders).map(|_| pairs[sampler.sample()].clone()).collect()
+    (0..traders)
+        .map(|_| pairs[sampler.sample()].clone())
+        .collect()
 }
 
 #[cfg(test)]

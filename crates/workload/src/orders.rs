@@ -83,10 +83,7 @@ impl Order {
     /// Returns `true` if this order can match `other`: same symbol, opposite sides
     /// and compatible prices (buy price ≥ sell price), and distinct traders.
     pub fn matches(&self, other: &Order) -> bool {
-        if self.symbol != other.symbol
-            || self.side == other.side
-            || self.trader == other.trader
-        {
+        if self.symbol != other.symbol || self.side == other.side || self.trader == other.trader {
             return false;
         }
         let (buy, sell) = if self.side == OrderSide::Buy {
@@ -178,6 +175,8 @@ mod tests {
         // Symmetric call yields the same trade.
         assert_eq!(sell.execute_against(&buy).unwrap(), trade);
         // Non-matching orders yield no trade.
-        assert!(buy.execute_against(&order(3, OrderSide::Buy, 1.0)).is_none());
+        assert!(buy
+            .execute_against(&order(3, OrderSide::Buy, 1.0))
+            .is_none());
     }
 }

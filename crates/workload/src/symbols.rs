@@ -70,8 +70,8 @@ pub struct SymbolUniverse {
 /// Well-known tickers used for the first few symbols so that examples and traces
 /// read naturally; further symbols are generated as `SYM<n>`.
 const KNOWN_TICKERS: &[&str] = &[
-    "MSFT", "GOOG", "AAPL", "AMZN", "IBM", "ORCL", "HSBA", "BARC", "VOD", "BP",
-    "SHEL", "GSK", "AZN", "ULVR", "RIO", "TSCO",
+    "MSFT", "GOOG", "AAPL", "AMZN", "IBM", "ORCL", "HSBA", "BARC", "VOD", "BP", "SHEL", "GSK",
+    "AZN", "ULVR", "RIO", "TSCO",
 ];
 
 impl SymbolUniverse {

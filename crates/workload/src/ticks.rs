@@ -100,13 +100,14 @@ impl TickGenerator {
 
         // Periodic excursion: alternate direction so the series stays centred.
         if self.config.trigger_period > 0
-            && self.per_symbol_count[idx] % self.config.trigger_period == 0
+            && self.per_symbol_count[idx].is_multiple_of(self.config.trigger_period)
         {
-            let direction = if (self.per_symbol_count[idx] / self.config.trigger_period) % 2 == 0 {
-                1.0
-            } else {
-                -1.0
-            };
+            let direction =
+                if (self.per_symbol_count[idx] / self.config.trigger_period).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
             price *= 1.0 + direction * self.config.excursion;
         }
         // Keep prices positive and bounded away from zero.
@@ -142,7 +143,10 @@ mod tests {
     use super::*;
 
     fn generator(symbols: usize) -> TickGenerator {
-        TickGenerator::new(SymbolUniverse::standard(symbols), TickGeneratorConfig::default())
+        TickGenerator::new(
+            SymbolUniverse::standard(symbols),
+            TickGeneratorConfig::default(),
+        )
     }
 
     #[test]
@@ -152,7 +156,10 @@ mod tests {
         assert_eq!(trace.len(), 8);
         for (i, tick) in trace.iter().enumerate() {
             assert_eq!(tick.sequence, i as u64);
-            assert_eq!(tick.symbol, SymbolUniverse::standard(4).symbol(i % 4).clone());
+            assert_eq!(
+                tick.symbol,
+                SymbolUniverse::standard(4).symbol(i % 4).clone()
+            );
             assert!(tick.price > 0.0);
         }
         assert!(trace[1].timestamp_ns > trace[0].timestamp_ns);
@@ -163,8 +170,10 @@ mod tests {
         let a = generator(5).trace(100);
         let b = generator(5).trace(100);
         assert_eq!(a, b);
-        let mut other_cfg = TickGeneratorConfig::default();
-        other_cfg.seed = 999;
+        let other_cfg = TickGeneratorConfig {
+            seed: 999,
+            ..TickGeneratorConfig::default()
+        };
         let c = TickGenerator::new(SymbolUniverse::standard(5), other_cfg).trace(100);
         assert_ne!(a, c);
     }

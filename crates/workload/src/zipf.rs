@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn sampling_matches_distribution_roughly() {
         let mut sampler = ZipfSampler::new(10, 1.0, 7);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         let draws = 100_000;
         for _ in 0..draws {
             counts[sampler.sample()] += 1;

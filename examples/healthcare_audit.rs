@@ -41,10 +41,9 @@ struct Auditor {
 
 impl Unit for Auditor {
     fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
-        ctx.subscribe(Filter::for_type("vitals").where_part(
-            "heart_rate",
-            Predicate::GreaterThan(120.0),
-        ))?;
+        ctx.subscribe(
+            Filter::for_type("vitals").where_part("heart_rate", Predicate::GreaterThan(120.0)),
+        )?;
         Ok(())
     }
     fn on_event(&mut self, ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
@@ -67,7 +66,12 @@ impl Unit for Auditor {
 }
 
 fn main() -> EngineResult<()> {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreezeIsolation));
+    // Full security, and two dispatcher workers: ward monitors are independent
+    // units, so their readings dispatch in parallel.
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreezeIsolation)
+        .workers(2)
+        .build();
 
     let readings = Arc::new(AtomicU64::new(0));
     let audited = Arc::new(AtomicU64::new(0));
@@ -84,14 +88,29 @@ fn main() -> EngineResult<()> {
         }),
     )?;
 
-    // Ward monitors: one per patient, each owning that patient's confidentiality tag.
-    for (patient, heart_rate) in [("patient-A", 72.0), ("patient-B", 135.0), ("patient-C", 88.0)] {
+    // Start the runtime; the returned handle drives the engine from here on.
+    let handle = engine.start();
+
+    // Ward monitors: one per patient, each owning that patient's confidentiality
+    // tag. Privilege-carrying grant parts need the full Table 1 API, so the
+    // monitors publish through their publisher's context closure.
+    for (patient, heart_rate) in [
+        ("patient-A", 72.0),
+        ("patient-B", 135.0),
+        ("patient-C", 88.0),
+    ] {
         let monitor = engine.register_unit(UnitSpec::new("ward-monitor"), Box::new(NullUnit))?;
-        engine.with_unit(monitor, |_, ctx| {
+        let publisher = handle.publisher(monitor)?;
+        publisher.with_context(|ctx| {
             let tag = ctx.create_owned_tag(format!("s-{patient}"));
             let draft = ctx.create_event();
             ctx.add_part(&draft, Label::public(), "type", Value::str("vitals"))?;
-            ctx.add_part(&draft, Label::public(), "heart_rate", Value::Float(heart_rate))?;
+            ctx.add_part(
+                &draft,
+                Label::public(),
+                "heart_rate",
+                Value::Float(heart_rate),
+            )?;
             ctx.add_part(
                 &draft,
                 Label::confidential(TagSet::singleton(tag.clone())),
@@ -107,7 +126,8 @@ fn main() -> EngineResult<()> {
         })?;
     }
 
-    engine.pump_until_idle()?;
+    // Graceful shutdown drains the queue and joins the two workers.
+    handle.shutdown()?;
     println!(
         "analytics processed {} readings without identities; auditor inspected {} abnormal readings",
         readings.load(Ordering::Relaxed),

@@ -38,11 +38,12 @@ impl Unit for Consumer {
 }
 
 fn main() -> EngineResult<()> {
-    let engine = Engine::new(EngineConfig::new(SecurityMode::LabelsFreeze));
+    let engine = Engine::builder().mode(SecurityMode::LabelsFreeze).build();
 
     // A producer that owns a confidentiality tag for patient identities.
     let producer = engine.register_unit(UnitSpec::new("producer"), Box::new(NullUnit))?;
-    let patient_tag = engine.with_unit(producer, |_, ctx| Ok(ctx.create_owned_tag("s-patient")))?;
+    let feed = engine.publisher(producer)?;
+    let patient_tag = feed.with_context(|ctx| Ok(ctx.create_owned_tag("s-patient")))?;
 
     // An unprivileged consumer: sees only public parts.
     engine.register_unit(
@@ -62,27 +63,27 @@ fn main() -> EngineResult<()> {
         ctx.change_in_out_label(Component::Confidentiality, LabelOp::Add, &patient_tag)
     })?;
 
-    // Publish a reading with a public room number and a confidential patient id.
-    engine.with_unit(producer, |_, ctx| {
-        let draft = ctx.create_event();
-        ctx.add_part(&draft, Label::public(), "type", Value::str("reading"))?;
-        ctx.add_part(&draft, Label::public(), "room", Value::Int(302))?;
-        ctx.add_part(
-            &draft,
-            Label::confidential(TagSet::singleton(patient_tag.clone())),
-            "patient",
-            Value::str("patient-4711"),
-        )?;
-        ctx.publish(draft)?;
-        Ok(())
-    })?;
+    // Start the runtime and publish a reading — a public room number plus a
+    // confidential patient id — through the producer's typed publisher handle.
+    let handle = engine.start();
+    feed.publish(
+        EventDraft::new()
+            .public_part("type", Value::str("reading"))
+            .public_part("room", Value::Int(302))
+            .part(
+                "patient",
+                Label::confidential(TagSet::singleton(patient_tag.clone())),
+                Value::str("patient-4711"),
+            ),
+    )?;
 
-    engine.pump_until_idle()?;
+    handle.pump_until_idle()?;
     println!(
         "events published: {}, deliveries: {}, label rejections: {}",
         engine.stats().published(),
         engine.stats().deliveries(),
         engine.stats().label_rejections()
     );
+    handle.shutdown()?;
     Ok(())
 }

@@ -1,0 +1,310 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`] traits with the
+//! little-endian accessors the workspace's codecs use. [`Bytes`] shares its
+//! backing storage through an `Arc`, so `clone` and `split_to` are cheap, as with
+//! the real crate; the cursor-style `get_*` methods consume from the front.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable view over a contiguous byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice without copying semantics observable to callers.
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes::from(slice.to_vec())
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the readable bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self` past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the remaining length.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.data.len())
+    }
+}
+
+macro_rules! get_le {
+    ($(($name:ident, $ty:ty)),+ $(,)?) => {
+        $(
+            /// Reads a little-endian value from the front of the buffer.
+            fn $name(&mut self) -> $ty {
+                const WIDTH: usize = std::mem::size_of::<$ty>();
+                let taken = self.take_front(WIDTH);
+                let mut raw = [0u8; WIDTH];
+                raw.copy_from_slice(&taken);
+                <$ty>::from_le_bytes(raw)
+            }
+        )+
+    };
+}
+
+/// Read access to a byte cursor (the subset of `bytes::Buf` used here).
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Removes and returns the first `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain; callers check [`Buf::remaining`].
+    fn take_front(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte from the front of the buffer.
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    get_le! {
+        (get_u16_le, u16),
+        (get_u32_le, u32),
+        (get_u64_le, u64),
+        (get_u128_le, u128),
+        (get_i64_le, i64),
+        (get_f64_le, f64),
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> Vec<u8> {
+        let (head, tail) = self.split_at(n);
+        let head = head.to_vec();
+        *self = tail;
+        head
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> Vec<u8> {
+        self.split_to(n).to_vec()
+    }
+}
+
+macro_rules! put_le {
+    ($(($name:ident, $ty:ty)),+ $(,)?) => {
+        $(
+            /// Appends a value in little-endian byte order.
+            fn $name(&mut self, value: $ty) {
+                self.put_slice(&value.to_le_bytes());
+            }
+        )+
+    };
+}
+
+/// Write access to a growable byte buffer (the subset of `bytes::BufMut` used
+/// here).
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    put_le! {
+        (put_u16_le, u16),
+        (put_u32_le, u32),
+        (put_u64_le, u64),
+        (put_u128_le, u128),
+        (put_i64_le, i64),
+        (put_f64_le, f64),
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_u128_le(1 << 100);
+        buf.put_i64_le(-9);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"abc");
+
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16_le(), 300);
+        assert_eq!(bytes.get_u32_le(), 70_000);
+        assert_eq!(bytes.get_u64_le(), 1 << 40);
+        assert_eq!(bytes.get_u128_le(), 1 << 100);
+        assert_eq!(bytes.get_i64_le(), -9);
+        assert_eq!(bytes.get_f64_le(), 1.5);
+        assert_eq!(bytes.split_to(3).to_vec(), b"abc");
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn slice_cursor_advances() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.remaining(), 4);
+        assert_eq!(cursor.get_u32_le(), u32::from_le_bytes([2, 3, 4, 5]));
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut whole = Bytes::from(vec![9u8; 10]);
+        let head = whole.split_to(4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(whole.len(), 6);
+        assert_eq!(&head[..], &[9u8; 4]);
+    }
+}

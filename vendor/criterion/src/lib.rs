@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the macro and builder surface the workspace's benches use. Instead
+//! of criterion's statistical analysis, each benchmark runs a timed loop —
+//! enough batches to fill the configured measurement time, capped for CI — and
+//! prints the mean time per iteration. The benches remain runnable with
+//! `cargo bench` and compile-checked by CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters_per_batch: u64,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough batches to fill the measurement window.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up call so lazy initialisation is not measured.
+        let _ = routine();
+        let window_start = Instant::now();
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                let _ = routine();
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_batch as u32);
+            if window_start.elapsed() >= self.measurement_time || self.samples.len() >= 1_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{label:<50} {:>12.3} µs/iter ({} samples)",
+            mean.as_secs_f64() * 1e6,
+            self.samples.len()
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples.max(1);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.measurement_time = window;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.run(&label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P: ?Sized>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (separator line, mirroring criterion's summary).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the target sample count.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Overrides the measurement window per benchmark.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement_time = window;
+        self
+    }
+
+    /// Overrides the warm-up window per benchmark (accepted for API parity; the
+    /// shim folds warm-up into the first measured batch).
+    pub fn warm_up_time(mut self, window: Duration) -> Self {
+        self.warm_up_time = window;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function(&mut self, label: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(label, f);
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Keep the per-batch iteration count small but meaningful; the closure
+        // itself decides the workload size.
+        let _ = self.warm_up_time;
+        let mut bencher = Bencher {
+            iters_per_batch: self.sample_size.min(100) as u64,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(label);
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        sample_bench(&mut criterion);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().measurement_time(Duration::from_millis(5));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn generated_group_entry_point_runs() {
+        benches();
+    }
+}

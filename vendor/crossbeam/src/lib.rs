@@ -1,0 +1,246 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the bounded MPMC channel subset of `crossbeam::channel` used by the
+//! baseline platform: cloneable senders *and* receivers, blocking sends with
+//! backpressure, and timed receives. Disconnection is reported when every handle
+//! on the other side has been dropped.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// All senders disconnected and the queue is empty.
+        Disconnected,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded channel with room for `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is full.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            let shared = &self.shared;
+            let mut queue = shared.lock();
+            loop {
+                if shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(message));
+                }
+                if queue.len() < shared.capacity {
+                    queue.push_back(message);
+                    shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = shared
+                    .not_full
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// Returns `true` if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, waiting up to `timeout` for one to arrive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let shared = &self.shared;
+            let deadline = Instant::now() + timeout;
+            let mut queue = shared.lock();
+            loop {
+                if let Some(message) = queue.pop_front() {
+                    shared.not_full.notify_one();
+                    return Ok(message);
+                }
+                if shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                queue = shared
+                    .not_empty
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// Returns `true` if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Receiver")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn messages_arrive_in_order() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(i));
+            }
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            let producer = thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(2));
+            producer.join().unwrap();
+        }
+
+        #[test]
+        fn dropping_all_senders_disconnects() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_receivers_compete_for_messages() {
+            let (tx, rx_a) = bounded(8);
+            let rx_b = rx_a.clone();
+            tx.send("only").unwrap();
+            let got_a = rx_a.recv_timeout(Duration::from_millis(5));
+            let got_b = rx_b.recv_timeout(Duration::from_millis(5));
+            assert_eq!(
+                [got_a.is_ok(), got_b.is_ok()]
+                    .iter()
+                    .filter(|ok| **ok)
+                    .count(),
+                1
+            );
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the [`proptest!`]
+//! macro over `ident in strategy` bindings, integer-range and boolean
+//! strategies, `prop::collection::vec`, [`ProptestConfig::with_cases`] and the
+//! `prop_assert*` macros. Cases are generated from a fixed seed (mixed with the
+//! case index), so runs are deterministic; there is no shrinking — a failing
+//! case panics with the ordinary assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Per-block configuration, set via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a deterministic generator for one test case.
+    pub fn for_case(test_seed: u64, case: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(test_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end as u128 - self.start as u128;
+                    (self.start as u128 + rng.next_u64() as u128 % span) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = *self.end() as u128 - *self.start() as u128 + 1;
+                    (*self.start() as u128 + rng.next_u64() as u128 % span) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let span = <$ty>::MAX as u128 - self.start as u128 + 1;
+                    (self.start as u128 + rng.next_u64() as u128 % span) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_strategies!(u8, u16, u32, u64, usize);
+
+/// Strategy for `f64` in `[start, end)`.
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// Combinator namespaces, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing vectors of `len` elements drawn from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: usize,
+        }
+
+        /// Generates `Vec`s of exactly `len` samples of `element`.
+        pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                (0..self.len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }` becomes
+/// a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Stable per-test seed: derived from the test name so that
+                // different tests explore different sequences deterministically.
+                let test_seed = {
+                    let name = stringify!($name);
+                    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                    })
+                };
+                for case in 0..config.cases as u64 {
+                    let mut prop_rng = $crate::TestRng::for_case(test_seed, case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut prop_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 1u8..=255u8, z in 0u16..,) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y >= 1);
+            let _ = z; // full domain
+        }
+
+        #[test]
+        fn vec_strategy_produces_requested_length(mask in prop::collection::vec(any::<bool>(), 16)) {
+            prop_assert_eq!(mask.len(), 16);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case(1, 2);
+        let mut b = crate::TestRng::for_case(1, 2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn bool_any_produces_both_values() {
+        let mut rng = crate::TestRng::for_case(9, 9);
+        let strategy = prop::collection::vec(any::<bool>(), 64);
+        let sample = crate::Strategy::sample(&strategy, &mut rng);
+        assert!(sample.iter().any(|&b| b));
+        assert!(sample.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros from the sibling `serde_derive` shim so
+//! that `use serde::{Deserialize, Serialize}` and the corresponding derives
+//! compile. No serialisation machinery is provided; see `vendor/serde_derive`
+//! for the rationale.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline no-op replacements for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to document
+//! intent and keep the door open for a real serde dependency, but nothing in the
+//! build actually serialises through serde (the event codec is hand-written).
+//! These derives therefore expand to nothing: the types stay annotated, no trait
+//! impls are generated, and no code can silently depend on them until the real
+//! crate is vendored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
