@@ -1,15 +1,7 @@
-//! Regenerates every figure of the paper's evaluation in one run.
+//! Regenerates every figure of the paper's evaluation in one run and writes
+//! the machine-readable rows to `BENCH_figures.json` (override with `--out`).
 //! Pass `--quick` for a reduced sweep suitable for CI.
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick {
-        defcon_bench::SweepScale::quick()
-    } else {
-        defcon_bench::SweepScale::paper()
-    };
-    defcon_bench::figure5(&scale);
-    defcon_bench::figure6(&scale);
-    defcon_bench::figure7(&scale);
-    defcon_bench::figure8(&scale);
-    defcon_bench::figure9(&scale);
+    defcon_bench::run_figures_cli(&defcon_bench::Figure::all());
 }

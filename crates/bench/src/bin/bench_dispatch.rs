@@ -1,0 +1,258 @@
+//! Micro-benchmark of the engine's batched dispatch hot path.
+//!
+//! Measures end-to-end events/second (publish → queue → dispatch → delivery)
+//! and per-event delivery latency on a deployment of plain counting units, over
+//! a grid of `(workers, batch_size)` configurations. The headline comparison is
+//! `workers(4)` at `batch_size(8)` versus `batch_size(1)`: the batched path
+//! pays one shard-lock round-trip, one in-flight accounting update and one
+//! wakeup check per *batch* where the classic path pays them per *event*.
+//!
+//! Writes `BENCH_dispatch.json` (override with `--out <path>`); pass `--quick`
+//! for the reduced CI sweep. The derived `speedup_w4_b8_over_b1` metric in the
+//! report is events/sec at `(4, 8)` divided by events/sec at `(4, 1)`.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use defcon_bench::report::arg_value;
+use defcon_bench::{BenchRecord, BenchReport};
+use defcon_core::unit::NullUnit;
+use defcon_core::{Engine, EngineResult, EventDraft, SecurityMode, Unit, UnitContext, UnitSpec};
+use defcon_events::{now_ns, Event, Filter, Value};
+use defcon_metrics::{LatencyHistogram, LatencySummary};
+
+/// A subscriber counting deliveries on one lane and recording the
+/// publish-to-delivery latency of every event it receives.
+struct LaneCounter {
+    lane: String,
+    received: Arc<AtomicU64>,
+    latency: Arc<LatencyHistogram>,
+}
+
+impl Unit for LaneCounter {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(Filter::for_type(&self.lane))?;
+        Ok(())
+    }
+
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+        self.latency
+            .record(now_ns().saturating_sub(event.origin_ns()));
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+struct RunOutcome {
+    throughput_eps: f64,
+    latency: LatencySummary,
+}
+
+/// Runs one cell `reps` times (after an untimed warm-up pass) and keeps the
+/// repetition with the highest throughput — the paper's "maximum supported
+/// event rate" metric, which is also robust against scheduler noise on small
+/// or oversubscribed machines.
+fn run_cell_best_of(
+    mode: SecurityMode,
+    workers: usize,
+    batch_size: usize,
+    lanes: usize,
+    events: u64,
+    reps: usize,
+) -> RunOutcome {
+    run_cell(mode, workers, batch_size, lanes, events / 10);
+    let mut best: Option<RunOutcome> = None;
+    for _ in 0..reps.max(1) {
+        let outcome = run_cell(mode, workers, batch_size, lanes, events);
+        if best
+            .as_ref()
+            .is_none_or(|b| outcome.throughput_eps > b.throughput_eps)
+        {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one repetition ran")
+}
+
+/// Runs one `(mode, workers, batch_size)` cell: `events` events spread
+/// round-robin over `lanes` subscriber units, published from the driver thread
+/// in chunks of `batch_size`, then drained by the dispatcher workers.
+///
+/// The two phases are deliberately sequential — publish everything, then start
+/// the runtime and drain — so each phase runs without cross-phase thread
+/// competition and the measurement is reproducible on small machines: the
+/// publish phase times the (batched) enqueue path alone, the drain phase times
+/// the (batched) dispatch path over a queue that never runs dry until the end.
+/// Reported throughput is end-to-end events over the sum of both phases.
+fn run_cell(
+    mode: SecurityMode,
+    workers: usize,
+    batch_size: usize,
+    lanes: usize,
+    events: u64,
+) -> RunOutcome {
+    let engine = Engine::builder()
+        .mode(mode)
+        .workers(workers)
+        .batch_size(batch_size)
+        // The recently-dispatched cache charges a clone per event; it is not
+        // part of the queue/dispatch path this bench isolates.
+        .event_cache(0)
+        .build();
+
+    let received = Arc::new(AtomicU64::new(0));
+    let lane_names: Vec<String> = (0..lanes).map(|i| format!("lane-{i}")).collect();
+    // Per-lane histograms (merged after the run) keep the instrument itself off
+    // the measured path: a shared histogram's mutex would serialise deliveries.
+    let lane_latencies: Vec<Arc<LatencyHistogram>> = (0..lanes)
+        .map(|_| Arc::new(LatencyHistogram::new()))
+        .collect();
+    for (lane, latency) in lane_names.iter().zip(&lane_latencies) {
+        engine
+            .register_unit(
+                UnitSpec::new(format!("counter-{lane}")),
+                Box::new(LaneCounter {
+                    lane: lane.clone(),
+                    received: Arc::clone(&received),
+                    latency: Arc::clone(latency),
+                }),
+            )
+            .expect("unit registers");
+    }
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+
+    // Phase 1: enqueue the whole workload (chunked by the batch size) before
+    // the runtime starts — the publisher runs uncontended.
+    let publisher = engine.publisher(source).expect("publisher");
+    let start = Instant::now();
+    let mut published = 0u64;
+    let mut lane_cursor = 0usize;
+    while published < events {
+        let chunk = (batch_size as u64).min(events - published) as usize;
+        if chunk == 1 {
+            let lane = &lane_names[lane_cursor % lanes];
+            lane_cursor += 1;
+            publisher
+                .publish(EventDraft::new().public_part("type", Value::str(lane)))
+                .expect("publish");
+        } else {
+            let drafts = (0..chunk)
+                .map(|_| {
+                    let lane = &lane_names[lane_cursor % lanes];
+                    lane_cursor += 1;
+                    EventDraft::new().public_part("type", Value::str(lane))
+                })
+                .collect();
+            assert_eq!(
+                publisher.publish_batch(drafts).expect("publish batch"),
+                chunk
+            );
+        }
+        published += chunk as u64;
+    }
+
+    // Phase 2: start the workers and drain the full queue.
+    let handle = engine.start();
+    if handle.worker_count() == 0 {
+        handle.pump_until_idle().expect("pump");
+    } else {
+        assert!(
+            handle.wait_idle(Duration::from_secs(300)),
+            "workers must drain the bench workload"
+        );
+    }
+    let elapsed = start.elapsed();
+    handle.shutdown().expect("shutdown");
+
+    let delivered = received.load(Ordering::Relaxed);
+    assert_eq!(delivered, events, "every event is delivered exactly once");
+    let latency = LatencyHistogram::new();
+    for lane_latency in &lane_latencies {
+        latency.merge(lane_latency);
+    }
+    RunOutcome {
+        throughput_eps: events as f64 / elapsed.as_secs_f64(),
+        latency: latency.summary(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+
+    let lanes = 2;
+    let events: u64 = if quick { 120_000 } else { 400_000 };
+    let reps = 3;
+    // (mode, workers, batch_size) cells. The first two LabelsFreeze cells are
+    // the headline batch-1-vs-batch-8 comparison at four workers.
+    let mut cells: Vec<(SecurityMode, usize, usize)> = vec![
+        (SecurityMode::LabelsFreeze, 4, 1),
+        (SecurityMode::LabelsFreeze, 4, 8),
+        (SecurityMode::LabelsFreeze, 1, 1),
+        (SecurityMode::LabelsFreeze, 1, 8),
+    ];
+    if !quick {
+        cells.extend([
+            (SecurityMode::LabelsFreeze, 2, 8),
+            (SecurityMode::LabelsFreeze, 4, 32),
+            (SecurityMode::NoSecurity, 4, 1),
+            (SecurityMode::NoSecurity, 4, 8),
+            (SecurityMode::LabelsClone, 4, 1),
+            (SecurityMode::LabelsClone, 4, 8),
+            (SecurityMode::LabelsFreezeIsolation, 4, 1),
+            (SecurityMode::LabelsFreezeIsolation, 4, 8),
+        ]);
+    }
+
+    println!("== dispatch micro-bench: {events} events over {lanes} lanes ==");
+    let mut report = BenchReport::new("dispatch", quick);
+    let mut headline: Vec<f64> = Vec::new();
+    for &(mode, workers, batch_size) in &cells {
+        let outcome = run_cell_best_of(mode, workers, batch_size, lanes, events, reps);
+        println!(
+            "{:<26} workers={} batch={:<3} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms",
+            mode.figure_label(),
+            workers,
+            batch_size,
+            outcome.throughput_eps,
+            outcome.latency.p50_ms,
+            outcome.latency.p99_ms,
+        );
+        if mode == SecurityMode::LabelsFreeze
+            && workers == 4
+            && (batch_size == 1 || batch_size == 8)
+        {
+            headline.push(outcome.throughput_eps);
+        }
+        report.push(BenchRecord::from_summary(
+            "dispatch",
+            mode.figure_label(),
+            workers,
+            batch_size,
+            lanes,
+            events,
+            outcome.throughput_eps,
+            &outcome.latency,
+        ));
+    }
+
+    if let [batch1, batch8] = headline[..] {
+        let speedup = batch8 / batch1;
+        println!("speedup workers=4 batch 8 vs 1: {speedup:.2}x");
+        report.metric("speedup_w4_b8_over_b1", speedup);
+    }
+
+    assert!(
+        !report.records.is_empty(),
+        "a dispatch bench run must produce records"
+    );
+    report
+        .write(Path::new(&out))
+        .expect("write BENCH_dispatch.json");
+    println!("wrote {out}");
+}

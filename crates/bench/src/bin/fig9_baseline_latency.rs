@@ -1,10 +1,7 @@
-//! Regenerates figure9 of the DEFCon paper. Pass `--quick` for a reduced sweep.
+//! Regenerates figure 9 of the DEFCon paper and writes its rows to
+//! `BENCH_figures.json` (override with `--out`). Pass `--quick` for a
+//! reduced sweep.
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick {
-        defcon_bench::SweepScale::quick()
-    } else {
-        defcon_bench::SweepScale::paper()
-    };
-    defcon_bench::figure9(&scale);
+    defcon_bench::run_figures_cli(&[defcon_bench::Figure::Fig9]);
 }

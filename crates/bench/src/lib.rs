@@ -5,9 +5,18 @@
 //! versions of all sweeps so that a single command reproduces the shape of every
 //! figure. Absolute numbers depend on the host; the reproduced quantities are the
 //! orderings and ratios between configurations (see EXPERIMENTS.md).
+//!
+//! Beyond the human-readable rows printed to stdout, every bench binary also
+//! writes a machine-readable [`BenchReport`] (`BENCH_figures.json`,
+//! `BENCH_dispatch.json`) so CI can archive the perf trajectory and fail on
+//! regressions — see the [`report`] module.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{BenchRecord, BenchReport};
 
 use std::time::Duration;
 
@@ -163,6 +172,101 @@ pub fn figure9(scale: &SweepScale) -> Vec<BaselineReport> {
         rows.push(report);
     }
     rows
+}
+
+/// One of the paper's evaluation figures, as selected by the `fig*` binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Figure 5: DEFCon maximum event rate.
+    Fig5,
+    /// Figure 6: DEFCon trade latency.
+    Fig6,
+    /// Figure 7: DEFCon occupied memory.
+    Fig7,
+    /// Figure 8: baseline maximum event rate.
+    Fig8,
+    /// Figure 9: baseline latency breakdown.
+    Fig9,
+}
+
+impl Figure {
+    /// All figures, in paper order.
+    pub fn all() -> [Figure; 5] {
+        [
+            Figure::Fig5,
+            Figure::Fig6,
+            Figure::Fig7,
+            Figure::Fig8,
+            Figure::Fig9,
+        ]
+    }
+
+    /// The record name rows of this figure carry in a bench report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Figure::Fig5 => "fig5",
+            Figure::Fig6 => "fig6",
+            Figure::Fig7 => "fig7",
+            Figure::Fig8 => "fig8",
+            Figure::Fig9 => "fig9",
+        }
+    }
+
+    /// Runs this figure's sweep (printing the human-readable rows) and returns
+    /// its machine-readable records.
+    pub fn run(&self, scale: &SweepScale) -> Vec<BenchRecord> {
+        match self {
+            Figure::Fig5 => figure5(scale)
+                .iter()
+                .map(|row| BenchRecord::from_platform(self.name(), row))
+                .collect(),
+            Figure::Fig6 => figure6(scale)
+                .iter()
+                .map(|row| BenchRecord::from_platform(self.name(), row))
+                .collect(),
+            Figure::Fig7 => figure7(scale)
+                .iter()
+                .map(|row| BenchRecord::from_platform(self.name(), row))
+                .collect(),
+            Figure::Fig8 => figure8(scale)
+                .iter()
+                .map(|row| BenchRecord::from_baseline(self.name(), row))
+                .collect(),
+            Figure::Fig9 => figure9(scale)
+                .iter()
+                .map(|row| BenchRecord::from_baseline(self.name(), row))
+                .collect(),
+        }
+    }
+}
+
+/// The CLI driver shared by the `fig*` binaries: `--quick` selects the reduced
+/// sweep, `--out <path>` overrides the report path (default
+/// `BENCH_figures.json`). Runs the given figures and writes one machine-
+/// readable [`BenchReport`] covering all of them.
+pub fn run_figures_cli(figures: &[Figure]) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = report::arg_value(&args, "--out").unwrap_or_else(|| "BENCH_figures.json".to_string());
+    let scale = if quick {
+        SweepScale::quick()
+    } else {
+        SweepScale::paper()
+    };
+    let mut bench_report = BenchReport::new("figures", quick);
+    for figure in figures {
+        for record in figure.run(&scale) {
+            bench_report.push(record);
+        }
+    }
+    assert!(
+        !bench_report.records.is_empty(),
+        "a figures run must produce records"
+    );
+    bench_report
+        .write(std::path::Path::new(&out))
+        .expect("write bench report");
+    println!("wrote {out}");
 }
 
 #[cfg(test)]

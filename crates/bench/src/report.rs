@@ -1,0 +1,485 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every bench binary writes its results as a `BENCH_*.json` file so that CI
+//! can archive them as artifacts and diff them across commits: a perf claim
+//! that is not a recorded data point cannot be regression-tested. The schema is
+//! deliberately flat — one [`BenchRecord`] per measured configuration, with the
+//! quantities the paper's figures (and our dispatch micro-bench) care about:
+//! throughput, latency percentiles, worker count, batch size — plus the git SHA
+//! of the build so a stored report is attributable to a commit.
+//!
+//! Serialisation is a small hand-rolled JSON emitter: the vendored `serde` is
+//! an API shim without real serialisation machinery (the build environment has
+//! no registry access), and the schema is flat enough that emitting it directly
+//! is simpler than growing the shim.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use defcon_baseline::BaselineReport;
+use defcon_metrics::LatencySummary;
+use defcon_trading::PlatformReport;
+
+/// Version tag embedded in every report; bump on breaking schema changes.
+pub const SCHEMA: &str = "defcon-bench-report/v1";
+
+/// One measured configuration — one row of a figure, or one cell of the
+/// dispatch micro-bench grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which measurement produced the record (`"fig5"`, `"dispatch"`, ...).
+    pub name: String,
+    /// Security mode label (`"labels+freeze"`, ...) or `"baseline"`.
+    pub mode: String,
+    /// Dispatcher worker threads (0 = driver-pumped).
+    pub workers: usize,
+    /// Dispatch/publish batch size.
+    pub batch_size: usize,
+    /// Deployment scale: traders for the platform figures, subscriber units
+    /// for micro-benches.
+    pub traders: usize,
+    /// Events processed during the measurement.
+    pub events: u64,
+    /// Throughput in events per second.
+    pub throughput_eps: f64,
+    /// Median latency, ms (0 when the measurement has no latency axis).
+    pub latency_p50_ms: f64,
+    /// 70th-percentile latency, ms (the paper's headline percentile).
+    pub latency_p70_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub latency_p99_ms: f64,
+    /// Occupied memory in MiB (0 when not measured).
+    pub memory_mib: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a DEFCon trading-platform run.
+    pub fn from_platform(name: &str, report: &PlatformReport) -> Self {
+        BenchRecord {
+            name: name.to_string(),
+            mode: report.mode.figure_label().to_string(),
+            workers: report.workers,
+            batch_size: report.batch_size,
+            traders: report.traders,
+            events: report.ticks,
+            throughput_eps: report.throughput_eps,
+            latency_p50_ms: report.latency_p50_ms,
+            latency_p70_ms: report.latency_p70_ms,
+            latency_p99_ms: report.latency_p99_ms,
+            memory_mib: report.memory_mib,
+        }
+    }
+
+    /// Builds a record from a Marketcetera-style baseline run. The baseline
+    /// measures p70 only (Figure 9's percentile); the other percentiles are
+    /// reported as 0.
+    pub fn from_baseline(name: &str, report: &BaselineReport) -> Self {
+        BenchRecord {
+            name: name.to_string(),
+            mode: "baseline".to_string(),
+            workers: 0,
+            batch_size: 1,
+            traders: report.traders,
+            events: report.ticks,
+            throughput_eps: report.throughput_eps,
+            latency_p50_ms: 0.0,
+            latency_p70_ms: report.total_p70_ms,
+            latency_p99_ms: 0.0,
+            memory_mib: report.memory_mib,
+        }
+    }
+
+    /// Builds a micro-bench record from raw counters and a latency summary
+    /// (see [`defcon_metrics::LatencyHistogram::summary`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_summary(
+        name: &str,
+        mode: &str,
+        workers: usize,
+        batch_size: usize,
+        units: usize,
+        events: u64,
+        throughput_eps: f64,
+        latency: &LatencySummary,
+    ) -> Self {
+        BenchRecord {
+            name: name.to_string(),
+            mode: mode.to_string(),
+            workers,
+            batch_size,
+            traders: units,
+            events,
+            throughput_eps,
+            latency_p50_ms: latency.p50_ms,
+            latency_p70_ms: 0.0,
+            latency_p99_ms: latency.p99_ms,
+            memory_mib: 0.0,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"mode\":{},\"workers\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{}}}",
+            json_string(&self.name),
+            json_string(&self.mode),
+            self.workers,
+            self.batch_size,
+            self.traders,
+            self.events,
+            json_number(self.throughput_eps),
+            json_number(self.latency_p50_ms),
+            json_number(self.latency_p70_ms),
+            json_number(self.latency_p99_ms),
+            json_number(self.memory_mib),
+        )
+    }
+}
+
+/// A full report: what one bench binary writes to its `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The suite this report belongs to (`"figures"`, `"dispatch"`).
+    pub suite: String,
+    /// Whether the reduced `--quick` sweep was used.
+    pub quick: bool,
+    /// Git SHA of the working tree (or `"unknown"` outside a checkout).
+    pub git_sha: String,
+    /// Named derived metrics (e.g. the batch-8-over-batch-1 speedup) that do
+    /// not belong to a single record.
+    pub metrics: Vec<(String, f64)>,
+    /// One record per measured configuration.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `suite`, resolving the git SHA.
+    pub fn new(suite: &str, quick: bool) -> Self {
+        BenchReport {
+            suite: suite.to_string(),
+            quick,
+            git_sha: current_git_sha(),
+            metrics: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Records a named derived metric.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Serialises the report to its JSON document.
+    pub fn to_json(&self) -> String {
+        let records: Vec<String> = self.records.iter().map(BenchRecord::to_json).collect();
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(name, value)| format!("{}:{}", json_string(name), json_number(*value)))
+            .collect();
+        format!(
+            "{{\"schema\":{},\"suite\":{},\"quick\":{},\"git_sha\":{},\"metrics\":{{{}}},\"records\":[{}]}}\n",
+            json_string(SCHEMA),
+            json_string(&self.suite),
+            self.quick,
+            json_string(&self.git_sha),
+            metrics.join(","),
+            records.join(",")
+        )
+    }
+
+    /// Writes the report to `path`, creating or truncating the file.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Escapes a string into a JSON string literal (with surrounding quotes).
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number; non-finite values (which JSON cannot
+/// express) become `null`.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Resolves the git SHA the report is attributable to: `GITHUB_SHA` in CI,
+/// `git rev-parse HEAD` in a checkout, `"unknown"` otherwise.
+fn current_git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Parses `--out <path>` style arguments (`--out=path` also accepted) from a
+/// bench binary's argument list.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return iter.next().cloned();
+        }
+        if let Some(value) = arg.strip_prefix(&format!("{flag}=")) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal JSON syntax checker, enough to assert the emitted report is a
+    /// well-formed document (the schema-validity gate CI relies on via `jq`).
+    mod json {
+        pub fn validate(input: &str) -> Result<(), String> {
+            let bytes: Vec<char> = input.chars().collect();
+            let mut pos = 0;
+            value(&bytes, &mut pos)?;
+            skip_ws(&bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing garbage at {pos}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(b: &[char], pos: &mut usize) {
+            while *pos < b.len() && b[*pos].is_whitespace() {
+                *pos += 1;
+            }
+        }
+
+        fn value(b: &[char], pos: &mut usize) -> Result<(), String> {
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some('{') => object(b, pos),
+                Some('[') => array(b, pos),
+                Some('"') => string(b, pos),
+                Some('t') => literal(b, pos, "true"),
+                Some('f') => literal(b, pos, "false"),
+                Some('n') => literal(b, pos, "null"),
+                Some(c) if *c == '-' || c.is_ascii_digit() => number(b, pos),
+                other => Err(format!("unexpected {other:?} at {pos}")),
+            }
+        }
+
+        fn object(b: &[char], pos: &mut usize) -> Result<(), String> {
+            *pos += 1; // '{'
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?} at {pos}")),
+                }
+            }
+        }
+
+        fn array(b: &[char], pos: &mut usize) -> Result<(), String> {
+            *pos += 1; // '['
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?} at {pos}")),
+                }
+            }
+        }
+
+        fn string(b: &[char], pos: &mut usize) -> Result<(), String> {
+            if b.get(*pos) != Some(&'"') {
+                return Err(format!("expected string at {pos}"));
+            }
+            *pos += 1;
+            while let Some(&c) = b.get(*pos) {
+                *pos += 1;
+                match c {
+                    '"' => return Ok(()),
+                    '\\' => {
+                        *pos += 1; // escaped char (\uXXXX hex digits also pass `value` opaquely)
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+
+        fn number(b: &[char], pos: &mut usize) -> Result<(), String> {
+            let start = *pos;
+            while let Some(&c) = b.get(*pos) {
+                if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if *pos == start {
+                Err(format!("expected number at {pos}"))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn literal(b: &[char], pos: &mut usize, lit: &str) -> Result<(), String> {
+            for expected in lit.chars() {
+                if b.get(*pos) != Some(&expected) {
+                    return Err(format!("bad literal at {pos}"));
+                }
+                *pos += 1;
+            }
+            Ok(())
+        }
+    }
+
+    fn sample_record() -> BenchRecord {
+        BenchRecord {
+            name: "dispatch".into(),
+            mode: "labels+freeze".into(),
+            workers: 4,
+            batch_size: 8,
+            traders: 8,
+            events: 30_000,
+            throughput_eps: 123_456.78,
+            latency_p50_ms: 0.12,
+            latency_p70_ms: 0.0,
+            latency_p99_ms: 1.5,
+            memory_mib: 10.25,
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_valid_json() {
+        let mut report = BenchReport::new("dispatch", true);
+        report.push(sample_record());
+        report.push(BenchRecord {
+            name: "weird \"quotes\"\nand\tcontrol".into(),
+            throughput_eps: f64::NAN,
+            ..sample_record()
+        });
+        report.metric("speedup_batch8_over_batch1", 1.34);
+        let json = report.to_json();
+        json::validate(&json).expect("emitted report must be well-formed JSON");
+        assert!(json.contains("\"schema\":\"defcon-bench-report/v1\""));
+        assert!(json.contains("\"git_sha\":"));
+        assert!(json.contains("\"speedup_batch8_over_batch1\":1.34"));
+        assert!(json.contains("\"workers\":4"));
+        assert!(json.contains("\"batch_size\":8"));
+        assert!(
+            json.contains("\"throughput_eps\":null"),
+            "non-finite numbers must serialise as null, not NaN"
+        );
+    }
+
+    #[test]
+    fn platform_and_baseline_conversions_carry_the_figures() {
+        let platform = PlatformReport {
+            mode: defcon_core::SecurityMode::LabelsFreeze,
+            traders: 200,
+            workers: 4,
+            batch_size: 8,
+            ticks: 1000,
+            orders: 500,
+            trades: 250,
+            warnings: 1,
+            throughput_eps: 9_000.5,
+            latency_p70_ms: 0.7,
+            latency_p50_ms: 0.5,
+            latency_p99_ms: 2.0,
+            memory_mib: 42.0,
+        };
+        let record = BenchRecord::from_platform("fig5", &platform);
+        assert_eq!(record.mode, "labels+freeze");
+        assert_eq!(record.workers, 4);
+        assert_eq!(record.batch_size, 8);
+        assert_eq!(record.throughput_eps, 9_000.5);
+        assert_eq!(record.latency_p99_ms, 2.0);
+
+        let mut report = BenchReport::new("figures", false);
+        report.push(record);
+        json::validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_json() {
+        let report = BenchReport::new("figures", false);
+        json::validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn arg_value_parses_both_forms() {
+        let args: Vec<String> = ["bin", "--quick", "--out", "a.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--out").as_deref(), Some("a.json"));
+        let args: Vec<String> = ["bin", "--out=b.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--out").as_deref(), Some("b.json"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+}

@@ -44,6 +44,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the dispatch batch size: how many events a dispatcher pops (and
+    /// accounts for) per run-queue lock round-trip, and the chunk size batched
+    /// publishers enqueue with. The default of 1 preserves classic
+    /// one-event-at-a-time queueing; values are clamped to at least 1 at use.
+    /// Per-unit serialisation and subscription order are unchanged either
+    /// way; dispatch observes subscriber security state as snapshotted at
+    /// batch start (see [`EngineConfig::batch_size`](crate::EngineConfig)).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size.max(1);
+        self
+    }
+
     /// Sets the capacity of the recently-dispatched event cache.
     pub fn event_cache(mut self, capacity: usize) -> Self {
         self.config.event_cache_capacity = capacity;
@@ -84,11 +96,19 @@ mod tests {
         let engine = Engine::builder()
             .mode(SecurityMode::LabelsClone)
             .workers(3)
+            .batch_size(16)
             .event_cache(7)
             .managed_instance_cap(9)
             .build();
         assert_eq!(engine.mode(), SecurityMode::LabelsClone);
         assert_eq!(engine.configured_workers(), 3);
+        assert_eq!(engine.configured_batch_size(), 16);
+    }
+
+    #[test]
+    fn batch_size_zero_clamps_to_one() {
+        let engine = Engine::builder().batch_size(0).build();
+        assert_eq!(engine.configured_batch_size(), 1);
     }
 
     #[test]
@@ -96,6 +116,7 @@ mod tests {
         let engine = EngineBuilder::new().build();
         assert_eq!(engine.mode(), SecurityMode::LabelsFreeze);
         assert_eq!(engine.configured_workers(), 0);
+        assert_eq!(engine.configured_batch_size(), 1);
     }
 
     #[test]

@@ -48,6 +48,22 @@ pub struct Dispatcher {
     preferred_shard: usize,
 }
 
+/// A subscription owner's security state as snapshotted for one batch.
+struct OwnerSnapshot {
+    input: Label,
+    output: Label,
+    privileges: defcon_defc::PrivilegeSet,
+    name: String,
+}
+
+/// Dispatch state prepared once per popped batch and shared by all its events:
+/// the subscription list and each subscription's resolved owner slot plus
+/// security-state snapshot (`None` when the owner was removed).
+struct BatchContext {
+    subscriptions: Arc<Vec<Subscription>>,
+    owners: Vec<Option<(Arc<UnitSlot>, OwnerSnapshot)>>,
+}
+
 impl Dispatcher {
     pub(crate) fn new(core: Arc<EngineCore>) -> Self {
         Dispatcher {
@@ -63,6 +79,12 @@ impl Dispatcher {
         }
     }
 
+    /// The batch size this dispatcher pops with (configured via
+    /// [`EngineBuilder::batch_size`](crate::EngineBuilder::batch_size)).
+    fn batch_size(&self) -> usize {
+        self.core.config.batch_size.max(1)
+    }
+
     /// Dispatches at most one queued event; returns `true` if one was processed.
     pub fn pump_one(&self) -> EngineResult<bool> {
         match self.core.run_queue.pop(self.preferred_shard) {
@@ -76,6 +98,37 @@ impl Dispatcher {
         }
     }
 
+    /// Pops one batch off the queue and dispatches every event in it, settling
+    /// the in-flight accounting with a single update for the whole batch.
+    /// Returns the number of events dispatched (zero when the queue was empty).
+    ///
+    /// A dispatch error does not abandon the rest of the batch — the remaining
+    /// events (already popped, already counted in flight) are dispatched too,
+    /// and the first error is returned afterwards, so no event is ever lost to
+    /// an earlier event's failure.
+    fn pump_batch(&self) -> EngineResult<usize> {
+        let batch = self
+            .core
+            .run_queue
+            .pop_batch(self.preferred_shard, self.batch_size());
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let dispatched = batch.len();
+        let _guard = self.core.run_queue.batch_guard(dispatched);
+        let context = self.batch_context();
+        let mut first_error = None;
+        for event in batch {
+            if let Err(error) = self.dispatch_in(&context, event) {
+                first_error.get_or_insert(error);
+            }
+        }
+        match first_error {
+            None => Ok(dispatched),
+            Some(error) => Err(error),
+        }
+    }
+
     /// Dispatches events until the queue drains (including events published during
     /// dispatch). Returns the number of events dispatched.
     ///
@@ -84,10 +137,12 @@ impl Dispatcher {
     /// wait for in-flight dispatches as well.
     pub fn pump_until_idle(&self) -> EngineResult<usize> {
         let mut dispatched = 0;
-        while self.pump_one()? {
-            dispatched += 1;
+        loop {
+            match self.pump_batch()? {
+                0 => return Ok(dispatched),
+                n => dispatched += n,
+            }
         }
-        Ok(dispatched)
     }
 
     /// Keeps pumping for at least `duration` (useful when other threads publish
@@ -98,9 +153,12 @@ impl Dispatcher {
         let deadline = Instant::now() + duration;
         let mut dispatched = 0;
         loop {
-            if self.pump_one()? {
-                dispatched += 1;
-                continue;
+            match self.pump_batch()? {
+                0 => {}
+                n => {
+                    dispatched += n;
+                    continue;
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -119,35 +177,53 @@ impl Dispatcher {
     /// Runs the blocking worker loop: dispatch events as they arrive until the
     /// run queue is stopped *and* fully drained. Returns the number of events
     /// this worker dispatched.
+    ///
+    /// This is the hot path of the multi-core deployment: each iteration drains
+    /// a whole batch from one shard under a single lock round-trip and settles
+    /// the batch's in-flight accounting with one update and one wakeup check,
+    /// instead of paying those per event.
     pub(crate) fn run_worker(self) -> u64 {
+        let batch_size = self.batch_size();
         let mut dispatched = 0;
-        while let Some(event) = self.core.run_queue.next_event(self.preferred_shard) {
-            // Neither an `Err` (engine-level inconsistency) nor a panic in a
-            // unit callback may take the worker down: a dead worker would leak
-            // its in-flight count and deadlock shutdown for the whole runtime.
-            // The guard keeps the count balanced even if the catch itself
-            // were to unwind.
-            let guard = self.core.run_queue.complete_guard();
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(event)));
-            drop(guard);
-            dispatched += 1;
-            match outcome {
-                Ok(Ok(())) => {}
-                // Unit misbehaviour is already caught and counted per delivery
-                // inside `deliver`; anything that reaches here is an engine
-                // fault and gets its own counter so it cannot hide among
-                // expected unit errors. (In `workers(0)` mode the same error
-                // propagates to the pump caller instead.)
-                Ok(Err(_)) | Err(_) => {
-                    self.core
-                        .stats
-                        .engine_errors
-                        .fetch_add(1, Ordering::Relaxed);
+        loop {
+            let batch = self
+                .core
+                .run_queue
+                .next_batch(self.preferred_shard, batch_size);
+            if batch.is_empty() {
+                return dispatched;
+            }
+            // The guard keeps the in-flight count balanced for the whole batch
+            // even if the per-event catch itself were to unwind: a dead worker
+            // would leak its in-flight count and deadlock shutdown for the
+            // whole runtime.
+            let guard = self.core.run_queue.batch_guard(batch.len());
+            let context = self.batch_context();
+            for event in batch {
+                // Neither an `Err` (engine-level inconsistency) nor a panic in
+                // a unit callback may take the worker down — or abandon the
+                // rest of the already-popped batch.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.dispatch_in(&context, event)
+                }));
+                dispatched += 1;
+                match outcome {
+                    Ok(Ok(())) => {}
+                    // Unit misbehaviour is already caught and counted per
+                    // delivery inside `deliver`; anything that reaches here is
+                    // an engine fault and gets its own counter so it cannot
+                    // hide among expected unit errors. (In `workers(0)` mode
+                    // the same error propagates to the pump caller instead.)
+                    Ok(Err(_)) | Err(_) => {
+                        self.core
+                            .stats
+                            .engine_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
+            drop(guard);
         }
-        dispatched
     }
 
     /// Spawns a background thread that pumps until `stop` becomes `true`.
@@ -171,31 +247,68 @@ impl Dispatcher {
         })
     }
 
-    /// Dispatches a single event to every matching subscription.
+    /// Builds the per-batch dispatch context: the subscription list and, for
+    /// every subscription, a snapshot of its owner's security state (labels,
+    /// privileges, name) and slot.
+    ///
+    /// Taking this snapshot once per *batch* instead of once per subscription
+    /// per event is a large part of the batched hot path's win: the
+    /// per-subscription cell lock round-trip and label/privilege/name clones
+    /// are paid `S` times per batch instead of `S × batch_size` times. Within
+    /// one batch, dispatch therefore observes a consistent owner-state
+    /// snapshot: a unit changing its own labels during a delivery affects
+    /// visibility filtering from the *next batch* on — including the rest of
+    /// the event currently being dispatched, which under the old
+    /// per-subscription re-read would have seen the change for its remaining
+    /// subscriptions. Concurrent workers always raced such changes anyway;
+    /// the snapshot makes the window explicit and bounded by one batch.
+    fn batch_context(&self) -> BatchContext {
+        let subscriptions: Arc<Vec<Subscription>> = Arc::clone(&self.core.subscriptions.read());
+        let owners = subscriptions
+            .iter()
+            .map(|subscription| {
+                // Owner removed since the subscription snapshot: skip silently
+                // (per-event re-checks in `deliver` handle mid-batch removal).
+                let slot = self.core.slot(subscription.owner).ok()?;
+                let cell = slot.cell.lock();
+                let snapshot = OwnerSnapshot {
+                    input: cell.state.input_label.clone(),
+                    output: cell.state.output_label.clone(),
+                    privileges: cell.state.privileges.clone(),
+                    name: cell.state.name.clone(),
+                };
+                drop(cell);
+                Some((slot, snapshot))
+            })
+            .collect();
+        BatchContext {
+            subscriptions,
+            owners,
+        }
+    }
+
+    /// Dispatches a single event to every matching subscription (building a
+    /// fresh one-event context; the batched paths share one context per batch).
     fn dispatch(&self, event: Event) -> EngineResult<()> {
+        self.dispatch_in(&self.batch_context(), event)
+    }
+
+    /// Dispatches a single event using a prepared batch context.
+    fn dispatch_in(&self, batch: &BatchContext, event: Event) -> EngineResult<()> {
         self.core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
         self.core.cache_event(event.clone());
 
         let mode = self.core.config.mode;
-        let subscriptions: Arc<Vec<Subscription>> = Arc::clone(&self.core.subscriptions.read());
 
         // The event as augmented so far along the main dataflow path.
         let mut current = event;
 
-        for subscription in subscriptions.iter() {
-            let Ok(owner_slot) = self.core.slot(subscription.owner) else {
-                // Owner removed since the snapshot; skip silently.
+        for (subscription, owner) in batch.subscriptions.iter().zip(&batch.owners) {
+            let Some((owner_slot, owner)) = owner else {
                 continue;
             };
-            let (owner_input, owner_output, owner_privileges, owner_name) = {
-                let cell = owner_slot.cell.lock();
-                (
-                    cell.state.input_label.clone(),
-                    cell.state.output_label.clone(),
-                    cell.state.privileges.clone(),
-                    cell.state.name.clone(),
-                )
-            };
+            let (owner_input, owner_output, owner_privileges, owner_name) =
+                (&owner.input, &owner.output, &owner.privileges, &owner.name);
 
             let managed = subscription.is_managed();
             let matched = if mode.checks_labels() {
@@ -214,7 +327,7 @@ impl Dispatcher {
                             .integrity()
                             .is_superset(owner_input.integrity())
                     } else {
-                        part.label().can_flow_to(&owner_input)
+                        part.label().can_flow_to(owner_input)
                     };
                     if !visible {
                         stats.label_rejections.fetch_add(1, Ordering::Relaxed);
@@ -245,9 +358,9 @@ impl Dispatcher {
                 for _ in 0..4 {
                     match self.managed_instance(
                         subscription,
-                        &owner_output,
-                        &owner_privileges,
-                        &owner_name,
+                        owner_output,
+                        owner_privileges,
+                        owner_name,
                         required.clone(),
                     ) {
                         Ok(slot) => {
@@ -265,7 +378,7 @@ impl Dispatcher {
                     None => continue,
                 }
             } else {
-                owner_slot
+                Arc::clone(owner_slot)
             };
 
             // `labels+clone` pays a deep copy per delivery; the other modes share
@@ -326,9 +439,9 @@ impl Dispatcher {
             ctx.finish()
         };
         drop(cell);
-        for output in outputs {
-            self.core.enqueue(output);
-        }
+        // One delivery's cascade publications enter the queue as a single
+        // batch: one shard lock, one accounting update, one wakeup check.
+        self.core.enqueue_batch(outputs);
         additions
     }
 

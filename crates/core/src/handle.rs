@@ -70,6 +70,13 @@ impl EngineHandle {
         self.engine.publisher(unit)
     }
 
+    /// Publishes a batch of drafts *as* `unit` in one run-queue transaction —
+    /// shorthand for [`Publisher::publish_batch`] when a driver does not keep a
+    /// long-lived publisher around. Returns the number of events published.
+    pub fn publish_batch(&self, unit: UnitId, drafts: Vec<EventDraft>) -> EngineResult<usize> {
+        self.engine.publisher(unit)?.publish_batch(drafts)
+    }
+
     /// Dispatches queued events on the calling thread until the queue drains;
     /// returns the number of events dispatched here.
     ///
@@ -222,13 +229,56 @@ impl Publisher {
         if draft.parts.is_empty() {
             return Ok(false);
         }
+        let output_label = self.output_label()?;
+        let event = self.build_event(draft, &output_label)?;
+        self.core.enqueue_external(event)?;
+        Ok(true)
+    }
+
+    /// Publishes a batch of drafts in one run-queue transaction: the unit's
+    /// output label is read once, every built event lands on a single shard in
+    /// draft order under one lock acquisition, and consumers are woken once —
+    /// the driver-side half of the engine's batched dispatch hot path. Empty
+    /// drafts are dropped per Table 1.
+    ///
+    /// Returns the number of events published. An entirely rejected batch (the
+    /// runtime has shut down) fails loudly like [`Publisher::publish`]; a batch
+    /// racing shutdown may be partially accepted, and the returned count is
+    /// exactly the number of events that will be dispatched.
+    pub fn publish_batch(&self, drafts: Vec<EventDraft>) -> EngineResult<usize> {
+        let mut events = Vec::with_capacity(drafts.len());
+        let mut output_label = None;
+        for draft in drafts {
+            if draft.parts.is_empty() {
+                continue;
+            }
+            // The label snapshot is shared by the whole batch; it is only read
+            // when at least one draft actually publishes.
+            let label = match &output_label {
+                Some(label) => label,
+                None => output_label.insert(self.output_label()?),
+            };
+            events.push(self.build_event(draft, label)?);
+        }
+        if events.is_empty() {
+            return Ok(0);
+        }
+        self.core.enqueue_external_batch(events)
+    }
+
+    /// Snapshot of the publishing unit's output label.
+    fn output_label(&self) -> EngineResult<Label> {
+        let slot = self.core.slot(self.unit)?;
+        let guard = slot.cell.lock();
+        Ok(guard.state.output_label.clone())
+    }
+
+    /// Builds one event from a draft, raising part labels to the unit's output
+    /// label and charging isolation interceptions, exactly as a single
+    /// `publish` would.
+    fn build_event(&self, draft: EventDraft, output_label: &Label) -> EngineResult<Event> {
         let checks = self.core.config.mode.checks_labels();
         let isolates = self.core.config.mode.isolates();
-        let output_label = {
-            let slot = self.core.slot(self.unit)?;
-            let guard = slot.cell.lock();
-            guard.state.output_label.clone()
-        };
         let parts = draft
             .parts
             .into_iter()
@@ -241,16 +291,14 @@ impl Publisher {
                     self.core.isolation.intercept();
                 }
                 let label = if checks {
-                    label.raised_to_output(&output_label)
+                    label.raised_to_output(output_label)
                 } else {
                     label
                 };
                 defcon_events::Part::new(name, label, data)
             })
             .collect();
-        let event = Event::new(parts)?;
-        self.core.enqueue_external(event)?;
-        Ok(true)
+        Ok(Event::new(parts)?)
     }
 
     /// Runs a closure with the full [`UnitContext`] API as this unit — the
@@ -323,6 +371,87 @@ mod tests {
         handle.pump_until_idle().unwrap();
         assert_eq!(seen.load(Ordering::Relaxed), 1);
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn publish_batch_routes_and_drops_empty_drafts() {
+        let engine = Engine::builder().mode(SecurityMode::LabelsFreeze).build();
+        let seen = Arc::new(AtomicU64::new(0));
+        engine
+            .register_unit(
+                UnitSpec::new("counter"),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            )
+            .unwrap();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+
+        let handle = engine.start();
+        let publisher = handle.publisher(source).unwrap();
+        let drafts = vec![
+            EventDraft::new().public_part("type", Value::str("tick")),
+            EventDraft::new(), // dropped per Table 1
+            EventDraft::new().public_part("type", Value::str("tick")),
+        ];
+        assert_eq!(publisher.publish_batch(drafts).unwrap(), 2);
+        assert_eq!(
+            publisher.publish_batch(Vec::new()).unwrap(),
+            0,
+            "an all-empty batch publishes nothing"
+        );
+        handle.pump_until_idle().unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.stats().published(), 2);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn handle_publish_batch_shorthand_matches_publisher() {
+        let engine = Engine::builder().batch_size(4).build();
+        let seen = Arc::new(AtomicU64::new(0));
+        engine
+            .register_unit(
+                UnitSpec::new("counter"),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            )
+            .unwrap();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+        let handle = engine.start();
+        let drafts = (0..8)
+            .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
+            .collect();
+        assert_eq!(handle.publish_batch(source, drafts).unwrap(), 8);
+        handle.pump_until_idle().unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 8);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn publish_batch_after_shutdown_is_rejected_not_lost() {
+        let engine = Engine::builder().workers(2).batch_size(8).build();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+        let publisher = engine.publisher(source).unwrap();
+        engine.start().shutdown().unwrap();
+
+        let drafts = (0..4)
+            .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
+            .collect();
+        let result = publisher.publish_batch(drafts);
+        assert!(
+            matches!(result, Err(crate::EngineError::InvalidOperation(_))),
+            "late batch publishes must fail loudly, got {result:?}"
+        );
+        assert_eq!(engine.queue_depth(), 0, "nothing may linger on the queue");
+        assert_eq!(engine.stats().published(), 0);
     }
 
     #[test]

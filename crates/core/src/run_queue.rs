@@ -9,10 +9,22 @@
 //! event's deliveries happen in subscription order and that deliveries to one
 //! unit are serialised (by the per-unit mutex, not by the queue).
 //!
+//! Consumers pop in *batches*: [`RunQueue::pop_batch`] drains a whole run of up
+//! to `max` events from one shard under a single lock acquisition (stealing a
+//! run, not one item, when the preferred shard is dry), and the paired
+//! [`BatchGuard`] settles the in-flight accounting for the entire batch with
+//! one atomic update and one wakeup check. A batch size of 1 degenerates to
+//! the classic one-event-per-lock behaviour.
+//!
 //! The queue also tracks how many events are *in flight* (popped but whose
 //! dispatch has not finished), which is what makes [`RunQueue::wait_idle`] and
 //! graceful shutdown deterministic: a drained queue with an in-flight dispatch
 //! may still grow again, so "idle" means empty *and* nothing in flight.
+//!
+//! Blocked consumers park on a condvar and rely purely on paired signalling —
+//! every insert either observes a registered waiter (and notifies) or the
+//! waiter's pre-sleep recheck observes the insert; there is no periodic-wakeup
+//! safety net, so an idle engine's workers sleep silently instead of polling.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -20,10 +32,6 @@ use std::time::{Duration, Instant};
 
 use defcon_events::Event;
 use parking_lot::{Condvar, Mutex};
-
-/// How long blocked consumers sleep between wakeup checks. Wakeups are signalled
-/// explicitly; the timeout is a safety net against lost notifications.
-const WAIT_SLICE: Duration = Duration::from_millis(50);
 
 /// A multi-producer multi-consumer queue of events awaiting dispatch.
 pub(crate) struct RunQueue {
@@ -85,14 +93,18 @@ impl RunQueue {
     /// unless a consumer is actually parked.
     pub(crate) fn push(&self, event: Event) {
         self.insert(event);
-        // SeqCst pairs with the waiter registration in `next_event`: either this
-        // load sees the registered waiter (and we wake it), or the waiter's
-        // pre-sleep `len` recheck — sequenced after its registration — sees our
-        // insert and never parks. WAIT_SLICE further bounds any surprise.
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            let _signal = self.signal_lock.lock();
-            self.work_signal.notify_one();
+        self.wake_consumers(1);
+    }
+
+    /// Batched variant of [`RunQueue::push`]: all events land on one shard in
+    /// order under a single lock acquisition, with a single wakeup check.
+    pub(crate) fn push_batch(&self, events: Vec<Event>) {
+        let n = events.len();
+        if n == 0 {
+            return;
         }
+        self.insert_batch(events);
+        self.wake_consumers(n);
     }
 
     /// Enqueues an event from an external driver (publisher handles, `with_unit`
@@ -100,13 +112,8 @@ impl RunQueue {
     /// stopping: after the drain finishes nothing would ever dispatch the
     /// event, so accepting it would lose it silently.
     ///
-    /// Lock-free on the accept path, with a re-check after the insert closing
-    /// the race against a concurrent full shutdown: if `stop` was observed
-    /// false before the insert, the insert is SeqCst-ordered before the flag
-    /// flip and the stopping drain is guaranteed to see the event; if stopping
-    /// is observed afterwards, the event is taken back out (unless a drain
-    /// already popped it, in which case it is being dispatched). Either way an
-    /// `accepted` return means the event will be dispatched.
+    /// Allocation-free single-event twin of [`RunQueue::push_external_batch`],
+    /// with the same stop-race reconciliation (see there).
     pub(crate) fn push_external(&self, event: Event) -> bool {
         if self.stopping.load(Ordering::SeqCst) {
             return false;
@@ -114,23 +121,63 @@ impl RunQueue {
         let id = event.id();
         let shard = self.insert(event);
         if self.stopping.load(Ordering::SeqCst) {
-            // Raced with shutdown; the drain may already be past this shard.
-            // Withdraw the event by identity — if it is gone, a consumer has
-            // it and will dispatch it, so the publish stands.
             let mut queue = self.shards[shard].lock();
             if let Some(position) = queue.iter().position(|queued| queued.id() == id) {
                 queue.remove(position);
                 self.len.fetch_sub(1, Ordering::SeqCst);
                 drop(queue);
-                self.complete();
+                self.complete_many(1);
                 return false;
             }
         }
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            let _signal = self.signal_lock.lock();
-            self.work_signal.notify_one();
-        }
+        self.wake_consumers(1);
         true
+    }
+
+    /// Enqueues a batch of external events onto one shard under one lock,
+    /// returning how many were accepted (and will therefore be dispatched).
+    ///
+    /// Lock-free on the accept path, with a re-check after the insert closing
+    /// the race against a concurrent full shutdown: if `stop` was observed
+    /// false before the insert, the insert is SeqCst-ordered before the flag
+    /// flip and the stopping drain is guaranteed to see the events; if stopping
+    /// is observed afterwards, the still-queued tail of the batch is withdrawn
+    /// by identity — events a drain already popped are in flight and their
+    /// publish stands. The returned count is exactly the number of events that
+    /// will reach dispatch.
+    pub(crate) fn push_external_batch(&self, events: Vec<Event>) -> usize {
+        let n = events.len();
+        if n == 0 || self.stopping.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let ids: Vec<_> = events.iter().map(|event| event.id()).collect();
+        let shard = self.insert_batch(events);
+        if self.stopping.load(Ordering::SeqCst) {
+            // Raced with shutdown; the drain may already be past this shard.
+            // Withdraw whatever is still queued — anything gone is being
+            // dispatched by a consumer, so those publishes stand.
+            let mut withdrawn = 0;
+            {
+                let mut queue = self.shards[shard].lock();
+                for id in &ids {
+                    if let Some(position) = queue.iter().position(|queued| queued.id() == *id) {
+                        queue.remove(position);
+                        withdrawn += 1;
+                    }
+                }
+                if withdrawn > 0 {
+                    self.len.fetch_sub(withdrawn, Ordering::SeqCst);
+                }
+            }
+            self.complete_many(withdrawn);
+            let accepted = n - withdrawn;
+            if accepted > 0 {
+                self.wake_consumers(accepted);
+            }
+            return accepted;
+        }
+        self.wake_consumers(n);
+        n
     }
 
     fn insert(&self, event: Event) -> usize {
@@ -145,6 +192,34 @@ impl RunQueue {
         // concurrent pop and wrap below zero.
         self.len.fetch_add(1, Ordering::SeqCst);
         shard
+    }
+
+    fn insert_batch(&self, events: Vec<Event>) -> usize {
+        let n = events.len();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut queue = self.shards[shard].lock();
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        queue.extend(events);
+        self.len.fetch_add(n, Ordering::SeqCst);
+        shard
+    }
+
+    /// Wakes parked consumers after `inserted` events were enqueued. SeqCst
+    /// pairs with the waiter registration in [`RunQueue::next_batch`]: either
+    /// this load sees the registered waiter (and we wake it), or the waiter's
+    /// pre-sleep `len` recheck — sequenced after its registration — sees our
+    /// insert and never parks.
+    fn wake_consumers(&self, inserted: usize) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _signal = self.signal_lock.lock();
+            if inserted > 1 {
+                // A batch can feed several workers (they steal runs from the
+                // shard it landed on); a single token would leave them parked.
+                self.work_signal.notify_all();
+            } else {
+                self.work_signal.notify_one();
+            }
+        }
     }
 
     /// Pops one event, preferring shard `preferred` and stealing from the others.
@@ -165,9 +240,42 @@ impl RunQueue {
         None
     }
 
+    /// Pops up to `max` events in FIFO order from one shard under a single lock
+    /// acquisition, preferring shard `preferred` and stealing a whole run from a
+    /// sibling shard when the preferred one is dry. Every popped event counts as
+    /// in flight until completed (see [`RunQueue::batch_guard`]).
+    pub(crate) fn pop_batch(&self, preferred: usize, max: usize) -> Vec<Event> {
+        let max = max.max(1);
+        let shard_count = self.shards.len();
+        for offset in 0..shard_count {
+            let shard = &self.shards[(preferred + offset) % shard_count];
+            let mut queue = shard.lock();
+            if queue.is_empty() {
+                continue;
+            }
+            let take = queue.len().min(max);
+            let batch: Vec<Event> = queue.drain(..take).collect();
+            // Decremented while the shard lock is held so `len` can never lag
+            // a concurrent pop and wrap below zero.
+            self.len.fetch_sub(take, Ordering::AcqRel);
+            return batch;
+        }
+        Vec::new()
+    }
+
     /// Marks one popped event's dispatch as finished.
     pub(crate) fn complete(&self) {
-        self.pending.fetch_sub(1, Ordering::SeqCst);
+        self.complete_many(1);
+    }
+
+    /// Marks `n` popped events' dispatches as finished in one accounting
+    /// update: a single atomic subtraction and a single idle check for the
+    /// whole batch.
+    pub(crate) fn complete_many(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.pending.fetch_sub(n, Ordering::SeqCst);
         if self.is_idle() {
             let _signal = self.signal_lock.lock();
             self.idle_signal.notify_all();
@@ -183,21 +291,35 @@ impl RunQueue {
         CompleteGuard { queue: self }
     }
 
-    /// Blocks until an event is available (returning it, in-flight) or until the
-    /// queue is stopping *and* fully idle (returning `None`, telling a worker to
-    /// exit).
-    pub(crate) fn next_event(&self, preferred: usize) -> Option<Event> {
+    /// Returns a guard that settles the in-flight accounting for a batch of `n`
+    /// popped events when dropped — one atomic update and one wakeup check for
+    /// the whole batch, balanced even if a dispatch panics mid-batch.
+    pub(crate) fn batch_guard(&self, n: usize) -> BatchGuard<'_> {
+        BatchGuard {
+            queue: self,
+            remaining: n,
+        }
+    }
+
+    /// Blocks until at least one event is available, returning a batch of up to
+    /// `max` events from one shard, or an empty batch once the queue is
+    /// stopping *and* fully idle (telling a worker to exit).
+    pub(crate) fn next_batch(&self, preferred: usize, max: usize) -> Vec<Event> {
         loop {
-            if let Some(event) = self.pop(preferred) {
-                return Some(event);
+            let batch = self.pop_batch(preferred, max);
+            if !batch.is_empty() {
+                return batch;
             }
             if self.stopping.load(Ordering::Acquire) && self.is_idle() {
-                return None;
+                return batch;
             }
             let mut signal = self.signal_lock.lock();
             // Register as a waiter *before* the recheck (SeqCst, pairing with
-            // `push`), then re-check: a push or the final `complete` may have
-            // raced with the checks above.
+            // `wake_consumers`), then re-check: a push or the final `complete`
+            // may have raced with the checks above. The wait itself is
+            // untimed — the pairing guarantees no insert is ever missed, so an
+            // idle engine's workers park silently instead of waking on a
+            // polling interval.
             self.waiters.fetch_add(1, Ordering::SeqCst);
             if self.len.load(Ordering::SeqCst) > 0
                 || (self.stopping.load(Ordering::Acquire) && self.is_idle())
@@ -205,13 +327,13 @@ impl RunQueue {
                 self.waiters.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
-            self.work_signal.wait_for(&mut signal, WAIT_SLICE);
+            self.work_signal.wait(&mut signal);
             self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
-    /// Parks the caller until work may be available or `max_wait` (bounded by
-    /// the safety slice) elapses — the blocking primitive behind
+    /// Parks the caller until work may be available or `max_wait` elapses — the
+    /// blocking primitive behind
     /// [`Dispatcher::pump_for`](crate::Dispatcher::pump_for), so polling drivers
     /// do not spin a core while the queue is empty. Parks regardless of the
     /// stopping flag (callers exit on `stopping && idle` themselves): in-flight
@@ -221,15 +343,14 @@ impl RunQueue {
         let mut signal = self.signal_lock.lock();
         self.waiters.fetch_add(1, Ordering::SeqCst);
         if self.len.load(Ordering::SeqCst) == 0 {
-            self.work_signal
-                .wait_for(&mut signal, max_wait.min(WAIT_SLICE));
+            self.work_signal.wait_for(&mut signal, max_wait);
         }
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Asks consumers to exit once the queue has fully drained. External pushes
-    /// are rejected from this point on (see `push_external` for how the flag
-    /// flip and racing inserts reconcile).
+    /// are rejected from this point on (see `push_external_batch` for how the
+    /// flag flip and racing inserts reconcile).
     pub(crate) fn stop(&self) {
         self.stopping.store(true, Ordering::SeqCst);
         let _signal = self.signal_lock.lock();
@@ -258,8 +379,7 @@ impl RunQueue {
             if self.is_idle() {
                 return true;
             }
-            self.idle_signal
-                .wait_for(&mut signal, (deadline - now).min(WAIT_SLICE));
+            self.idle_signal.wait_for(&mut signal, deadline - now);
         }
     }
 }
@@ -275,6 +395,19 @@ impl Drop for CompleteGuard<'_> {
     }
 }
 
+/// RAII guard balancing a whole batch of in-flight dispatches with a single
+/// accounting update (see [`RunQueue::batch_guard`]).
+pub(crate) struct BatchGuard<'a> {
+    queue: &'a RunQueue,
+    remaining: usize,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        self.queue.complete_many(self.remaining);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +420,19 @@ mod tests {
             .part("n", Label::public(), Value::Int(n))
             .build()
             .unwrap()
+    }
+
+    /// Blocking single-event pop: the batch-size-1 degenerate case of
+    /// [`RunQueue::next_batch`].
+    fn next_event(queue: &RunQueue, preferred: usize) -> Option<Event> {
+        queue.next_batch(preferred, 1).pop()
+    }
+
+    fn event_value(event: &Event) -> i64 {
+        match event.first_part("n").map(|part| part.data().clone()) {
+            Some(Value::Int(n)) => n,
+            other => panic!("unexpected part payload: {other:?}"),
+        }
     }
 
     #[test]
@@ -316,15 +462,72 @@ mod tests {
     }
 
     #[test]
+    fn pop_batch_drains_a_run_in_fifo_order() {
+        let queue = RunQueue::new(1);
+        queue.push_batch((0..10).map(event).collect());
+        assert_eq!(queue.len(), 10);
+
+        let batch = queue.pop_batch(0, 4);
+        assert_eq!(
+            batch.iter().map(event_value).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "a batch preserves shard FIFO order"
+        );
+        assert_eq!(queue.len(), 6);
+        queue.complete_many(batch.len());
+
+        let rest = queue.pop_batch(0, 100);
+        assert_eq!(rest.len(), 6, "bounded by what is queued");
+        queue.complete_many(rest.len());
+        assert!(queue.is_idle());
+    }
+
+    #[test]
+    fn pop_batch_steals_a_whole_run_from_a_sibling_shard() {
+        let queue = RunQueue::new(4);
+        // One push_batch lands on a single shard (shard 0, round-robin from 0).
+        queue.push_batch((0..8).map(event).collect());
+
+        // Worker preferring shard 2 finds its own shard dry and steals the
+        // entire run from shard 0 under one lock, not one event at a time.
+        let stolen = queue.pop_batch(2, 8);
+        assert_eq!(stolen.len(), 8, "steal takes the whole run");
+        assert_eq!(
+            stolen.iter().map(event_value).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+        assert_eq!(queue.len(), 0);
+        queue.complete_many(stolen.len());
+        assert!(queue.is_idle());
+    }
+
+    #[test]
+    fn batch_guard_settles_accounting_even_on_panic() {
+        let queue = Arc::new(RunQueue::new(1));
+        queue.push_batch((0..3).map(event).collect());
+        let inner = Arc::clone(&queue);
+        let result = std::panic::catch_unwind(move || {
+            let batch = inner.pop_batch(0, 3);
+            let _guard = inner.batch_guard(batch.len());
+            panic!("dispatch blew up mid-batch");
+        });
+        assert!(result.is_err());
+        assert!(
+            queue.is_idle(),
+            "guard must complete the whole batch on unwind"
+        );
+    }
+
+    #[test]
     fn next_event_returns_none_only_when_stopped_and_idle() {
         let queue = Arc::new(RunQueue::new(2));
         queue.push(event(1));
         queue.stop();
         // Still one event queued: consumers must drain it before exiting.
-        let got = queue.next_event(0).expect("queued event survives stop");
+        let got = next_event(&queue, 0).expect("queued event survives stop");
         let _ = got;
         queue.complete();
-        assert!(queue.next_event(0).is_none());
+        assert!(next_event(&queue, 0).is_none());
     }
 
     #[test]
@@ -336,10 +539,80 @@ mod tests {
         // Internal (cascade) pushes are still accepted and drainable.
         queue.push(event(3));
         assert_eq!(queue.len(), 2);
-        while queue.next_event(0).is_some() {
+        while next_event(&queue, 0).is_some() {
             queue.complete();
         }
         assert!(queue.is_idle());
+    }
+
+    #[test]
+    fn external_batch_is_rejected_whole_once_stopping() {
+        let queue = RunQueue::new(2);
+        assert_eq!(
+            queue.push_external_batch((0..5).map(event).collect()),
+            5,
+            "accepted while running"
+        );
+        queue.stop();
+        assert_eq!(
+            queue.push_external_batch((5..10).map(event).collect()),
+            0,
+            "rejected once stopping"
+        );
+        assert_eq!(queue.len(), 5);
+        while next_event(&queue, 0).is_some() {
+            queue.complete();
+        }
+        assert!(queue.is_idle());
+    }
+
+    /// The batch-straddles-stop race: a stop() that lands between a batch's
+    /// insert and its post-insert recheck must leave the accounting exact —
+    /// every accepted event is dispatched exactly once, withdrawn events never
+    /// are, and the queue always reaches idle.
+    #[test]
+    fn external_batch_straddling_stop_keeps_accounting_exact() {
+        for round in 0..50 {
+            let queue = Arc::new(RunQueue::new(2));
+            let consumed = Arc::new(AtomicUsize::new(0));
+            let consumer = {
+                let queue = Arc::clone(&queue);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || loop {
+                    let batch = queue.next_batch(0, 4);
+                    if batch.is_empty() {
+                        return;
+                    }
+                    let _guard = queue.batch_guard(batch.len());
+                    consumed.fetch_add(batch.len(), Ordering::SeqCst);
+                })
+            };
+            let stopper = {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    // Vary the interleaving: sometimes stop lands before the
+                    // publisher's insert, sometimes between insert and recheck,
+                    // sometimes after.
+                    if round % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    queue.stop();
+                })
+            };
+            let mut accepted = 0;
+            for chunk in 0..4 {
+                accepted +=
+                    queue.push_external_batch((chunk * 8..(chunk + 1) * 8).map(event).collect());
+            }
+            stopper.join().unwrap();
+            consumer.join().unwrap();
+            assert!(queue.is_idle(), "round {round}: queue must settle idle");
+            assert_eq!(
+                consumed.load(Ordering::SeqCst),
+                accepted,
+                "round {round}: every accepted event is dispatched exactly once"
+            );
+        }
     }
 
     #[test]
@@ -369,6 +642,54 @@ mod tests {
         assert!(queue.wait_idle(Duration::from_millis(100)));
     }
 
+    /// The condvar pairing assertion that replaced the old 50 ms `WAIT_SLICE`
+    /// polling safety net: a consumer parked in `next_batch` must be woken by
+    /// the push signal itself. The generous bound is far below anything a
+    /// polling interval could explain while staying robust on a loaded CI
+    /// machine; the wait inside the queue is untimed, so only the paired
+    /// notification can wake the consumer at all.
+    #[test]
+    fn parked_consumer_is_woken_by_push_not_by_polling() {
+        let queue = Arc::new(RunQueue::new(2));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let event = next_event(&queue, 0);
+                let woken_at = Instant::now();
+                queue.complete();
+                (event.is_some(), woken_at)
+            })
+        };
+        // Let the consumer reach the untimed wait before signalling.
+        std::thread::sleep(Duration::from_millis(100));
+        let pushed_at = Instant::now();
+        queue.push(event(1));
+        let (got_event, woken_at) = consumer.join().unwrap();
+        assert!(got_event, "the push must hand the consumer its event");
+        let wake_latency = woken_at.duration_since(pushed_at);
+        assert!(
+            wake_latency < Duration::from_secs(5),
+            "paired wakeup took {wake_latency:?}; an untimed wait only ends on notify"
+        );
+    }
+
+    /// Same pairing assertion for the exit path: `stop` on an idle queue must
+    /// release parked consumers without any timeout coming to the rescue.
+    #[test]
+    fn parked_consumer_is_released_by_stop() {
+        let queue = Arc::new(RunQueue::new(2));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || next_event(&queue, 0))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        queue.stop();
+        assert!(
+            consumer.join().unwrap().is_none(),
+            "stop on an idle queue releases parked consumers"
+        );
+    }
+
     #[test]
     fn concurrent_producers_and_consumers_drain_exactly() {
         let queue = Arc::new(RunQueue::new(4));
@@ -390,10 +711,54 @@ mod tests {
                 let queue = Arc::clone(&queue);
                 let consumed = Arc::clone(&consumed);
                 std::thread::spawn(move || {
-                    while let Some(_event) = queue.next_event(w) {
+                    while let Some(_event) = next_event(&queue, w) {
                         consumed.fetch_add(1, Ordering::Relaxed);
                         queue.complete();
                     }
+                })
+            })
+            .collect();
+
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        assert!(queue.wait_idle(Duration::from_secs(10)));
+        queue.stop();
+        for consumer in consumers {
+            consumer.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert!(queue.is_idle());
+    }
+
+    #[test]
+    fn concurrent_batched_producers_and_consumers_drain_exactly() {
+        let queue = Arc::new(RunQueue::new(4));
+        let produced = 4 * 64 * 8;
+        let consumed = Arc::new(AtomicUsize::new(0));
+
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for chunk in 0..64 {
+                        let base = (p * 64 + chunk) * 8;
+                        queue.push_batch((base..base + 8).map(|i| event(i as i64)).collect());
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || loop {
+                    let batch = queue.next_batch(w, 8);
+                    if batch.is_empty() {
+                        return;
+                    }
+                    let _guard = queue.batch_guard(batch.len());
+                    consumed.fetch_add(batch.len(), Ordering::Relaxed);
                 })
             })
             .collect();

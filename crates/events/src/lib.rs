@@ -32,7 +32,7 @@ pub mod freeze;
 pub mod part;
 pub mod value;
 
-pub use event::{Event, EventBuilder, EventId};
+pub use event::{now_ns, Event, EventBuilder, EventId};
 pub use filter::{Filter, Predicate};
 pub use freeze::{Freezable, FreezeError, FreezeFlag};
 pub use part::{Part, PartName};

@@ -128,6 +128,20 @@ impl LatencyHistogram {
         self.percentile_ns(99.0).map(|ns| ns as f64 / 1e6)
     }
 
+    /// Returns a one-shot summary of the recorded samples — the quantities a
+    /// machine-readable bench report records per configuration. Intended for
+    /// quiescent histograms (after a run), where the fields are consistent.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        LatencySummary {
+            count,
+            mean_ms: self.mean_ns().map_or(0.0, |ns| ns / 1e6),
+            p50_ms: self.p50_ms().unwrap_or(0.0),
+            p99_ms: self.p99_ms().unwrap_or(0.0),
+            max_ms: self.max_ns().map_or(0.0, |ns| ns as f64 / 1e6),
+        }
+    }
+
     /// Clears all recorded samples.
     pub fn reset(&self) {
         let mut state = self.inner.lock();
@@ -152,6 +166,23 @@ impl LatencyHistogram {
             state.max_ns = state.max_ns.max(other_state.max_ns);
         }
     }
+}
+
+/// A consistent snapshot of a [`LatencyHistogram`]'s headline statistics, in
+/// the units bench reports record (milliseconds). Empty histograms summarise to
+/// all-zero fields.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Largest recorded sample, ms.
+    pub max_ms: f64,
 }
 
 /// Maps a nanosecond value to its bucket index.

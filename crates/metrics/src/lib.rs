@@ -19,7 +19,7 @@ pub mod memory;
 pub mod stats;
 pub mod throughput;
 
-pub use histogram::LatencyHistogram;
+pub use histogram::{LatencyHistogram, LatencySummary};
 pub use memory::MemoryAccountant;
 pub use stats::{mean, median, percentile, std_dev, Summary};
 pub use throughput::ThroughputRecorder;

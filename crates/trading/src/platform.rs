@@ -30,6 +30,11 @@ pub struct TradingPlatformConfig {
     /// Dispatcher worker threads (§6's multi-core deployment). Zero replays each
     /// tick's cascade on the driver thread, which keeps runs deterministic.
     pub workers: usize,
+    /// Dispatch/feed batch size: how many events a dispatcher carries per run
+    /// queue visit, and how many ticks the feed driver publishes per
+    /// `publish_batch` call in [`TradingPlatform::run_ticks`]. 1 (the default)
+    /// preserves the classic one-tick-at-a-time drive.
+    pub batch_size: usize,
     /// Number of Trader units (the x-axis of Figures 5–7).
     pub traders: usize,
     /// Number of symbols on the synthetic exchange.
@@ -53,6 +58,7 @@ impl Default for TradingPlatformConfig {
         TradingPlatformConfig {
             mode: SecurityMode::LabelsFreezeIsolation,
             workers: 0,
+            batch_size: 1,
             traders: 200,
             symbols: 64,
             zipf_exponent: 1.0,
@@ -84,6 +90,10 @@ pub struct PlatformReport {
     pub mode: SecurityMode,
     /// Number of traders hosted.
     pub traders: usize,
+    /// Dispatcher worker threads the run used (0 = driver-pumped).
+    pub workers: usize,
+    /// Dispatch/feed batch size the run used.
+    pub batch_size: usize,
     /// Ticks replayed.
     pub ticks: u64,
     /// Orders submitted by traders.
@@ -98,6 +108,8 @@ pub struct PlatformReport {
     pub latency_p70_ms: f64,
     /// Median tick-to-trade latency in milliseconds.
     pub latency_p50_ms: f64,
+    /// 99th-percentile tick-to-trade latency in milliseconds.
+    pub latency_p99_ms: f64,
     /// Occupied memory in MiB (Figure 7).
     pub memory_mib: f64,
 }
@@ -141,6 +153,7 @@ impl TradingPlatform {
         let engine = Engine::builder()
             .mode(config.mode)
             .workers(config.workers)
+            .batch_size(config.batch_size)
             .event_cache(config.event_cache)
             .build();
 
@@ -265,10 +278,53 @@ impl TradingPlatform {
         Ok(())
     }
 
-    /// Replays `n` ticks as fast as the engine can absorb them.
+    /// Publishes the next `count` synthetic ticks as one batch through the
+    /// exchange's publisher — one run-queue transaction for the whole chunk —
+    /// and fully processes the cascades they trigger, exactly like
+    /// [`TradingPlatform::publish_tick`] does for a single tick.
+    pub fn publish_tick_batch(&mut self, count: usize) -> EngineResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        let before = self.engine.stats().dispatched();
+        let drafts = self
+            .generator
+            .trace(count)
+            .iter()
+            .map(|tick| StockExchange::tick_draft(&self.exchange_tag, tick))
+            .collect();
+        self.exchange_feed.publish_batch(drafts)?;
+        let dispatched = if self.handle.worker_count() == 0 {
+            self.handle.pump_until_idle()? as u64
+        } else {
+            if !self.handle.wait_idle(Duration::from_secs(30)) {
+                return Err(defcon_core::EngineError::InvalidOperation(
+                    "dispatcher workers did not drain the tick cascade within 30s".into(),
+                ));
+            }
+            self.engine.stats().dispatched() - before
+        };
+        self.ticks_published += count as u64;
+        self.throughput.record(dispatched.max(count as u64));
+        Ok(())
+    }
+
+    /// Replays `n` ticks as fast as the engine can absorb them, feeding them in
+    /// chunks of the configured batch size (1 = the classic tick-by-tick
+    /// drive).
     pub fn run_ticks(&mut self, n: usize) -> EngineResult<PlatformReport> {
-        for _ in 0..n {
-            self.publish_tick()?;
+        let chunk = self.config.batch_size.max(1);
+        if chunk == 1 {
+            for _ in 0..n {
+                self.publish_tick()?;
+            }
+        } else {
+            let mut remaining = n;
+            while remaining > 0 {
+                let take = remaining.min(chunk);
+                self.publish_tick_batch(take)?;
+                remaining -= take;
+            }
         }
         Ok(self.report())
     }
@@ -278,6 +334,8 @@ impl TradingPlatform {
         PlatformReport {
             mode: self.config.mode,
             traders: self.config.traders,
+            workers: self.config.workers,
+            batch_size: self.config.batch_size.max(1),
             ticks: self.ticks_published,
             orders: self.orders_placed.load(Ordering::Relaxed),
             trades: self.broker_shared.trades.load(Ordering::Relaxed),
@@ -285,6 +343,7 @@ impl TradingPlatform {
             throughput_eps: self.throughput.median_rate().unwrap_or(0.0),
             latency_p70_ms: self.broker_shared.latency.p70_ms().unwrap_or(0.0),
             latency_p50_ms: self.broker_shared.latency.p50_ms().unwrap_or(0.0),
+            latency_p99_ms: self.broker_shared.latency.p99_ms().unwrap_or(0.0),
             memory_mib: self.engine.memory_mib(),
         }
     }

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use defcon_core::{EngineResult, Unit, UnitContext, UnitFactory};
 use defcon_defc::{Label, Privilege, PrivilegeKind, Tag, TagSet};
-use defcon_events::{event::now_ns, Event, Filter, Value, ValueMap};
+use defcon_events::{now_ns, Event, Filter, Value, ValueMap};
 use defcon_metrics::LatencyHistogram;
 use defcon_workload::{Order, OrderSide, Symbol};
 use parking_lot::Mutex;

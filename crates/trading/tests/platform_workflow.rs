@@ -93,6 +93,31 @@ fn workflow_works_with_dispatcher_workers_in_every_security_mode() {
 }
 
 #[test]
+fn batched_feed_and_dispatch_preserve_the_workflow() {
+    // Feed the exchange in batches of 8 ticks (one publish_batch per chunk)
+    // over a 4-worker engine popping in batches of 8: the Figure 4 cascade —
+    // monitors, orders, trades, audits — must be indistinguishable in kind
+    // from the tick-by-tick drive.
+    for mode in SecurityMode::all() {
+        let config = TradingPlatformConfig {
+            workers: 4,
+            batch_size: 8,
+            ..small_config(mode, 10)
+        };
+        let mut platform = TradingPlatform::build(config).unwrap();
+        let report = platform.run_ticks(600).unwrap();
+        assert_eq!(report.ticks, 600, "mode {mode}: every tick is replayed");
+        assert_eq!(report.batch_size, 8, "mode {mode}");
+        assert!(report.orders > 0, "mode {mode}: no orders with batching");
+        assert!(report.trades > 0, "mode {mode}: no trades with batching");
+        assert!(
+            platform.engine().queue_depth() == 0,
+            "mode {mode}: run_ticks drains each chunk's cascade"
+        );
+    }
+}
+
+#[test]
 fn traders_never_receive_other_traders_opportunities() {
     // With label checks on, every match event is confined to one trader's tag, so
     // the number of deliveries of match events equals the number of match events
