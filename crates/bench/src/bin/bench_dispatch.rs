@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 use defcon_bench::report::arg_value;
 use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
-use defcon_core::{Engine, EngineResult, EventDraft, SecurityMode, Unit, UnitContext, UnitSpec};
+use defcon_core::{
+    auto_worker_count, Engine, EngineResult, EventDraft, SecurityMode, Unit, UnitContext, UnitSpec,
+};
 use defcon_events::{now_ns, Event, Filter, Value};
 use defcon_metrics::{LatencyHistogram, LatencySummary};
 
@@ -188,8 +190,14 @@ fn main() {
     let lanes = 2;
     let events: u64 = if quick { 120_000 } else { 400_000 };
     let reps = 3;
+    // The worker count `workers_auto()` resolves to on this host; recorded per
+    // report so results stay comparable across hosts of different widths.
+    let auto = auto_worker_count();
     // (mode, workers, batch_size) cells. The first two LabelsFreeze cells are
-    // the headline batch-1-vs-batch-8 comparison at four workers.
+    // the headline batch-1-vs-batch-8 comparison at four workers; the manual
+    // worker counts {1, 4} (plus 2 in the full sweep) are the grid the
+    // `workers_auto()` resolution competes against at batch 8.
+    let manual_workers: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
     let mut cells: Vec<(SecurityMode, usize, usize)> = vec![
         (SecurityMode::LabelsFreeze, 4, 1),
         (SecurityMode::LabelsFreeze, 4, 8),
@@ -208,26 +216,40 @@ fn main() {
             (SecurityMode::LabelsFreezeIsolation, 4, 8),
         ]);
     }
+    // Measure the auto-resolved count at both headline batch sizes, unless a
+    // manual cell already covers it (re-running an identical cell would only
+    // add noise to the comparison).
+    for batch_size in [1, 8] {
+        if !cells
+            .iter()
+            .any(|&(m, w, b)| m == SecurityMode::LabelsFreeze && w == auto && b == batch_size)
+        {
+            cells.push((SecurityMode::LabelsFreeze, auto, batch_size));
+        }
+    }
 
-    println!("== dispatch micro-bench: {events} events over {lanes} lanes ==");
+    println!(
+        "== dispatch micro-bench: {events} events over {lanes} lanes; workers_auto() -> {auto} =="
+    );
     let mut report = BenchReport::new("dispatch", quick);
-    let mut headline: Vec<f64> = Vec::new();
+    report.metric("workers_auto_resolved", auto as f64);
+    // LabelsFreeze throughput per (workers, batch_size): the headline speedup
+    // and the auto-vs-manual comparison both read from this grid.
+    let mut grid: Vec<((usize, usize), f64)> = Vec::new();
     for &(mode, workers, batch_size) in &cells {
         let outcome = run_cell_best_of(mode, workers, batch_size, lanes, events, reps);
         println!(
-            "{:<26} workers={} batch={:<3} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms",
+            "{:<26} workers={}{} batch={:<3} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms",
             mode.figure_label(),
             workers,
+            if workers == auto { "*" } else { "" },
             batch_size,
             outcome.throughput_eps,
             outcome.latency.p50_ms,
             outcome.latency.p99_ms,
         );
-        if mode == SecurityMode::LabelsFreeze
-            && workers == 4
-            && (batch_size == 1 || batch_size == 8)
-        {
-            headline.push(outcome.throughput_eps);
+        if mode == SecurityMode::LabelsFreeze {
+            grid.push(((workers, batch_size), outcome.throughput_eps));
         }
         report.push(BenchRecord::from_summary(
             "dispatch",
@@ -240,11 +262,34 @@ fn main() {
             &outcome.latency,
         ));
     }
+    let at = |workers: usize, batch_size: usize| -> Option<f64> {
+        grid.iter()
+            .find(|((w, b), _)| *w == workers && *b == batch_size)
+            .map(|(_, eps)| *eps)
+    };
 
-    if let [batch1, batch8] = headline[..] {
+    if let (Some(batch1), Some(batch8)) = (at(4, 1), at(4, 8)) {
         let speedup = batch8 / batch1;
         println!("speedup workers=4 batch 8 vs 1: {speedup:.2}x");
         report.metric("speedup_w4_b8_over_b1", speedup);
+    }
+
+    // The adaptive default against the best *hand-picked* worker count at
+    // batch 8: >= 1.0 means workers_auto() is at parity with (or beats)
+    // manual tuning on this host. Only the fixed manual grid competes — when
+    // the auto count falls outside it, its own cell must not raise the bar it
+    // is measured against, or the ratio could never exceed 1.0.
+    let best_manual = grid
+        .iter()
+        .filter(|((w, b), _)| *b == 8 && manual_workers.contains(w))
+        .map(|(_, eps)| *eps)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if let Some(auto_eps) = at(auto, 8) {
+        if best_manual > 0.0 {
+            let ratio = auto_eps / best_manual;
+            println!("workers_auto({auto}) vs best manual at batch 8: {ratio:.2}x");
+            report.metric("workers_auto_vs_best_manual_b8", ratio);
+        }
     }
 
     assert!(

@@ -1,0 +1,172 @@
+//! Scenario-driver benchmark: replays the adversarial load shapes of
+//! `defcon_workload::scenario` (Zipf-skewed lanes, bursty open/close arrival,
+//! slow-consumer backpressure, mixed batch sizes) through an engine sized by
+//! `workers_auto()`, and records what the engine absorbed.
+//!
+//! Writes `BENCH_scenarios.json` (override with `--out <path>`) in the
+//! `defcon-bench-report/v1` schema; pass `--quick` for the reduced CI sweep.
+//! The per-record `workers` field carries the *resolved* auto worker count, so
+//! reports stay comparable across hosts of different widths.
+
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use defcon_bench::report::arg_value;
+use defcon_bench::{BenchRecord, BenchReport};
+use defcon_core::unit::NullUnit;
+use defcon_core::{auto_worker_count, Engine, SecurityMode, UnitSpec};
+use defcon_metrics::LatencyHistogram;
+use defcon_workload::scenario::{
+    BurstyOpenClose, CountingSink, MixedBatches, Scenario, ScenarioDriver, SlowConsumerFlood,
+    ZipfLanes,
+};
+
+/// One measured replay: outcome counters plus the merged sink-side latency.
+struct ScenarioRun {
+    record: BenchRecord,
+    peak_queue_depth: usize,
+}
+
+/// Replays one scenario on a fresh `workers_auto()` engine, one latency-tracked
+/// counting sink per lane (optionally slowed), and returns its bench record.
+fn run_scenario(
+    scenario: &mut dyn Scenario,
+    batch_size: usize,
+    sink_delay: Duration,
+) -> ScenarioRun {
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers_auto()
+        .batch_size(batch_size)
+        // The recently-dispatched cache is not part of the replayed path.
+        .event_cache(0)
+        .build();
+
+    let lanes = scenario.lane_count();
+    let mut counters = Vec::with_capacity(lanes);
+    let mut histograms = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        let histogram = Arc::new(LatencyHistogram::new());
+        let (sink, received) = CountingSink::new(ZipfLanes::lane_name(lane));
+        let sink = sink
+            .with_latency(Arc::clone(&histogram))
+            .with_delay(sink_delay);
+        engine
+            .register_unit(UnitSpec::new(format!("sink-{lane}")), Box::new(sink))
+            .expect("sink registers");
+        counters.push(received);
+        histograms.push(histogram);
+    }
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).expect("driver");
+    let outcome = driver.run(scenario);
+    handle.shutdown().expect("shutdown");
+
+    assert!(
+        outcome.completed && outcome.drained,
+        "{}: a bench replay must complete and drain",
+        outcome.scenario
+    );
+    let delivered: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    assert_eq!(
+        delivered, outcome.published,
+        "{}: exactly-once delivery across lane sinks",
+        outcome.scenario
+    );
+
+    let latency = LatencyHistogram::new();
+    for histogram in &histograms {
+        latency.merge(histogram);
+    }
+    ScenarioRun {
+        record: BenchRecord::from_summary(
+            &outcome.scenario,
+            SecurityMode::LabelsFreeze.figure_label(),
+            engine.configured_workers(),
+            batch_size,
+            lanes,
+            outcome.published,
+            outcome.throughput_eps(),
+            &latency.summary(),
+        ),
+        peak_queue_depth: outcome.peak_queue_depth,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+
+    let events: u64 = if quick { 60_000 } else { 300_000 };
+    let slow_events: u64 = if quick { 8_000 } else { 40_000 };
+    let lanes = 8;
+    let batch_size = 8;
+    let workers = auto_worker_count();
+
+    println!("== scenario bench: workers_auto() resolved to {workers} worker(s) ==");
+    let mut report = BenchReport::new("scenarios", quick);
+    report.metric("workers_auto_resolved", workers as f64);
+
+    let mut scenarios: Vec<(Box<dyn Scenario>, Duration)> = vec![
+        (
+            Box::new(ZipfLanes::new(lanes, 1.0, 32, events, 2010)),
+            Duration::ZERO,
+        ),
+        (
+            Box::new(BurstyOpenClose::new(
+                lanes,
+                256,
+                8,
+                Duration::from_millis(1),
+                events,
+            )),
+            Duration::ZERO,
+        ),
+        (
+            Box::new(SlowConsumerFlood::new(64, slow_events)),
+            Duration::from_micros(20),
+        ),
+        (
+            Box::new(MixedBatches::new(lanes, vec![1, 8, 64], events)),
+            Duration::ZERO,
+        ),
+    ];
+
+    for (scenario, sink_delay) in &mut scenarios {
+        let run = run_scenario(scenario.as_mut(), batch_size, *sink_delay);
+        println!(
+            "{:<16} workers={} batch={} events={:>8} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms  peak-queue={}",
+            run.record.name,
+            run.record.workers,
+            run.record.batch_size,
+            run.record.events,
+            run.record.throughput_eps,
+            run.record.latency_p50_ms,
+            run.record.latency_p99_ms,
+            run.peak_queue_depth,
+        );
+        if run.record.name == "slow-consumer" {
+            report.metric(
+                "slow_consumer_peak_queue_depth",
+                run.peak_queue_depth as f64,
+            );
+        }
+        report.push(run.record);
+    }
+
+    assert!(
+        !report.records.is_empty(),
+        "a scenario bench run must produce records"
+    );
+    report
+        .write(Path::new(&out))
+        .expect("write BENCH_scenarios.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,150 @@
+//! Tests of `scripts/bench_gate.sh`, the CI bench regression gate: it must
+//! fail on a >20% throughput drop at a matched `(name, mode, workers,
+//! batch_size)` cell, pass within the threshold, and skip (with a warning,
+//! not a failure) when there is no previous report to compare against.
+//!
+//! The script is plain bash + jq; when either tool is unavailable the tests
+//! skip, so the workspace still builds in minimal environments. CI's
+//! `ubuntu-latest` has both, which is where the gate actually runs.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn tools_available() -> bool {
+    ["bash", "jq"].iter().all(|tool| {
+        Command::new(tool)
+            .arg("--version")
+            .output()
+            .map(|out| out.status.success())
+            .unwrap_or(false)
+    })
+}
+
+/// A minimal `defcon-bench-report/v1` document with one dispatch record.
+fn report(throughput_eps: f64, workers: usize, batch_size: usize) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"defcon-bench-report/v1\",\"suite\":\"dispatch\",",
+            "\"quick\":true,\"git_sha\":\"test\",\"metrics\":{{}},\"records\":[",
+            "{{\"name\":\"dispatch\",\"mode\":\"labels+freeze\",\"workers\":{},",
+            "\"batch_size\":{},\"traders\":2,\"events\":1000,",
+            "\"throughput_eps\":{},\"latency_p50_ms\":0.1,\"latency_p70_ms\":0,",
+            "\"latency_p99_ms\":0.2,\"memory_mib\":0}}]}}\n"
+        ),
+        workers, batch_size, throughput_eps
+    )
+}
+
+struct Gate {
+    dir: PathBuf,
+}
+
+impl Gate {
+    fn new(test: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("defcon-bench-gate-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("prev")).expect("temp dirs");
+        Gate { dir }
+    }
+
+    fn write_prev(&self, name: &str, content: &str) {
+        std::fs::write(self.dir.join("prev").join(name), content).expect("write prev");
+    }
+
+    fn write_current(&self, name: &str, content: &str) {
+        std::fs::write(self.dir.join(name), content).expect("write current");
+    }
+
+    /// Runs the gate over one current report; returns (exit code, output).
+    fn run(&self, current: &str) -> (i32, String) {
+        let output = Command::new("bash")
+            .arg(repo_root().join("scripts/bench_gate.sh"))
+            .arg(self.dir.join("prev"))
+            .arg(self.dir.join(current))
+            .output()
+            .expect("gate script runs");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        (output.status.code().unwrap_or(-1), text)
+    }
+}
+
+impl Drop for Gate {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn gate_fails_on_a_large_throughput_drop_at_a_matched_cell() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("drop");
+    gate.write_prev("BENCH_dispatch.json", &report(100_000.0, 4, 8));
+    gate.write_current("BENCH_dispatch.json", &report(70_000.0, 4, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 1, "a 30% drop must fail the gate: {out}");
+    assert!(
+        out.contains("regressed"),
+        "output names the regression: {out}"
+    );
+}
+
+#[test]
+fn gate_passes_within_the_threshold() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("pass");
+    gate.write_prev("BENCH_dispatch.json", &report(100_000.0, 4, 8));
+    gate.write_current("BENCH_dispatch.json", &report(85_000.0, 4, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "a 15% drop is inside the 20% budget: {out}");
+    assert!(out.contains("OK"), "{out}");
+}
+
+#[test]
+fn gate_skips_with_a_warning_when_no_previous_report_exists() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("noprev");
+    gate.write_current("BENCH_dispatch.json", &report(100_000.0, 4, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "no prior artifact must skip, not fail: {out}");
+    assert!(out.contains("warning"), "{out}");
+}
+
+#[test]
+fn gate_skips_unmatched_cells_instead_of_comparing_apples_to_oranges() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("unmatched");
+    // Previous run on a wider host: different worker count, so the cell does
+    // not match and a lower current number is not a regression.
+    gate.write_prev("BENCH_dispatch.json", &report(500_000.0, 16, 8));
+    gate.write_current("BENCH_dispatch.json", &report(100_000.0, 1, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "unmatched cells must be skipped: {out}");
+    assert!(
+        out.contains("no (name, mode, workers, batch_size) cells"),
+        "{out}"
+    );
+}

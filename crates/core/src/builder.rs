@@ -14,6 +14,17 @@
 use crate::engine::{Engine, EngineConfig, SecurityMode};
 use crate::handle::EngineHandle;
 
+/// The worker count [`EngineBuilder::workers_auto`] resolves to on this host:
+/// [`std::thread::available_parallelism`], or 1 when the platform cannot report
+/// it. A 1-core container therefore gets a single dispatcher (the dispatch
+/// micro-bench shows extra workers *losing* there to cross-thread handoff),
+/// while a 16-way host gets 16 without any per-deployment tuning.
+pub fn auto_worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Builder for [`Engine`] instances.
 ///
 /// Defaults match [`EngineConfig::default`]: `labels+freeze`, no worker threads
@@ -42,6 +53,18 @@ impl EngineBuilder {
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
         self
+    }
+
+    /// Sizes the dispatcher worker pool from the host's available parallelism
+    /// ([`auto_worker_count`]): as many workers as the hardware can actually
+    /// run, no more. The run queue's shard count is clamped to the same number
+    /// (one shard per worker), so the resolved count also bounds producer-side
+    /// lock spreading. The resolved number is readable afterwards via
+    /// [`Engine::configured_workers`] — benchmark reports record it so results
+    /// stay comparable across hosts.
+    pub fn workers_auto(self) -> Self {
+        let workers = auto_worker_count();
+        self.workers(workers)
     }
 
     /// Sets the dispatch batch size: how many events a dispatcher pops (and
@@ -117,6 +140,17 @@ mod tests {
         assert_eq!(engine.mode(), SecurityMode::LabelsFreeze);
         assert_eq!(engine.configured_workers(), 0);
         assert_eq!(engine.configured_batch_size(), 1);
+    }
+
+    #[test]
+    fn workers_auto_matches_available_parallelism_and_shard_count() {
+        let engine = Engine::builder().workers_auto().build();
+        let resolved = auto_worker_count();
+        assert!(resolved >= 1);
+        assert_eq!(engine.configured_workers(), resolved);
+        // One run-queue shard per worker: the clamp keeps producers spreading
+        // over exactly as many locks as there are consumers to drain them.
+        assert_eq!(engine.run_queue_shards(), resolved);
     }
 
     #[test]

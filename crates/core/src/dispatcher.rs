@@ -20,7 +20,7 @@
 //! whether events are shared frozen or deep-copied, and whether the isolation
 //! runtime's interceptor cost is charged per part examined.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -224,27 +224,6 @@ impl Dispatcher {
             }
             drop(guard);
         }
-    }
-
-    /// Spawns a background thread that pumps until `stop` becomes `true`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::builder().workers(..)` and `Engine::start()` instead"
-    )]
-    pub fn run_background(self, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<usize> {
-        std::thread::spawn(move || {
-            let mut dispatched = 0;
-            while !stop.load(Ordering::Relaxed) {
-                match self.pump_one() {
-                    Ok(true) => dispatched += 1,
-                    Ok(false) => std::thread::yield_now(),
-                    Err(_) => break,
-                }
-            }
-            // Drain whatever is left so that shutdown is clean.
-            dispatched += self.pump_until_idle().unwrap_or(0);
-            dispatched
-        })
     }
 
     /// Builds the per-batch dispatch context: the subscription list and, for

@@ -97,7 +97,10 @@ pub struct EngineConfig {
     /// Number of dispatcher worker threads spawned by [`Engine::start`]. Zero
     /// means no background dispatch: the returned handle is driven manually via
     /// [`EngineHandle::pump_until_idle`] / [`EngineHandle::run_for`], which is
-    /// what single-threaded tests and benchmarks want.
+    /// what single-threaded tests and benchmarks want. Deployments that should
+    /// adapt to their hardware use
+    /// [`EngineBuilder::workers_auto`](crate::EngineBuilder::workers_auto),
+    /// which resolves this field from the host's available parallelism.
     pub workers: usize,
     /// Maximum number of events a dispatcher pops (and accounts for) per run
     /// queue lock round-trip, and the natural chunk size for
@@ -120,40 +123,6 @@ pub struct EngineConfig {
     /// contamination; the cap bounds their memory like a JVM would bound event
     /// processes via garbage collection.
     pub managed_instance_cap: usize,
-}
-
-impl EngineConfig {
-    /// Creates a configuration with the given mode and the default cache size.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::builder().mode(..)` instead; this shim will be removed next release"
-    )]
-    pub fn new(mode: SecurityMode) -> Self {
-        EngineConfig {
-            mode,
-            ..EngineConfig::default()
-        }
-    }
-
-    /// Overrides the managed-instance cap.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::builder().managed_instance_cap(..)` instead"
-    )]
-    pub fn with_managed_instance_cap(mut self, cap: usize) -> Self {
-        self.managed_instance_cap = cap;
-        self
-    }
-
-    /// Overrides the event cache capacity.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::builder().event_cache(..)` instead"
-    )]
-    pub fn with_event_cache(mut self, capacity: usize) -> Self {
-        self.event_cache_capacity = capacity;
-        self
-    }
 }
 
 impl Default for EngineConfig {
@@ -491,12 +460,6 @@ impl Engine {
         }
     }
 
-    /// Creates an engine with the default configuration (`labels+freeze`).
-    #[deprecated(since = "0.2.0", note = "use `Engine::builder().build()` instead")]
-    pub fn with_default_config() -> Self {
-        Engine::new(EngineConfig::default())
-    }
-
     /// Starts the engine's runtime, spawning the configured number of dispatcher
     /// worker threads over the sharded run queue, and returns the
     /// [`EngineHandle`] through which the running engine is driven and
@@ -552,6 +515,14 @@ impl Engine {
     /// Returns the configured dispatch batch size (at least 1).
     pub fn configured_batch_size(&self) -> usize {
         self.core.config.batch_size.max(1)
+    }
+
+    /// Returns the run queue's shard count: clamped to the worker count at
+    /// construction (one shard per dispatcher, at least one), so a pool sized
+    /// by [`EngineBuilder::workers_auto`](crate::EngineBuilder::workers_auto)
+    /// never spreads producers over more locks than it has consumers.
+    pub fn run_queue_shards(&self) -> usize {
+        self.core.run_queue.shard_count()
     }
 
     /// Registers a processing unit, running its `init` callback, and returns its
@@ -645,26 +616,6 @@ impl Engine {
     /// Returns a single-threaded dispatcher for this engine.
     pub fn dispatcher(&self) -> Dispatcher {
         Dispatcher::new(Arc::clone(&self.core))
-    }
-
-    /// Dispatches at most one queued event. Returns `true` if an event was
-    /// processed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::start()` and drive the returned handle instead"
-    )]
-    pub fn pump_one(&self) -> EngineResult<bool> {
-        self.dispatcher().pump_one()
-    }
-
-    /// Dispatches queued events until the queue is empty (including events published
-    /// during dispatch). Returns the number of events dispatched.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::start()` and `EngineHandle::pump_until_idle` instead"
-    )]
-    pub fn pump_until_idle(&self) -> EngineResult<usize> {
-        self.dispatcher().pump_until_idle()
     }
 
     /// Number of events waiting in the dispatch queue.

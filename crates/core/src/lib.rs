@@ -81,7 +81,7 @@ pub mod subscription;
 pub mod tag_store;
 pub mod unit;
 
-pub use builder::EngineBuilder;
+pub use builder::{auto_worker_count, EngineBuilder};
 pub use context::{DraftEvent, UnitContext};
 pub use dispatcher::Dispatcher;
 pub use engine::{Engine, EngineConfig, EngineStats, SecurityMode};

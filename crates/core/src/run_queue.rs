@@ -81,6 +81,12 @@ impl RunQueue {
         self.len.load(Ordering::Acquire)
     }
 
+    /// Number of internal shards (clamped to the worker count at construction:
+    /// one shard per dispatcher, at least one).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Returns `true` if nothing is queued and nothing is being dispatched.
     pub(crate) fn is_idle(&self) -> bool {
         self.pending.load(Ordering::SeqCst) == 0

@@ -27,8 +27,12 @@ use crate::units::trader::Trader;
 pub struct TradingPlatformConfig {
     /// The engine security configuration (one of the four series of Figures 5–7).
     pub mode: SecurityMode,
-    /// Dispatcher worker threads (§6's multi-core deployment). Zero replays each
-    /// tick's cascade on the driver thread, which keeps runs deterministic.
+    /// Dispatcher worker threads (§6's multi-core deployment). The default is
+    /// the host's available parallelism ([`defcon_core::auto_worker_count`],
+    /// what `Engine::builder().workers_auto()` resolves to), so a deployment
+    /// scales with its hardware out of the box. Zero replays each tick's
+    /// cascade on the driver thread, which keeps runs deterministic — tests
+    /// that compare exact event orders should pin `workers: 0`.
     pub workers: usize,
     /// Dispatch/feed batch size: how many events a dispatcher carries per run
     /// queue visit, and how many ticks the feed driver publishes per
@@ -57,7 +61,7 @@ impl Default for TradingPlatformConfig {
     fn default() -> Self {
         TradingPlatformConfig {
             mode: SecurityMode::LabelsFreezeIsolation,
-            workers: 0,
+            workers: defcon_core::auto_worker_count(),
             batch_size: 1,
             traders: 200,
             symbols: 64,

@@ -14,16 +14,26 @@
 //! with periodic excursions that trigger the pairs trade, a [`ZipfSampler`] for
 //! pair popularity, and plain [`Order`]/[`Trade`] records shared with the baseline
 //! platform.
+//!
+//! Beyond static traces, the [`scenario`] module replays configurable load
+//! *shapes* (Zipf-skewed lanes, bursty open/close arrival, slow-consumer
+//! backpressure, mixed batch sizes) through a live engine via a
+//! [`ScenarioDriver`] — the adversarial-workload half of the evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod orders;
+pub mod scenario;
 pub mod symbols;
 pub mod ticks;
 pub mod zipf;
 
 pub use orders::{Order, OrderSide, Trade};
+pub use scenario::{
+    Burst, BurstyOpenClose, CountingSink, MixedBatches, Scenario, ScenarioDriver, ScenarioOutcome,
+    SlowConsumerFlood, ZipfLanes,
+};
 pub use symbols::{Symbol, SymbolPair, SymbolUniverse};
 pub use ticks::{Tick, TickGenerator, TickGeneratorConfig};
 pub use zipf::ZipfSampler;

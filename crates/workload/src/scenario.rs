@@ -1,0 +1,622 @@
+//! Scenario-driven load replay through a live engine.
+//!
+//! The static generators in this crate ([`TickGenerator`](crate::TickGenerator),
+//! [`ZipfSampler`]) produce *traces*; this module turns traces into *load
+//! shapes*. A [`Scenario`] describes an arrival process as a sequence of
+//! [`Burst`]s — how many events, on which lanes, after what pause — and a
+//! [`ScenarioDriver`] replays it through a running engine's typed publisher,
+//! measuring what the engine actually absorbed. The point (made for
+//! distributed protocols by the PBFT-practicality literature, and just as true
+//! for an in-process event engine) is that a throughput claim only holds up
+//! under adversarial, varied workloads: Zipf-skewed hot keys, bursty
+//! open/close arrival, slow-consumer backpressure and mixed batch sizes stress
+//! different parts of the dispatch path than a uniform firehose does.
+//!
+//! Scenarios are deterministic: every shape is either round-robin or driven by
+//! a seeded sampler, so two replays of the same scenario publish the same
+//! events in the same bursts.
+//!
+//! ```no_run
+//! use defcon_core::{Engine, UnitSpec};
+//! use defcon_core::unit::NullUnit;
+//! use defcon_workload::scenario::{CountingSink, ScenarioDriver, ZipfLanes};
+//!
+//! let engine = Engine::builder().workers_auto().build();
+//! let (sink, received) = CountingSink::new(ZipfLanes::lane_name(0));
+//! engine.register_unit(UnitSpec::new("sink-0"), Box::new(sink)).unwrap();
+//! let source = engine.register_unit(UnitSpec::new("feed"), Box::new(NullUnit)).unwrap();
+//! let handle = engine.start();
+//!
+//! let mut scenario = ZipfLanes::new(1, 1.0, 32, 10_000, 42);
+//! let driver = ScenarioDriver::new(&handle, source).unwrap();
+//! let outcome = driver.run(&mut scenario);
+//! assert!(outcome.completed && outcome.drained);
+//! assert_eq!(received.load(std::sync::atomic::Ordering::Relaxed), outcome.published);
+//! handle.shutdown().unwrap();
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use defcon_core::{EngineHandle, EngineResult, EventDraft, Publisher, Unit, UnitContext, UnitId};
+use defcon_events::{now_ns, Event, Filter, Value};
+use defcon_metrics::LatencyHistogram;
+
+use crate::zipf::ZipfSampler;
+
+/// One step of a scenario's arrival process: a chunk of drafts the driver
+/// publishes as a single batch, optionally after a pause (the "market closed"
+/// gap of a bursty shape). A pause of zero means back-to-back arrival.
+#[derive(Debug)]
+pub struct Burst {
+    /// The events of this burst, published in order via one `publish_batch`.
+    pub drafts: Vec<EventDraft>,
+    /// Idle time the driver honours *before* publishing the burst.
+    pub pause: Duration,
+}
+
+impl Burst {
+    /// A burst with no preceding pause.
+    pub fn immediate(drafts: Vec<EventDraft>) -> Self {
+        Burst {
+            drafts,
+            pause: Duration::ZERO,
+        }
+    }
+}
+
+/// A replayable load shape: a deterministic sequence of [`Burst`]s over a set
+/// of numbered lanes (`lane-0`, `lane-1`, ... — see [`Scenario::lane_count`]),
+/// driven through an engine by a [`ScenarioDriver`].
+pub trait Scenario {
+    /// Short identifier used in reports (`"zipf"`, `"bursty"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of distinct lanes this scenario publishes on; a harness registers
+    /// one subscriber per lane (see [`CountingSink`]).
+    fn lane_count(&self) -> usize;
+
+    /// Total events the scenario emits over its whole life.
+    fn total_events(&self) -> u64;
+
+    /// The next burst, or `None` once the scenario is exhausted.
+    fn next_burst(&mut self) -> Option<Burst>;
+}
+
+/// Builds the draft for one scenario event: a `type` part carrying the lane
+/// name (what sinks filter on) and a `seq` part for debugging.
+pub fn lane_draft(lane: usize, sequence: u64) -> EventDraft {
+    EventDraft::new()
+        .public_part("type", Value::str(lane_name(lane)))
+        .public_part("seq", Value::Int(sequence as i64))
+}
+
+/// The subscriber lane name for lane index `lane` — what a [`CountingSink`]
+/// for that lane filters on, whatever the scenario shape.
+pub fn lane_name(lane: usize) -> String {
+    format!("lane-{lane}")
+}
+
+/// Emits the next chunk of up to `size` drafts for a scenario that has
+/// emitted `*emitted` of `total` events so far, choosing each draft's lane
+/// via `lane` (called with the event's sequence number) — the shared
+/// chunking step behind every shape's `next_burst`.
+fn chunk_drafts(
+    emitted: &mut u64,
+    total: u64,
+    size: usize,
+    mut lane: impl FnMut(u64) -> usize,
+) -> Vec<EventDraft> {
+    let take = (size.max(1) as u64).min(total - *emitted) as usize;
+    (0..take)
+        .map(|_| {
+            let draft = lane_draft(lane(*emitted), *emitted);
+            *emitted += 1;
+            draft
+        })
+        .collect()
+}
+
+/// Zipf-skewed lane popularity: a few hot lanes receive most of the traffic
+/// (the §6.2 observation that most traders monitor the same few pairs). Hot
+/// lanes concentrate per-unit serialisation on a handful of unit locks, the
+/// worst case for multi-worker dispatch.
+#[derive(Debug)]
+pub struct ZipfLanes {
+    sampler: ZipfSampler,
+    lanes: usize,
+    burst: usize,
+    total: u64,
+    emitted: u64,
+}
+
+impl ZipfLanes {
+    /// A scenario of `events` events over `lanes` lanes with Zipf(`exponent`)
+    /// popularity, published in bursts of `burst`, deterministic per `seed`.
+    pub fn new(lanes: usize, exponent: f64, burst: usize, events: u64, seed: u64) -> Self {
+        ZipfLanes {
+            sampler: ZipfSampler::new(lanes.max(1), exponent, seed),
+            lanes: lanes.max(1),
+            burst: burst.max(1),
+            total: events,
+            emitted: 0,
+        }
+    }
+
+    /// The subscriber lane name for lane index `lane` (alias for the
+    /// module-level [`lane_name`], kept for call sites already naming the
+    /// scenario type).
+    pub fn lane_name(lane: usize) -> String {
+        lane_name(lane)
+    }
+}
+
+impl Scenario for ZipfLanes {
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+
+    fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let sampler = &mut self.sampler;
+        Some(Burst::immediate(chunk_drafts(
+            &mut self.emitted,
+            self.total,
+            self.burst,
+            |_| sampler.sample(),
+        )))
+    }
+}
+
+/// Bursty open/close arrival: the market "opens" with a dense burst, then
+/// "closes" to a trickle behind a pause, and repeats. Exercises the wakeup
+/// path (workers park during the close, must be woken by the open burst) and
+/// queue-depth swings that steady arrival never produces.
+#[derive(Debug)]
+pub struct BurstyOpenClose {
+    lanes: usize,
+    open_burst: usize,
+    closed_trickle: usize,
+    pause: Duration,
+    total: u64,
+    emitted: u64,
+    open: bool,
+}
+
+impl BurstyOpenClose {
+    /// Alternates bursts of `open_burst` events with `closed_trickle`-event
+    /// trickles preceded by `pause`, round-robin over `lanes` lanes, until
+    /// `events` events have been emitted.
+    pub fn new(
+        lanes: usize,
+        open_burst: usize,
+        closed_trickle: usize,
+        pause: Duration,
+        events: u64,
+    ) -> Self {
+        BurstyOpenClose {
+            lanes: lanes.max(1),
+            open_burst: open_burst.max(1),
+            closed_trickle: closed_trickle.max(1),
+            pause,
+            total: events,
+            emitted: 0,
+            open: true,
+        }
+    }
+}
+
+impl Scenario for BurstyOpenClose {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+
+    fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let (size, pause) = if self.open {
+            (self.open_burst, Duration::ZERO)
+        } else {
+            (self.closed_trickle, self.pause)
+        };
+        self.open = !self.open;
+        let lanes = self.lanes;
+        let drafts = chunk_drafts(&mut self.emitted, self.total, size, |seq| {
+            seq as usize % lanes
+        });
+        Some(Burst { drafts, pause })
+    }
+}
+
+/// A steady flood aimed at a single lane whose subscriber is deliberately slow
+/// (a [`CountingSink`] with a per-event delay): the queue grows while the
+/// consumer lags, and the engine must absorb the backlog without losing or
+/// duplicating events. Pair with [`ScenarioOutcome::peak_queue_depth`] to see
+/// the backpressure actually build.
+#[derive(Debug)]
+pub struct SlowConsumerFlood {
+    burst: usize,
+    total: u64,
+    emitted: u64,
+}
+
+impl SlowConsumerFlood {
+    /// Floods lane 0 with `events` events in bursts of `burst`.
+    pub fn new(burst: usize, events: u64) -> Self {
+        SlowConsumerFlood {
+            burst: burst.max(1),
+            total: events,
+            emitted: 0,
+        }
+    }
+}
+
+impl Scenario for SlowConsumerFlood {
+    fn name(&self) -> &'static str {
+        "slow-consumer"
+    }
+
+    fn lane_count(&self) -> usize {
+        1
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        Some(Burst::immediate(chunk_drafts(
+            &mut self.emitted,
+            self.total,
+            self.burst,
+            |_| 0,
+        )))
+    }
+}
+
+/// Cycles through a set of burst sizes (1, 8, 64 by default): single events
+/// interleaved with medium and large batches, round-robin over the lanes.
+/// Exercises the queue's mixed single/batched enqueue paths and dispatchers
+/// whose configured batch size rarely matches the arriving run length.
+#[derive(Debug)]
+pub struct MixedBatches {
+    lanes: usize,
+    sizes: Vec<usize>,
+    cursor: usize,
+    total: u64,
+    emitted: u64,
+}
+
+impl MixedBatches {
+    /// Cycles `sizes` burst sizes over `lanes` lanes until `events` events have
+    /// been emitted. An empty `sizes` defaults to `[1, 8, 64]`.
+    pub fn new(lanes: usize, sizes: Vec<usize>, events: u64) -> Self {
+        let sizes = if sizes.is_empty() {
+            vec![1, 8, 64]
+        } else {
+            sizes
+        };
+        MixedBatches {
+            lanes: lanes.max(1),
+            sizes: sizes.into_iter().map(|s| s.max(1)).collect(),
+            cursor: 0,
+            total: events,
+            emitted: 0,
+        }
+    }
+}
+
+impl Scenario for MixedBatches {
+    fn name(&self) -> &'static str {
+        "mixed-batches"
+    }
+
+    fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let size = self.sizes[self.cursor % self.sizes.len()];
+        self.cursor += 1;
+        let lanes = self.lanes;
+        Some(Burst::immediate(chunk_drafts(
+            &mut self.emitted,
+            self.total,
+            size,
+            |seq| seq as usize % lanes,
+        )))
+    }
+}
+
+/// A lane subscriber for scenario harnesses: counts deliveries, optionally
+/// records publish-to-delivery latency, and optionally sleeps per event (the
+/// slow consumer of [`SlowConsumerFlood`]).
+pub struct CountingSink {
+    lane: String,
+    received: Arc<AtomicU64>,
+    latency: Option<Arc<LatencyHistogram>>,
+    delay: Duration,
+}
+
+impl CountingSink {
+    /// A sink subscribed to `lane`, returning the shared delivery counter.
+    pub fn new(lane: impl Into<String>) -> (Self, Arc<AtomicU64>) {
+        let received = Arc::new(AtomicU64::new(0));
+        (
+            CountingSink {
+                lane: lane.into(),
+                received: Arc::clone(&received),
+                latency: None,
+                delay: Duration::ZERO,
+            },
+            received,
+        )
+    }
+
+    /// Records each delivery's publish-to-delivery latency into `histogram`.
+    pub fn with_latency(mut self, histogram: Arc<LatencyHistogram>) -> Self {
+        self.latency = Some(histogram);
+        self
+    }
+
+    /// Sleeps `delay` per delivery, making this the slow consumer.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+impl Unit for CountingSink {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(Filter::for_type(&self.lane))?;
+        Ok(())
+    }
+
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+        if let Some(latency) = &self.latency {
+            latency.record(now_ns().saturating_sub(event.origin_ns()));
+        }
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// What a replay actually did — the driver-side half of a scenario
+/// measurement (subscriber-side counts come from the harness's sinks).
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's [`Scenario::name`].
+    pub scenario: String,
+    /// Bursts the driver published (or attempted).
+    pub bursts: u64,
+    /// Events the engine accepted — each will be dispatched exactly once.
+    pub published: u64,
+    /// Events rejected because the runtime had shut down. Rejections are loud
+    /// (`publish_batch` errors); the driver records them and stops replaying.
+    pub rejected: u64,
+    /// `true` when the scenario ran to exhaustion without any rejection.
+    pub completed: bool,
+    /// `true` when the engine reached idle after the replay (always `false`
+    /// for a [`ScenarioDriver::detached`] driver, which never waits).
+    pub drained: bool,
+    /// Highest queue depth observed between bursts (0 for detached drivers):
+    /// how far the backlog built before consumers caught up.
+    pub peak_queue_depth: usize,
+    /// Wall-clock time from the first burst to the end of the drain.
+    pub elapsed: Duration,
+}
+
+impl ScenarioOutcome {
+    /// Accepted events per second of replay (publish through drain).
+    pub fn throughput_eps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() > 0.0 {
+            self.published as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Replays [`Scenario`]s through a running engine as one publishing unit.
+///
+/// A handle-attached driver ([`ScenarioDriver::new`]) samples queue depth
+/// between bursts and waits for the engine to drain after the replay; a
+/// [`ScenarioDriver::detached`] driver owns only a [`Publisher`] (which is
+/// `Send`), so it can replay from a spawned thread while another thread shuts
+/// the engine down — the mid-burst-shutdown harness.
+pub struct ScenarioDriver<'a> {
+    publisher: Publisher,
+    handle: Option<&'a EngineHandle>,
+}
+
+impl<'a> ScenarioDriver<'a> {
+    /// A driver publishing as `source` through `handle`'s engine.
+    pub fn new(handle: &'a EngineHandle, source: UnitId) -> EngineResult<Self> {
+        Ok(ScenarioDriver {
+            publisher: handle.publisher(source)?,
+            handle: Some(handle),
+        })
+    }
+
+    /// A driver over a bare publisher: never samples queue depth, never waits
+    /// for a drain. Use when the replay runs on its own thread.
+    pub fn detached(publisher: Publisher) -> ScenarioDriver<'static> {
+        ScenarioDriver {
+            publisher,
+            handle: None,
+        }
+    }
+
+    /// Replays `scenario` to exhaustion (or until the runtime rejects a burst
+    /// because it shut down), then — for handle-attached drivers — waits for
+    /// the engine to drain everything it accepted.
+    pub fn run(&self, scenario: &mut dyn Scenario) -> ScenarioOutcome {
+        let start = Instant::now();
+        let mut outcome = ScenarioOutcome {
+            scenario: scenario.name().to_string(),
+            bursts: 0,
+            published: 0,
+            rejected: 0,
+            completed: false,
+            drained: false,
+            peak_queue_depth: 0,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            let Some(burst) = scenario.next_burst() else {
+                outcome.completed = outcome.rejected == 0;
+                break;
+            };
+            if !burst.pause.is_zero() {
+                std::thread::sleep(burst.pause);
+            }
+            let attempted = burst.drafts.len() as u64;
+            outcome.bursts += 1;
+            match self.publisher.publish_batch(burst.drafts) {
+                Ok(accepted) => {
+                    outcome.published += accepted as u64;
+                    // A batch racing shutdown may be partially accepted; the
+                    // rejected remainder ends the replay like a full error.
+                    let shortfall = attempted - accepted as u64;
+                    if shortfall > 0 {
+                        outcome.rejected += shortfall;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    outcome.rejected += attempted;
+                    break;
+                }
+            }
+            if let Some(handle) = self.handle {
+                outcome.peak_queue_depth =
+                    outcome.peak_queue_depth.max(handle.engine().queue_depth());
+            }
+        }
+        if let Some(handle) = self.handle {
+            outcome.drained = if handle.worker_count() == 0 {
+                handle.pump_until_idle().is_ok()
+            } else {
+                handle.wait_idle(Duration::from_secs(120))
+            };
+        }
+        outcome.elapsed = start.elapsed();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(scenario: &mut dyn Scenario) -> (u64, u64, Vec<usize>) {
+        let mut events = 0;
+        let mut bursts = 0;
+        let mut sizes = Vec::new();
+        while let Some(burst) = scenario.next_burst() {
+            bursts += 1;
+            events += burst.drafts.len() as u64;
+            sizes.push(burst.drafts.len());
+        }
+        (events, bursts, sizes)
+    }
+
+    #[test]
+    fn zipf_scenario_emits_exactly_total_events_in_burst_chunks() {
+        let mut scenario = ZipfLanes::new(8, 1.0, 32, 1_000, 7);
+        assert_eq!(scenario.lane_count(), 8);
+        let (events, bursts, sizes) = drain(&mut scenario);
+        assert_eq!(events, 1_000);
+        assert_eq!(bursts, 1_000_u64.div_ceil(32));
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 32));
+        assert!(
+            scenario.next_burst().is_none(),
+            "exhausted scenarios stay exhausted"
+        );
+    }
+
+    #[test]
+    fn zipf_scenario_is_deterministic_per_seed() {
+        let lanes_of = |seed: u64| -> Vec<String> {
+            let mut scenario = ZipfLanes::new(6, 1.2, 16, 200, seed);
+            let mut lanes = Vec::new();
+            while let Some(burst) = scenario.next_burst() {
+                lanes.extend(burst.drafts.iter().map(|d| format!("{d:?}")));
+            }
+            lanes
+        };
+        assert_eq!(lanes_of(42), lanes_of(42));
+        assert_ne!(lanes_of(42), lanes_of(43));
+    }
+
+    #[test]
+    fn bursty_scenario_alternates_pauses() {
+        let pause = Duration::from_millis(3);
+        let mut scenario = BurstyOpenClose::new(4, 50, 2, pause, 200);
+        let mut pauses = Vec::new();
+        let mut events = 0;
+        while let Some(burst) = scenario.next_burst() {
+            pauses.push(burst.pause);
+            events += burst.drafts.len() as u64;
+        }
+        assert_eq!(events, 200);
+        assert!(
+            pauses.iter().step_by(2).all(|p| p.is_zero()),
+            "open bursts are immediate"
+        );
+        assert!(
+            pauses.iter().skip(1).step_by(2).all(|p| *p == pause),
+            "closed trickles wait out the pause"
+        );
+    }
+
+    #[test]
+    fn mixed_batches_cycle_the_configured_sizes() {
+        let mut scenario = MixedBatches::new(2, vec![], 2 * (1 + 8 + 64));
+        let (events, _, sizes) = drain(&mut scenario);
+        assert_eq!(events, 2 * (1 + 8 + 64));
+        assert_eq!(sizes, vec![1, 8, 64, 1, 8, 64]);
+    }
+
+    #[test]
+    fn slow_consumer_flood_targets_one_lane() {
+        let mut scenario = SlowConsumerFlood::new(25, 100);
+        assert_eq!(scenario.lane_count(), 1);
+        let (events, bursts, _) = drain(&mut scenario);
+        assert_eq!(events, 100);
+        assert_eq!(bursts, 4);
+    }
+}

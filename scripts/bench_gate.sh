@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares the current BENCH_*.json reports against the
+# previous run's archived reports and fails when throughput drops by more than
+# the threshold at any matched configuration.
+#
+# Usage:
+#   scripts/bench_gate.sh <prev-dir> <current-report>...
+#
+# Records are matched by (name, mode, workers, batch_size) — the key that makes
+# two measurements comparable; unmatched records (a new scenario, a different
+# auto-resolved worker count on a different host) are skipped. A missing or
+# empty previous report skips that file with a warning instead of failing, so
+# the first run after adding a bench (or pruning artifacts) stays green.
+#
+# Environment:
+#   BENCH_GATE_MIN_RATIO  minimum allowed current/previous throughput ratio
+#                         (default 0.80, i.e. fail on a >20% drop)
+
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <prev-dir> <current-report>..." >&2
+    exit 2
+fi
+
+prev_dir=$1
+shift
+min_ratio=${BENCH_GATE_MIN_RATIO:-0.80}
+status=0
+
+for current in "$@"; do
+    base=$(basename "$current")
+    if [ ! -s "$current" ]; then
+        echo "::error::bench gate: current report $current is missing or empty"
+        status=1
+        continue
+    fi
+    prev=$(find "$prev_dir" -name "$base" -type f 2>/dev/null | head -n 1 || true)
+    if [ -z "$prev" ] || [ ! -s "$prev" ]; then
+        echo "::warning::bench gate: no previous $base to compare against — skipping"
+        continue
+    fi
+
+    # Compare throughput per matched (name, mode, workers, batch_size) cell.
+    regressions=$(jq -r --slurpfile prev "$prev" --argjson min "$min_ratio" '
+        ($prev[0].records
+         | map({key: "\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)",
+                value: .throughput_eps})
+         | from_entries) as $base
+        | .records[]
+        | "\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)" as $k
+        | select($base[$k] != null and $base[$k] > 0)
+        | select(.throughput_eps < $base[$k] * $min)
+        | "\($k): \(.throughput_eps | floor) ev/s vs previous \($base[$k] | floor) ev/s (\((.throughput_eps / $base[$k] * 100) | floor)%)"
+    ' "$current")
+    matched=$(jq -r --slurpfile prev "$prev" '
+        ($prev[0].records
+         | map("\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)")) as $keys
+        | [.records[] | select(("\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)") as $k
+                               | $keys | index($k))]
+        | length
+    ' "$current")
+
+    if [ "$matched" -eq 0 ]; then
+        echo "::warning::bench gate: $base shares no (name, mode, workers, batch_size) cells with the previous run — skipping"
+        continue
+    fi
+    if [ -n "$regressions" ]; then
+        echo "::error::bench gate: $base regressed beyond ${min_ratio}x at matched cells:"
+        echo "$regressions"
+        status=1
+    else
+        echo "bench gate: $base OK ($matched matched cells, min ratio ${min_ratio})"
+    fi
+done
+
+exit $status

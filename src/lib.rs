@@ -34,8 +34,8 @@ pub use defcon_workload as workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use defcon_core::{
-        Engine, EngineBuilder, EngineConfig, EngineError, EngineHandle, EngineResult, EventDraft,
-        Publisher, SecurityMode, Unit, UnitContext, UnitId, UnitSpec,
+        auto_worker_count, Engine, EngineBuilder, EngineConfig, EngineError, EngineHandle,
+        EngineResult, EventDraft, Publisher, SecurityMode, Unit, UnitContext, UnitId, UnitSpec,
     };
     pub use defcon_defc::{Component, Label, Privilege, PrivilegeKind, Tag, TagSet};
     pub use defcon_events::{Event, EventBuilder, Filter, Predicate, Value, ValueList, ValueMap};
