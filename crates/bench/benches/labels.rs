@@ -11,12 +11,23 @@ fn bench_labels(c: &mut Criterion) {
     let small = Label::confidential(tags[..2].iter().cloned().collect::<TagSet>());
     let large = Label::confidential(tags.iter().cloned().collect::<TagSet>());
 
+    let disjoint = Label::confidential(tags[4..7].iter().cloned().collect::<TagSet>());
+
     let mut group = c.benchmark_group("labels");
     group.bench_function("can_flow_to_small_to_large", |b| {
         b.iter(|| black_box(&small).can_flow_to(black_box(&large)))
     });
     group.bench_function("can_flow_to_reflexive", |b| {
         b.iter(|| black_box(&large).can_flow_to(black_box(&large)))
+    });
+    // The fingerprint fast-reject path (disjoint sets) versus the exact
+    // sorted-vector scan it replaces; `bench_labels` records the same split
+    // into BENCH_labels.json.
+    group.bench_function("can_flow_to_fingerprint_reject", |b| {
+        b.iter(|| black_box(&small).can_flow_to(black_box(&disjoint)))
+    });
+    group.bench_function("can_flow_to_exact_scan", |b| {
+        b.iter(|| black_box(&small).can_flow_to_exact(black_box(&large)))
     });
     group.bench_function("join", |b| {
         b.iter(|| black_box(&small).join(black_box(&large)))

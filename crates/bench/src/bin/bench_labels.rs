@@ -1,0 +1,154 @@
+//! Micro-benchmark of the label hot path: what one flow check costs.
+//!
+//! Every dispatch decision pays `part_label ≺ owner_input` per part per
+//! subscription, so the per-check cost bounds the whole engine (the paper's
+//! Figure 5 overhead argument). This bench measures flow-check ns/op at 3-tag
+//! labels in three representative situations —
+//!
+//! * **hit**: both sides are the same interned label (the common case after
+//!   interning canonicalises repeated labels) — answered by pointer equality;
+//! * **reject**: disjoint tag sets — answered by the fingerprint fast reject;
+//! * **accept**: a genuine subset — fingerprint pass, confirmed by the exact
+//!   sorted-vector scan;
+//!
+//! — each both through the interned fast path ([`Label::can_flow_to`]) and
+//! through the exact linear scan ([`Label::can_flow_to_exact`]), which is the
+//! representation the engine used before interning. It also times `join` on
+//! already-ordered operands, where interning returns the bound by
+//! reference-count bump instead of allocating.
+//!
+//! Writes `BENCH_labels.json` (override with `--out <path>`); `--quick`
+//! reduces the iteration count. The headline derived metric is
+//! `speedup_interned_over_scan`: mean exact-scan ns/op over mean fast-path
+//! ns/op across the mixed hit/reject/accept workload.
+
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use defcon_bench::report::arg_value;
+use defcon_bench::{BenchRecord, BenchReport};
+use defcon_defc::{Label, Tag, TagSet};
+use defcon_metrics::LatencySummary;
+
+/// Times `op` over `iters` iterations and returns ns/op.
+fn time_ns_per_op(iters: u64, mut op: impl FnMut() -> bool) -> f64 {
+    // Warm-up: touches lazily-computed caches and faults in the code path.
+    for _ in 0..(iters / 10).max(1) {
+        black_box(op());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(op());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Case {
+    name: &'static str,
+    a: Label,
+    b: Label,
+    expected: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_labels.json".to_string());
+    let iters: u64 = if quick { 2_000_000 } else { 10_000_000 };
+
+    // A shared tag universe: 3-tag labels, the size the trading workload's
+    // order/trade parts actually carry.
+    let tags: Vec<Tag> = (0..9).map(|i| Tag::with_name(format!("t{i}"))).collect();
+    let three = |range: std::ops::Range<usize>| -> Label {
+        Label::confidential(tags[range].iter().cloned().collect::<TagSet>())
+    };
+    let small = three(0..3);
+    let small_same = three(0..3); // interned: ptr-identical to `small`
+    let disjoint = three(3..6);
+    let large = Label::confidential(tags[0..6].iter().cloned().collect::<TagSet>());
+    assert!(small.ptr_eq(&small_same), "interning canonicalises");
+
+    let cases = [
+        Case {
+            name: "hit",
+            a: small.clone(),
+            b: small_same,
+            expected: true,
+        },
+        Case {
+            name: "reject",
+            a: small.clone(),
+            b: disjoint,
+            expected: false,
+        },
+        Case {
+            name: "accept",
+            a: small.clone(),
+            b: large.clone(),
+            expected: true,
+        },
+    ];
+
+    println!("== label micro-bench: {iters} iterations per case, 3-tag labels ==");
+    let mut report = BenchReport::new("labels", quick);
+    let mut interned_total = 0.0;
+    let mut scan_total = 0.0;
+    for case in &cases {
+        let (a, b, expected) = (&case.a, &case.b, case.expected);
+        assert_eq!(a.can_flow_to(b), expected);
+        assert_eq!(a.can_flow_to_exact(b), expected);
+        let interned = time_ns_per_op(iters, || black_box(a).can_flow_to(black_box(b)));
+        let scan = time_ns_per_op(iters, || black_box(a).can_flow_to_exact(black_box(b)));
+        interned_total += interned;
+        scan_total += scan;
+        println!(
+            "flow-check {:<7} interned={interned:>7.2} ns/op   exact-scan={scan:>7.2} ns/op   ({:.1}x)",
+            case.name,
+            scan / interned,
+        );
+        report.metric(&format!("flow_check_ns_interned_{}", case.name), interned);
+        report.metric(&format!("flow_check_ns_scan_{}", case.name), scan);
+        // One record per case so the regression gate tracks the fast path's
+        // throughput (checks/sec) per situation across commits.
+        for (mode, ns) in [("interned", interned), ("exact-scan", scan)] {
+            report.push(BenchRecord::from_summary(
+                "labels",
+                &format!("flow/{}/{}", case.name, mode),
+                0,
+                1,
+                3, // tags per label
+                iters,
+                1e9 / ns,
+                &LatencySummary::default(),
+            ));
+        }
+    }
+
+    // Joins on ordered operands: interning returns the bound by refcount bump.
+    let public = Label::public();
+    let join_converged = time_ns_per_op(iters, || {
+        black_box(black_box(&public).join(black_box(&large))).ptr_eq(&large)
+    });
+    println!("join (public ⊔ 6-tag, converged) = {join_converged:.2} ns/op");
+    report.metric("join_converged_ns", join_converged);
+
+    let interned_mean = interned_total / cases.len() as f64;
+    let scan_mean = scan_total / cases.len() as f64;
+    let speedup = scan_mean / interned_mean;
+    println!(
+        "flow-check mean: interned={interned_mean:.2} ns/op, exact-scan={scan_mean:.2} ns/op — {speedup:.1}x"
+    );
+    report.metric("flow_check_ns_interned", interned_mean);
+    report.metric("flow_check_ns_scan", scan_mean);
+    report.metric("speedup_interned_over_scan", speedup);
+
+    assert!(
+        !report.records.is_empty(),
+        "a label bench run must produce records"
+    );
+    report
+        .write(Path::new(&out))
+        .expect("write BENCH_labels.json");
+    println!("wrote {out}");
+}

@@ -18,6 +18,7 @@ use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
 use defcon_core::{auto_worker_count, Engine, SecurityMode, UnitSpec};
 use defcon_metrics::LatencyHistogram;
+use defcon_trading::PlatformReport;
 use defcon_workload::scenario::{
     BurstyOpenClose, CountingSink, MixedBatches, Scenario, ScenarioDriver, SlowConsumerFlood,
     ZipfLanes,
@@ -84,17 +85,19 @@ fn run_scenario(
     for histogram in &histograms {
         latency.merge(histogram);
     }
+    // Wire the sink-side latency percentiles into a PlatformReport-style row
+    // (the shape of the paper's figures, p70 included), then record that row.
+    let row = PlatformReport::from_scenario(
+        &outcome,
+        SecurityMode::LabelsFreeze,
+        engine.configured_workers(),
+        batch_size,
+        lanes,
+        &latency.summary(),
+    );
+    println!("  {}", row.as_row());
     ScenarioRun {
-        record: BenchRecord::from_summary(
-            &outcome.scenario,
-            SecurityMode::LabelsFreeze.figure_label(),
-            engine.configured_workers(),
-            batch_size,
-            lanes,
-            outcome.published,
-            outcome.throughput_eps(),
-            &latency.summary(),
-        ),
+        record: BenchRecord::from_platform(&outcome.scenario, &row),
         peak_queue_depth: outcome.peak_queue_depth,
     }
 }

@@ -111,7 +111,7 @@ impl BenchRecord {
             events,
             throughput_eps,
             latency_p50_ms: latency.p50_ms,
-            latency_p70_ms: 0.0,
+            latency_p70_ms: latency.p70_ms,
             latency_p99_ms: latency.p99_ms,
             memory_mib: 0.0,
         }
@@ -144,6 +144,12 @@ pub struct BenchReport {
     pub quick: bool,
     /// Git SHA of the working tree (or `"unknown"` outside a checkout).
     pub git_sha: String,
+    /// Host hardware fingerprint (CPU count plus a short CPU-model hash,
+    /// e.g. `"4cpu-1a2b3c4d"`; see [`host_fingerprint`]). The regression
+    /// gate only compares reports with equal fingerprints, so a CI runner
+    /// hardware change re-baselines instead of tripping (or
+    /// warning-skipping) the gate.
+    pub host: String,
     /// Named derived metrics (e.g. the batch-8-over-batch-1 speedup) that do
     /// not belong to a single record.
     pub metrics: Vec<(String, f64)>,
@@ -158,6 +164,7 @@ impl BenchReport {
             suite: suite.to_string(),
             quick,
             git_sha: current_git_sha(),
+            host: host_fingerprint(),
             metrics: Vec::new(),
             records: Vec::new(),
         }
@@ -182,11 +189,12 @@ impl BenchReport {
             .map(|(name, value)| format!("{}:{}", json_string(name), json_number(*value)))
             .collect();
         format!(
-            "{{\"schema\":{},\"suite\":{},\"quick\":{},\"git_sha\":{},\"metrics\":{{{}}},\"records\":[{}]}}\n",
+            "{{\"schema\":{},\"suite\":{},\"quick\":{},\"git_sha\":{},\"host\":{},\"metrics\":{{{}}},\"records\":[{}]}}\n",
             json_string(SCHEMA),
             json_string(&self.suite),
             self.quick,
             json_string(&self.git_sha),
+            json_string(&self.host),
             metrics.join(","),
             records.join(",")
         )
@@ -226,6 +234,38 @@ fn json_number(value: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// The host hardware fingerprint recorded in every report: the CPU count
+/// (quota-aware via `available_parallelism`, so a container limited to 2 of
+/// 16 cores stamps `2cpu`) plus, where `/proc/cpuinfo` is readable, a short
+/// hash of the CPU model string — two runners with the same core count but
+/// different CPU SKUs must not be compared as "same hardware", since single-
+/// thread performance differences between SKUs exceed the gate's threshold.
+pub fn host_fingerprint() -> String {
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    match cpu_model_hash() {
+        Some(model) => format!("{cpus}cpu-{model}"),
+        None => format!("{cpus}cpu"),
+    }
+}
+
+/// An 8-hex-digit FNV-1a hash of the first `model name` line of
+/// `/proc/cpuinfo`, or `None` where that is unavailable (non-Linux hosts).
+fn cpu_model_hash() -> Option<String> {
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let model = cpuinfo
+        .lines()
+        .find(|line| line.starts_with("model name"))?
+        .split(':')
+        .nth(1)?
+        .trim();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in model.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Some(format!("{:08x}", (hash as u32) ^ ((hash >> 32) as u32)))
 }
 
 /// Resolves the git SHA the report is attributable to: `GITHUB_SHA` in CI,
@@ -424,6 +464,7 @@ mod tests {
         json::validate(&json).expect("emitted report must be well-formed JSON");
         assert!(json.contains("\"schema\":\"defcon-bench-report/v1\""));
         assert!(json.contains("\"git_sha\":"));
+        assert!(json.contains(&format!("\"host\":\"{}\"", host_fingerprint())));
         assert!(json.contains("\"speedup_batch8_over_batch1\":1.34"));
         assert!(json.contains("\"workers\":4"));
         assert!(json.contains("\"batch_size\":8"));

@@ -27,19 +27,25 @@ fn tools_available() -> bool {
     })
 }
 
-/// A minimal `defcon-bench-report/v1` document with one dispatch record.
-fn report(throughput_eps: f64, workers: usize, batch_size: usize) -> String {
+/// A minimal `defcon-bench-report/v1` document with one dispatch record,
+/// stamped with the given host fingerprint.
+fn report_on_host(throughput_eps: f64, workers: usize, batch_size: usize, host: &str) -> String {
     format!(
         concat!(
             "{{\"schema\":\"defcon-bench-report/v1\",\"suite\":\"dispatch\",",
-            "\"quick\":true,\"git_sha\":\"test\",\"metrics\":{{}},\"records\":[",
+            "\"quick\":true,\"git_sha\":\"test\",\"host\":\"{}\",\"metrics\":{{}},\"records\":[",
             "{{\"name\":\"dispatch\",\"mode\":\"labels+freeze\",\"workers\":{},",
             "\"batch_size\":{},\"traders\":2,\"events\":1000,",
             "\"throughput_eps\":{},\"latency_p50_ms\":0.1,\"latency_p70_ms\":0,",
             "\"latency_p99_ms\":0.2,\"memory_mib\":0}}]}}\n"
         ),
-        workers, batch_size, throughput_eps
+        host, workers, batch_size, throughput_eps
     )
+}
+
+/// [`report_on_host`] on the default test host fingerprint.
+fn report(throughput_eps: f64, workers: usize, batch_size: usize) -> String {
+    report_on_host(throughput_eps, workers, batch_size, "4cpu")
 }
 
 struct Gate {
@@ -128,6 +134,44 @@ fn gate_skips_with_a_warning_when_no_previous_report_exists() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "no prior artifact must skip, not fail: {out}");
     assert!(out.contains("warning"), "{out}");
+}
+
+#[test]
+fn gate_skips_reports_from_a_different_host_fingerprint() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("host");
+    // Same (workers, batch) cell, huge "drop" — but the previous run came
+    // from different hardware, so the gate must skip, not fail.
+    gate.write_prev(
+        "BENCH_dispatch.json",
+        &report_on_host(500_000.0, 4, 8, "16cpu"),
+    );
+    gate.write_current(
+        "BENCH_dispatch.json",
+        &report_on_host(100_000.0, 4, 8, "4cpu"),
+    );
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "cross-host comparisons must be skipped: {out}");
+    assert!(out.contains("different hardware"), "{out}");
+}
+
+#[test]
+fn gate_skips_previous_reports_that_predate_the_host_field() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("oldschema");
+    // A pre-host-field report (what older archived artifacts look like).
+    let legacy = report(500_000.0, 4, 8).replace("\"host\":\"4cpu\",", "");
+    gate.write_prev("BENCH_dispatch.json", &legacy);
+    gate.write_current("BENCH_dispatch.json", &report(100_000.0, 4, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "unknown previous host must skip, not fail: {out}");
+    assert!(out.contains("different hardware"), "{out}");
 }
 
 #[test]

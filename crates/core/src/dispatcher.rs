@@ -20,6 +20,8 @@
 //! whether events are shared frozen or deep-copied, and whether the isolation
 //! runtime's interceptor cost is charged per part examined.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,11 +51,50 @@ pub struct Dispatcher {
 }
 
 /// A subscription owner's security state as snapshotted for one batch.
+///
+/// Labels are interned (`Arc`-backed), so the snapshot clones are
+/// reference-count bumps. The output label, privileges and name are only
+/// needed to resolve managed handler instances, so direct subscriptions —
+/// the common case — snapshot just the input label.
 struct OwnerSnapshot {
     input: Label,
+    managed: Option<ManagedOwnerState>,
+}
+
+/// The extra owner state a managed subscription needs to instantiate handlers.
+struct ManagedOwnerState {
     output: Label,
     privileges: defcon_defc::PrivilegeSet,
     name: String,
+}
+
+/// Identity key of one memoised flow decision: a `(part label, owner input
+/// label)` pair, plus whether the managed (integrity-only) rule applied.
+///
+/// Hash and equality are by interned-label *identity*, not structure — the key
+/// owns clones of both labels, so the backing allocations (and therefore the
+/// identity tokens) stay valid for as long as the memo lives.
+struct FlowKey {
+    part: Label,
+    owner: Label,
+    managed: bool,
+}
+
+impl PartialEq for FlowKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.managed == other.managed
+            && self.part.ptr_eq(&other.part)
+            && self.owner.ptr_eq(&other.owner)
+    }
+}
+
+impl Eq for FlowKey {}
+
+impl std::hash::Hash for FlowKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(self.part.identity());
+        state.write_usize(self.owner.identity() ^ self.managed as usize);
+    }
 }
 
 /// Dispatch state prepared once per popped batch and shared by all its events:
@@ -62,6 +103,47 @@ struct OwnerSnapshot {
 struct BatchContext {
     subscriptions: Arc<Vec<Subscription>>,
     owners: Vec<Option<(Arc<UnitSlot>, OwnerSnapshot)>>,
+    /// Per-batch memo of flow decisions that needed the exact sorted-vector
+    /// scan (the pointer/fingerprint fast paths answer without consulting it):
+    /// a batch of N events over the same handful of interned labels pays each
+    /// lattice scan once instead of once per event per subscription. Sound
+    /// within a batch because labels are immutable values and the owner
+    /// snapshot is fixed for the batch; a mid-batch label change produces a
+    /// *different* interned allocation and therefore a different key.
+    flow_memo: RefCell<HashMap<FlowKey, bool>>,
+}
+
+impl BatchContext {
+    /// Answers `part_label ≺ owner_input` (or the managed integrity-only
+    /// variant), memoising decisions the constant-time fast path cannot make.
+    fn flow_allowed(&self, part_label: &Label, owner_input: &Label, managed: bool) -> bool {
+        let decide = || {
+            if managed {
+                // Managed handlers accept any additional confidentiality
+                // taint; only the integrity requirement of the owner's input
+                // label constrains matching.
+                part_label.integrity().is_superset(owner_input.integrity())
+            } else {
+                part_label.can_flow_to_exact(owner_input)
+            }
+        };
+        if managed {
+            if owner_input.integrity().is_empty() {
+                return true;
+            }
+        } else if let Some(answer) = part_label.can_flow_to_fast(owner_input) {
+            return answer;
+        }
+        *self
+            .flow_memo
+            .borrow_mut()
+            .entry(FlowKey {
+                part: part_label.clone(),
+                owner: owner_input.clone(),
+                managed,
+            })
+            .or_insert_with(decide)
+    }
 }
 
 impl Dispatcher {
@@ -252,9 +334,11 @@ impl Dispatcher {
                 let cell = slot.cell.lock();
                 let snapshot = OwnerSnapshot {
                     input: cell.state.input_label.clone(),
-                    output: cell.state.output_label.clone(),
-                    privileges: cell.state.privileges.clone(),
-                    name: cell.state.name.clone(),
+                    managed: subscription.is_managed().then(|| ManagedOwnerState {
+                        output: cell.state.output_label.clone(),
+                        privileges: cell.state.privileges.clone(),
+                        name: cell.state.name.clone(),
+                    }),
                 };
                 drop(cell);
                 Some((slot, snapshot))
@@ -263,6 +347,7 @@ impl Dispatcher {
         BatchContext {
             subscriptions,
             owners,
+            flow_memo: RefCell::new(HashMap::new()),
         }
     }
 
@@ -275,7 +360,7 @@ impl Dispatcher {
     /// Dispatches a single event using a prepared batch context.
     fn dispatch_in(&self, batch: &BatchContext, event: Event) -> EngineResult<()> {
         self.core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
-        self.core.cache_event(event.clone());
+        self.core.cache_event(&event);
 
         let mode = self.core.config.mode;
 
@@ -286,8 +371,7 @@ impl Dispatcher {
             let Some((owner_slot, owner)) = owner else {
                 continue;
             };
-            let (owner_input, owner_output, owner_privileges, owner_name) =
-                (&owner.input, &owner.output, &owner.privileges, &owner.name);
+            let owner_input = &owner.input;
 
             let managed = subscription.is_managed();
             let matched = if mode.checks_labels() {
@@ -295,19 +379,13 @@ impl Dispatcher {
                 let isolates = mode.isolates();
                 let stats = &self.core.stats;
                 subscription.filter.matches(&current, |part: &Part| {
+                    // The isolation interception is charged per part *examined*
+                    // (it models crossing the isolate boundary to read part
+                    // metadata), so it is never skipped on memo hits.
                     if isolates {
                         isolation.intercept();
                     }
-                    let visible = if managed {
-                        // Managed handlers accept any additional confidentiality
-                        // taint; only the integrity requirement of the owner's input
-                        // label constrains matching.
-                        part.label()
-                            .integrity()
-                            .is_superset(owner_input.integrity())
-                    } else {
-                        part.label().can_flow_to(owner_input)
-                    };
+                    let visible = batch.flow_allowed(part.label(), owner_input, managed);
                     if !visible {
                         stats.label_rejections.fetch_add(1, Ordering::Relaxed);
                     }
@@ -324,6 +402,9 @@ impl Dispatcher {
             // at the contamination this event requires (with label checks disabled
             // the single instance at the owner's own label is reused).
             let target_slot = if managed {
+                let Some(managed_owner) = &owner.managed else {
+                    continue;
+                };
                 let required = if mode.checks_labels() {
                     owner_input.join(&current.overall_label())
                 } else {
@@ -337,9 +418,9 @@ impl Dispatcher {
                 for _ in 0..4 {
                     match self.managed_instance(
                         subscription,
-                        owner_output,
-                        owner_privileges,
-                        owner_name,
+                        &managed_owner.output,
+                        &managed_owner.privileges,
+                        &managed_owner.name,
                         required.clone(),
                     ) {
                         Ok(slot) => {

@@ -328,14 +328,16 @@ impl EngineCore {
     }
 
     /// Inserts an event into the bounded cache, charging/releasing memory.
-    pub(crate) fn cache_event(&self, event: Event) {
+    /// Takes the event by reference so a disabled cache (`capacity == 0`, the
+    /// micro-bench configuration) costs nothing on the dispatch hot path.
+    pub(crate) fn cache_event(&self, event: &Event) {
         if self.config.event_cache_capacity == 0 {
             return;
         }
         let size = event.estimated_size();
         self.memory.charge(MemoryCategory::Events, size);
         let mut cache = self.event_cache.lock();
-        cache.push_back(event);
+        cache.push_back(event.clone());
         while cache.len() > self.config.event_cache_capacity {
             if let Some(evicted) = cache.pop_front() {
                 self.memory
@@ -644,7 +646,11 @@ impl Engine {
         let isolation = self.core.isolation.memory_overhead_bytes();
         let engine = self.core.tags.estimated_size()
             + self.core.subscriptions.read().len() * 128
-            + self.core.units.read().len() * 64;
+            + self.core.units.read().len() * 64
+            // The process-wide interned-label table is shared between engines;
+            // attributing it wholly to each reporting engine matches how the
+            // paper's deployment (one engine per process) would account it.
+            + defcon_defc::intern_stats().estimated_bytes();
         let accounted = self.core.memory.total_bytes();
         (accounted + isolation + engine) as f64 / (1024.0 * 1024.0)
     }

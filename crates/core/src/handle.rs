@@ -164,9 +164,13 @@ impl std::fmt::Debug for EngineHandle {
 /// unit's output label (contamination independence, §5), exactly as
 /// `UnitContext::add_part` would. The argument order of [`EventDraft::part`]
 /// matches [`defcon_events::EventBuilder::part`].
+///
+/// Part names are resolved to interned [`PartName`](defcon_events::PartName)
+/// handles at draft-build time, so a feed publishing millions of events with
+/// the same few part names allocates no name strings at all.
 #[derive(Debug, Default)]
 pub struct EventDraft {
-    parts: Vec<(Label, String, Value)>,
+    parts: Vec<(Label, defcon_events::PartName, Value)>,
 }
 
 impl EventDraft {
@@ -176,13 +180,14 @@ impl EventDraft {
     }
 
     /// Adds a part with the requested label.
-    pub fn part(mut self, name: impl Into<String>, label: Label, data: Value) -> Self {
-        self.parts.push((label, name.into(), data));
+    pub fn part(mut self, name: impl AsRef<str>, label: Label, data: Value) -> Self {
+        self.parts
+            .push((label, defcon_events::part_name(name), data));
         self
     }
 
     /// Adds a public part.
-    pub fn public_part(self, name: impl Into<String>, data: Value) -> Self {
+    pub fn public_part(self, name: impl AsRef<str>, data: Value) -> Self {
         self.part(name, Label::public(), data)
     }
 
@@ -295,7 +300,7 @@ impl Publisher {
                 } else {
                     label
                 };
-                defcon_events::Part::new(name, label, data)
+                defcon_events::Part::from_name_handle(name, label, data)
             })
             .collect();
         Ok(Event::new(parts)?)

@@ -67,10 +67,20 @@ impl TagStore {
         self.len() == 0
     }
 
-    /// Estimated bytes used by the store (engine memory accounting).
+    /// Estimated bytes used by the store (engine memory accounting): the
+    /// per-record bookkeeping plus the actual interned name bytes, instead of
+    /// the former flat per-tag guess.
     pub fn estimated_size(&self) -> usize {
-        // Tag id + record + name estimate.
-        self.len() * 96
+        let tags = self.tags.read();
+        // Map entry (id + record + bucket overhead) per tag...
+        let records = tags.len() * 72;
+        // ...plus each tag's shared name allocation, counted once here (the
+        // `Arc<str>` is shared with every label that carries the tag).
+        let names: usize = tags
+            .values()
+            .map(|record| record.tag.name().map_or(0, str::len))
+            .sum();
+        records + names
     }
 }
 

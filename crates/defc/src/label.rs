@@ -15,11 +15,23 @@
 //! Labels form a lattice under this order; [`Label::join`] (least upper bound) is the
 //! label of data derived from two sources and [`Label::meet`] (greatest lower bound)
 //! is the most permissive label that can flow to both operands.
+//!
+//! # Representation
+//!
+//! Labels are **interned**: every distinct `(S, I)` pair is backed by one shared,
+//! immutable allocation carrying the sorted tag vectors, a precomputed hash and a
+//! 128-bit tag fingerprint (one 64-bit Bloom word per component). Cloning a label
+//! is a reference-count bump; [`Label::can_flow_to`] answers via a
+//! pointer-equality fast path, then a fingerprint fast *reject*
+//! (`fp(Sa) & !fp(Sb) != 0` proves `Sa ⊄ Sb`, and dually for the integrity
+//! superset), and only runs the exact sorted-vector scan when the fingerprints
+//! are inconclusive. A fingerprint can produce false *passes*, never false
+//! rejects, so the fast path never changes an answer — it only skips work.
 
 use std::fmt;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
+use crate::intern::{self, LabelInner};
 use crate::tag::Tag;
 use crate::tagset::TagSet;
 
@@ -27,7 +39,7 @@ use crate::tagset::TagSet;
 ///
 /// API calls such as `changeOutLabel(⟨S|I⟩, ⟨add|del⟩, t)` in Table 1 of the paper
 /// address a component explicitly; this enum is the Rust rendering of `⟨S|I⟩`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// The confidentiality (secrecy) component `S`.
     Confidentiality,
@@ -35,115 +47,246 @@ pub enum Component {
     Integrity,
 }
 
-/// A security label `(S, I)`.
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// A security label `(S, I)`, interned and cheap to clone.
+#[derive(Clone)]
 pub struct Label {
-    confidentiality: TagSet,
-    integrity: TagSet,
+    inner: Arc<LabelInner>,
 }
 
 impl Label {
     /// The public label: empty confidentiality, empty integrity.
     ///
     /// Data labelled `Label::public()` can flow anywhere but vouches for nothing.
+    /// All public labels share one process-wide allocation, so this is
+    /// allocation-free and public-vs-public checks hit the pointer fast path.
+    #[inline]
     pub fn public() -> Self {
-        Label::default()
+        Label {
+            inner: Arc::clone(intern::public_inner()),
+        }
     }
 
-    /// Creates a label from its two components.
+    /// Creates a label from its two components, interning the pair.
     pub fn new(confidentiality: TagSet, integrity: TagSet) -> Self {
         Label {
-            confidentiality,
-            integrity,
+            inner: intern::intern(confidentiality, integrity),
         }
     }
 
     /// Creates a label with only a confidentiality component.
     pub fn confidential(confidentiality: TagSet) -> Self {
+        Label::new(confidentiality, TagSet::empty())
+    }
+
+    /// Creates a label **without** consulting the intern table.
+    ///
+    /// For labels built around freshly created — therefore globally unique —
+    /// tags (per-order confinement, per-request grants), an intern lookup is
+    /// a guaranteed miss that still pays the process-wide table lock and
+    /// leaves a dead entry behind for the sweep. `unshared` builds the label
+    /// directly instead: it misses the pointer-equality fast paths (the
+    /// fingerprint fast reject still applies, computed lazily) but is
+    /// structurally indistinguishable from an interned equal label — use it
+    /// when the label's tag set is known never to repeat.
+    pub fn unshared(confidentiality: TagSet, integrity: TagSet) -> Self {
         Label {
-            confidentiality,
-            integrity: TagSet::empty(),
+            inner: Arc::new(LabelInner::new(confidentiality, integrity)),
         }
     }
 
     /// Creates a label with only an integrity component.
     pub fn endorsed(integrity: TagSet) -> Self {
-        Label {
-            confidentiality: TagSet::empty(),
-            integrity,
-        }
+        Label::new(TagSet::empty(), integrity)
     }
 
     /// Returns the confidentiality component `S`.
+    #[inline]
     pub fn confidentiality(&self) -> &TagSet {
-        &self.confidentiality
+        &self.inner.confidentiality
     }
 
     /// Returns the integrity component `I`.
+    #[inline]
     pub fn integrity(&self) -> &TagSet {
-        &self.integrity
+        &self.inner.integrity
     }
 
     /// Returns the requested component.
     pub fn component(&self, which: Component) -> &TagSet {
         match which {
-            Component::Confidentiality => &self.confidentiality,
-            Component::Integrity => &self.integrity,
+            Component::Confidentiality => &self.inner.confidentiality,
+            Component::Integrity => &self.inner.integrity,
         }
     }
 
     /// Returns a mutable reference to the requested component.
+    ///
+    /// This de-interns the label: the mutated value lives in its own (possibly
+    /// non-canonical) allocation and no longer participates in pointer-equality
+    /// fast paths until a lattice operation re-interns a result derived from
+    /// it. Correctness is unaffected — comparisons always fall back to the
+    /// exact structural check.
     pub fn component_mut(&mut self, which: Component) -> &mut TagSet {
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.invalidate_cache();
         match which {
-            Component::Confidentiality => &mut self.confidentiality,
-            Component::Integrity => &mut self.integrity,
+            Component::Confidentiality => &mut inner.confidentiality,
+            Component::Integrity => &mut inner.integrity,
         }
     }
 
     /// Returns `true` if this label is the public label.
+    #[inline]
     pub fn is_public(&self) -> bool {
-        self.confidentiality.is_empty() && self.integrity.is_empty()
+        self.inner.confidentiality.is_empty() && self.inner.integrity.is_empty()
+    }
+
+    /// Returns `true` if both labels are backed by the same interned
+    /// allocation. Implies equality; the converse holds for labels produced by
+    /// the interning constructors (everything except in-place
+    /// [`Label::component_mut`] edits).
+    #[inline]
+    pub fn ptr_eq(&self, other: &Label) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A token identifying this label's backing allocation, usable as an
+    /// identity key in caches and memo tables.
+    ///
+    /// Two labels with the same token are [`Label::ptr_eq`]. The token is only
+    /// meaningful while a clone of the label is kept alive — after the last
+    /// clone drops, a future label may reuse the allocation (and the token).
+    #[inline]
+    pub fn identity(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
     }
 
     /// The can-flow-to relation: `self ≺ other` iff `S_self ⊆ S_other` and
     /// `I_self ⊇ I_other`.
+    ///
+    /// Fast paths: pointer equality (reflexivity), then the fingerprint fast
+    /// reject; only fingerprint passes run the exact sorted-vector scans.
+    #[inline]
     pub fn can_flow_to(&self, other: &Label) -> bool {
-        self.confidentiality.is_subset(&other.confidentiality)
-            && self.integrity.is_superset(&other.integrity)
+        match self.can_flow_to_fast(other) {
+            Some(answer) => answer,
+            None => self.can_flow_to_exact(other),
+        }
+    }
+
+    /// Constant-time portion of [`Label::can_flow_to`]: `Some(answer)` when the
+    /// pointer/fingerprint fast paths decide, `None` when the exact scan is
+    /// needed. Exposed so callers that memoise expensive decisions (the
+    /// dispatcher's per-batch flow memo) can skip the memo when the fast path
+    /// already answered.
+    #[inline]
+    pub fn can_flow_to_fast(&self, other: &Label) -> Option<bool> {
+        if self.ptr_eq(other) {
+            return Some(true);
+        }
+        let a = self.inner.cached();
+        let b = other.inner.cached();
+        // S_self ⊆ S_other is impossible if self's Bloom word sets a bit
+        // other's does not (a tag can be in S_self only if its bit is set in
+        // both words). Dually for I_self ⊇ I_other.
+        if a.fp_confidentiality & !b.fp_confidentiality != 0 {
+            return Some(false);
+        }
+        if b.fp_integrity & !a.fp_integrity != 0 {
+            return Some(false);
+        }
+        // Both subset queries trivially hold when their left side is empty.
+        if self.inner.confidentiality.is_empty() && other.inner.integrity.is_empty() {
+            return Some(true);
+        }
+        None
+    }
+
+    /// The exact sorted-vector scan behind [`Label::can_flow_to`] — the
+    /// fallback for fingerprint passes, and the baseline the `bench_labels`
+    /// micro-benchmark compares the fast path against.
+    #[inline]
+    pub fn can_flow_to_exact(&self, other: &Label) -> bool {
+        self.inner
+            .confidentiality
+            .is_subset(&other.inner.confidentiality)
+            && self.inner.integrity.is_superset(&other.inner.integrity)
     }
 
     /// Least upper bound: the label of data derived from both operands.
     ///
     /// Confidentiality tags accumulate (union, "sticky"); integrity tags only
     /// survive if present in both inputs (intersection, "fragile").
+    ///
+    /// When one operand already flows to the other the bound *is* the higher
+    /// operand; the result is then returned by reference-count bump instead of
+    /// allocating, so repeated joins in dispatch cascades converge to shared
+    /// pointers.
     pub fn join(&self, other: &Label) -> Label {
-        Label {
-            confidentiality: self.confidentiality.union(&other.confidentiality),
-            integrity: self.integrity.intersection(&other.integrity),
+        if self.can_flow_to(other) {
+            return other.clone();
         }
+        if other.can_flow_to(self) {
+            return self.clone();
+        }
+        Label::new(
+            self.inner
+                .confidentiality
+                .union(&other.inner.confidentiality),
+            self.inner.integrity.intersection(&other.inner.integrity),
+        )
     }
 
     /// Greatest lower bound: the most restrictive-on-integrity, least-secret label
     /// that can flow to both operands.
+    ///
+    /// Like [`Label::join`], returns the lower operand by reference-count bump
+    /// when the operands are already ordered, and interns fresh results.
     pub fn meet(&self, other: &Label) -> Label {
-        Label {
-            confidentiality: self.confidentiality.intersection(&other.confidentiality),
-            integrity: self.integrity.union(&other.integrity),
+        if self.can_flow_to(other) {
+            return self.clone();
         }
+        if other.can_flow_to(self) {
+            return other.clone();
+        }
+        Label::new(
+            self.inner
+                .confidentiality
+                .intersection(&other.inner.confidentiality),
+            self.inner.integrity.union(&other.inner.integrity),
+        )
     }
 
-    /// Returns a copy of this label with `tag` added to `component`.
+    /// Returns a copy of this label with `tag` added to `component`, interned.
     pub fn with_tag(&self, component: Component, tag: Tag) -> Label {
-        let mut next = self.clone();
-        next.component_mut(component).insert(tag);
-        next
+        if self.component(component).contains(&tag) {
+            return self.clone();
+        }
+        let (mut s, mut i) = (
+            self.inner.confidentiality.clone(),
+            self.inner.integrity.clone(),
+        );
+        match component {
+            Component::Confidentiality => s.insert(tag),
+            Component::Integrity => i.insert(tag),
+        }
+        Label::new(s, i)
     }
 
-    /// Returns a copy of this label with `tag` removed from `component`.
+    /// Returns a copy of this label with `tag` removed from `component`, interned.
     pub fn without_tag(&self, component: Component, tag: &Tag) -> Label {
-        let mut next = self.clone();
-        next.component_mut(component).remove(tag);
-        next
+        if !self.component(component).contains(tag) {
+            return self.clone();
+        }
+        let (mut s, mut i) = (
+            self.inner.confidentiality.clone(),
+            self.inner.integrity.clone(),
+        );
+        match component {
+            Component::Confidentiality => s.remove(tag),
+            Component::Integrity => i.remove(tag),
+        };
+        Label::new(s, i)
     }
 
     /// Applies the contamination-independence transformation of Table 1:
@@ -151,23 +294,57 @@ impl Label {
     ///
     /// A unit that asks for a part to be labelled `(S, I)` transparently gets the
     /// tags of its output label folded in, so that sandboxed units cannot write
-    /// below their own contamination.
+    /// below their own contamination. The transformation is exactly the lattice
+    /// join, so it shares [`Label::join`]'s allocation-free fast paths.
+    #[inline]
     pub fn raised_to_output(&self, output: &Label) -> Label {
-        Label {
-            confidentiality: self.confidentiality.union(&output.confidentiality),
-            integrity: self.integrity.intersection(&output.integrity),
-        }
+        self.join(output)
     }
 
     /// Total size of the label in tags (useful for memory accounting).
     pub fn tag_count(&self) -> usize {
-        self.confidentiality.len() + self.integrity.len()
+        self.inner.confidentiality.len() + self.inner.integrity.len()
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::public()
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
+        // The precomputed hash is a cheap negative filter; equal sets always
+        // share a hash, so a mismatch proves inequality.
+        if self.inner.cached().hash != other.inner.cached().hash {
+            return false;
+        }
+        self.inner.confidentiality == other.inner.confidentiality
+            && self.inner.integrity == other.inner.integrity
+    }
+}
+
+impl Eq for Label {}
+
+impl std::hash::Hash for Label {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Structural (set-based) hash, precomputed at intern time: consistent
+        // with `Eq` regardless of which allocation backs the label.
+        state.write_u64(self.inner.cached().hash);
     }
 }
 
 impl fmt::Debug for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(S={:?}, I={:?})", self.confidentiality, self.integrity)
+        write!(
+            f,
+            "(S={:?}, I={:?})",
+            self.inner.confidentiality, self.inner.integrity
+        )
     }
 }
 
@@ -297,5 +474,98 @@ mod tests {
         assert!(secret.confidentiality().contains(&s));
         let back = secret.without_tag(Component::Confidentiality, &s);
         assert!(back.is_public());
+    }
+
+    #[test]
+    fn equal_constructions_share_one_allocation() {
+        let s = tag("s");
+        let a = Label::confidential(TagSet::singleton(s.clone()));
+        let b = Label::confidential(TagSet::singleton(s.clone()));
+        assert!(a.ptr_eq(&b), "interning canonicalises equal labels");
+        assert_eq!(a.identity(), b.identity());
+        assert!(Label::public().ptr_eq(&Label::default()));
+    }
+
+    #[test]
+    fn joins_converge_to_shared_pointers() {
+        let s = tag("s");
+        let secret = Label::confidential(TagSet::singleton(s));
+        // public ⊔ secret = secret, by reference — no new allocation.
+        assert!(Label::public().join(&secret).ptr_eq(&secret));
+        assert!(secret.join(&secret).ptr_eq(&secret));
+        // A genuinely new join result is interned: computing it twice yields
+        // one allocation.
+        let t = tag("t");
+        let other = Label::confidential(TagSet::singleton(t));
+        assert!(secret.join(&other).ptr_eq(&other.join(&secret)));
+    }
+
+    #[test]
+    fn unshared_labels_bypass_the_table_but_stay_structural() {
+        let s = tag("s");
+        let unshared = Label::unshared(TagSet::singleton(s.clone()), TagSet::empty());
+        let interned = Label::confidential(TagSet::singleton(s));
+        assert!(
+            !unshared.ptr_eq(&interned),
+            "unshared labels are not canonical"
+        );
+        assert_eq!(unshared, interned, "equality stays structural");
+        assert!(unshared.can_flow_to(&interned) && interned.can_flow_to(&unshared));
+        // Ordered joins still shortcut by reference, and a join against the
+        // interned twin converges back to the canonical allocation.
+        assert!(unshared.join(&Label::public()).ptr_eq(&unshared));
+        assert!(unshared.join(&interned).ptr_eq(&interned));
+    }
+
+    #[test]
+    fn mutated_labels_stay_correct_without_canonicality() {
+        let s = tag("s");
+        let mut edited = Label::public();
+        edited
+            .component_mut(Component::Confidentiality)
+            .insert(s.clone());
+        let interned = Label::confidential(TagSet::singleton(s));
+        // Equality and hashing remain structural...
+        assert_eq!(edited, interned);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |l: &Label| {
+            let mut h = DefaultHasher::new();
+            l.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&edited), hash_of(&interned));
+        // ...and so does the lattice, even though the pointers differ.
+        assert!(edited.can_flow_to(&interned) && interned.can_flow_to(&edited));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_exact_scan() {
+        let tags: Vec<Tag> = (0..6).map(|i| tag(&format!("t{i}"))).collect();
+        let sets: Vec<TagSet> = vec![
+            TagSet::empty(),
+            TagSet::singleton(tags[0].clone()),
+            tags[..3].iter().cloned().collect(),
+            tags[2..].iter().cloned().collect(),
+            tags.iter().cloned().collect(),
+        ];
+        for s_a in &sets {
+            for i_a in &sets {
+                for s_b in &sets {
+                    for i_b in &sets {
+                        let a = Label::new(s_a.clone(), i_a.clone());
+                        let b = Label::new(s_b.clone(), i_b.clone());
+                        assert_eq!(
+                            a.can_flow_to(&b),
+                            a.can_flow_to_exact(&b),
+                            "fast path disagreed for {a} ≺ {b}"
+                        );
+                        if let Some(fast) = a.can_flow_to_fast(&b) {
+                            assert_eq!(fast, a.can_flow_to_exact(&b));
+                        }
+                    }
+                }
+            }
+        }
     }
 }

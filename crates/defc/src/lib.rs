@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 mod error;
+mod intern;
 mod label;
 mod privilege;
 mod tag;
 mod tagset;
 
 pub use error::DefcError;
+pub use intern::{intern_stats, InternStats};
 pub use label::{Component, Label};
 pub use privilege::{Privilege, PrivilegeKind, PrivilegeSet};
 pub use tag::{Tag, TagId};

@@ -175,6 +175,23 @@ impl TagSet {
     pub fn as_slice(&self) -> &[Tag] {
         &self.tags
     }
+
+    /// Returns a 64-bit Bloom fingerprint of the set: one bit per tag, chosen
+    /// by hashing the tag identifier.
+    ///
+    /// The fingerprint supports a constant-time *fast reject* of subset
+    /// queries: `a.fingerprint() & !b.fingerprint() != 0` proves `a ⊄ b`
+    /// (some tag of `a` sets a bit no tag of `b` sets). The converse does not
+    /// hold — a fingerprint pass says nothing and must be confirmed by
+    /// [`TagSet::is_subset`] — so fast-path users can skip work but never get
+    /// a wrong answer. Interned labels cache this word per component.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = 0u64;
+        for tag in &self.tags {
+            fp |= 1u64 << (crate::intern::tag_hash(tag.id().as_raw()) & 63);
+        }
+        fp
+    }
 }
 
 impl FromIterator<Tag> for TagSet {

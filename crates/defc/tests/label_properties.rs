@@ -62,6 +62,72 @@ proptest! {
         prop_assert_eq!(a.meet(&b), b.meet(&a));
         prop_assert_eq!(a.join(&a), a.clone());
         prop_assert_eq!(a.meet(&a), a.clone());
+
+        // Absorption: a ⊔ (a ⊓ b) = a and a ⊓ (a ⊔ b) = a — the pair of laws
+        // that (with commutativity) makes (join, meet) an actual lattice, not
+        // just two monotone operators.
+        prop_assert_eq!(a.join(&a.meet(&b)), a.clone());
+        prop_assert_eq!(a.meet(&a.join(&b)), a.clone());
+
+        // Interning canonicalises: operations producing equal values converge
+        // to pointer-identical labels.
+        prop_assert!(a.join(&b).ptr_eq(&b.join(&a)));
+        prop_assert!(a.meet(&b).ptr_eq(&b.meet(&a)));
+
+        // Antisymmetry on interned pointers: mutual flow implies the operands
+        // are the *same allocation*, so the exhaustive-check formulation
+        // (`x ≺ y ∧ y ≺ x ⇒ x == y`) strengthens to identity for interned
+        // labels.
+        if a.can_flow_to(&b) && b.can_flow_to(&a) {
+            prop_assert!(a.ptr_eq(&b));
+        }
+    }
+
+    #[test]
+    fn fingerprint_fast_reject_never_disagrees_with_exact_subset(
+        seed in 0u64..u64::MAX,
+    ) {
+        // Two random tag sets over a shared universe: the fingerprint may
+        // only *pass* sets the exact check accepts or rejects — a fingerprint
+        // reject must always coincide with an exact-check reject (no false
+        // rejects), in both directions (subset and superset duals).
+        let uni = universe();
+        let pick = |bits: u64| -> TagSet {
+            uni.iter().enumerate()
+                .filter(|(i, _)| bits >> i & 1 == 1)
+                .map(|(_, t)| t.clone())
+                .collect()
+        };
+        let a = pick(seed);
+        let b = pick(seed.rotate_left(23) ^ 0xd6e8_feb8_6659_fd93);
+
+        // fp reject ⇒ not a subset (the fast path may never flip an accept).
+        if a.fingerprint() & !b.fingerprint() != 0 {
+            prop_assert!(!a.is_subset(&b));
+        }
+        // Contrapositive, the form the hot path relies on: a real subset can
+        // never be fingerprint-rejected.
+        if a.is_subset(&b) {
+            prop_assert_eq!(a.fingerprint() & !b.fingerprint(), 0);
+        }
+        if b.is_superset(&a) {
+            prop_assert_eq!(a.fingerprint() & !b.fingerprint(), 0);
+        }
+
+        // End to end: the labelled fast path agrees with the exact scan for
+        // every component combination of the two sets.
+        for (s_a, i_a, s_b, i_b) in [
+            (a.clone(), b.clone(), b.clone(), a.clone()),
+            (a.clone(), a.clone(), b.clone(), b.clone()),
+            (b.clone(), a.clone(), a.clone(), b.clone()),
+        ] {
+            let x = Label::new(s_a, i_a);
+            let y = Label::new(s_b, i_b);
+            prop_assert_eq!(x.can_flow_to(&y), x.can_flow_to_exact(&y));
+            if let Some(fast) = x.can_flow_to_fast(&y) {
+                prop_assert_eq!(fast, x.can_flow_to_exact(&y));
+            }
+        }
     }
 }
 
@@ -86,6 +152,8 @@ fn can_flow_to_is_antisymmetric_and_transitive_on_universe() {
         for y in &labels {
             if x.can_flow_to(y) && y.can_flow_to(x) {
                 assert_eq!(x, y, "antisymmetry violated");
+                // Interned labels strengthen antisymmetry to pointer identity.
+                assert!(x.ptr_eq(y), "equal interned labels must share storage");
             }
             for z in &labels {
                 if x.can_flow_to(y) && y.can_flow_to(z) {

@@ -165,11 +165,16 @@ impl Event {
             .parts
             .iter()
             .map(|p| {
-                let label = Label::new(
-                    p.label().confidentiality().union(output.confidentiality()),
-                    p.label().integrity().intersection(output.integrity()),
-                );
-                p.with_label(label)
+                // `S ∪ S_out, I ∩ I_out` is the lattice join; with interned
+                // labels it returns the part's own label (by pointer) whenever
+                // the part is already at or above the output label, making the
+                // common all-parts-unchanged clone allocation-free per part.
+                let label = p.label().join(output);
+                if label.ptr_eq(p.label()) {
+                    p.clone()
+                } else {
+                    p.with_label(label)
+                }
             })
             .collect();
         Event {
@@ -196,6 +201,9 @@ impl Event {
     /// The least upper bound of all part labels: the contamination acquired by a
     /// unit that reads the whole event.
     pub fn overall_label(&self) -> Label {
+        // With interned labels, each join step returns the higher operand by
+        // reference whenever the accumulator and the next part label are
+        // ordered — for the common single-label event this never allocates.
         self.parts
             .iter()
             .fold(Label::public(), |acc, p| acc.join(p.label()))

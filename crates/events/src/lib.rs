@@ -35,7 +35,7 @@ pub mod value;
 pub use event::{now_ns, Event, EventBuilder, EventId};
 pub use filter::{Filter, Predicate};
 pub use freeze::{Freezable, FreezeError, FreezeFlag};
-pub use part::{Part, PartName};
+pub use part::{part_name, Part, PartName};
 pub use value::{Value, ValueList, ValueMap};
 
 /// Errors arising from event construction and manipulation.

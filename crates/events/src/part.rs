@@ -19,8 +19,46 @@ use crate::value::Value;
 pub type PartName = Arc<str>;
 
 /// Creates a [`PartName`] from a string-like value.
+///
+/// Names are interned in a process-wide table: the distinct part names of a
+/// deployment form a tiny, stable vocabulary (`"type"`, `"price"`, ...), so
+/// after warm-up this is a hash lookup plus a reference-count bump instead of
+/// an allocation per part constructed — which matters on the publish hot path,
+/// where every event allocates its parts.
 pub fn part_name(name: impl AsRef<str>) -> PartName {
-    Arc::from(name.as_ref())
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+
+    // The table is bounded: a deployment that generates part names
+    // dynamically (per-order, per-client, ...) must not grow a process-wide
+    // strong-reference table forever. Past the cap, new names fall back to a
+    // plain (un-shared) allocation — correctness is unaffected, only the
+    // sharing optimisation stops applying to the long tail.
+    const NAME_INTERN_CAP: usize = 4096;
+
+    static NAMES: OnceLock<parking_lot::RwLock<HashSet<PartName>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| parking_lot::RwLock::new(HashSet::new()));
+    let name = name.as_ref();
+    if let Some(interned) = names.read().get(name) {
+        return Arc::clone(interned);
+    }
+    let mut names = names.write();
+    if let Some(interned) = names.get(name) {
+        return Arc::clone(interned);
+    }
+    let interned: PartName = Arc::from(name);
+    if names.len() < NAME_INTERN_CAP {
+        names.insert(Arc::clone(&interned));
+    }
+    interned
+}
+
+/// The shared empty privilege list: almost every part carries no privileges,
+/// so they all point at one allocation instead of allocating an empty
+/// `Arc<[Privilege]>` each.
+fn no_privileges() -> Arc<[Privilege]> {
+    static EMPTY: std::sync::OnceLock<Arc<[Privilege]>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new().into_boxed_slice())))
 }
 
 /// A single named, labelled piece of event data.
@@ -43,12 +81,19 @@ impl Part {
     /// The data is frozen as a side effect: from this point on it may safely be
     /// shared by reference between isolates.
     pub fn new(name: impl AsRef<str>, label: Label, data: Value) -> Self {
+        Part::from_name_handle(part_name(name), label, data)
+    }
+
+    /// Creates a new part from an already-interned [`PartName`] handle,
+    /// skipping the name lookup — the allocation-free constructor for callers
+    /// (drafts, codecs) that resolve names ahead of time.
+    pub fn from_name_handle(name: PartName, label: Label, data: Value) -> Self {
         data.freeze();
         Part {
-            name: part_name(name),
+            name,
             label,
             data,
-            privileges: Arc::from(Vec::new().into_boxed_slice()),
+            privileges: no_privileges(),
         }
     }
 
@@ -63,11 +108,16 @@ impl Part {
         privileges: Vec<Privilege>,
     ) -> Self {
         data.freeze();
+        let privileges = if privileges.is_empty() {
+            no_privileges()
+        } else {
+            Arc::from(privileges.into_boxed_slice())
+        };
         Part {
             name: part_name(name),
             label,
             data,
-            privileges: Arc::from(privileges.into_boxed_slice()),
+            privileges,
         }
     }
 

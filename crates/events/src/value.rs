@@ -49,8 +49,8 @@ pub enum Value {
 
 impl Value {
     /// Convenience constructor for string values.
-    pub fn str(s: impl Into<String>) -> Value {
-        Value::Str(Arc::from(s.into().into_boxed_str()))
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// Convenience constructor for byte-string values.

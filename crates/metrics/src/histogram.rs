@@ -137,6 +137,7 @@ impl LatencyHistogram {
             count,
             mean_ms: self.mean_ns().map_or(0.0, |ns| ns / 1e6),
             p50_ms: self.p50_ms().unwrap_or(0.0),
+            p70_ms: self.p70_ms().unwrap_or(0.0),
             p99_ms: self.p99_ms().unwrap_or(0.0),
             max_ms: self.max_ns().map_or(0.0, |ns| ns as f64 / 1e6),
         }
@@ -179,6 +180,9 @@ pub struct LatencySummary {
     pub mean_ms: f64,
     /// Median, ms.
     pub p50_ms: f64,
+    /// 70th percentile, ms — the paper's headline latency metric (Figures 6
+    /// and 9), computed from the same sample buckets as p50/p99.
+    pub p70_ms: f64,
     /// 99th percentile, ms.
     pub p99_ms: f64,
     /// Largest recorded sample, ms.

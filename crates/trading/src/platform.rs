@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use defcon_core::{Engine, EngineHandle, EngineResult, Publisher, SecurityMode, UnitSpec};
-use defcon_defc::{Privilege, Tag};
+use defcon_defc::Privilege;
 use defcon_metrics::ThroughputRecorder;
 use defcon_workload::{assign_pairs, SymbolUniverse, TickGenerator, TickGeneratorConfig};
 
@@ -119,6 +119,37 @@ pub struct PlatformReport {
 }
 
 impl PlatformReport {
+    /// Builds a figure row from a scenario replay: the driver-side
+    /// [`ScenarioOutcome`](defcon_workload::scenario::ScenarioOutcome)
+    /// counters paired with the sink-side latency percentiles the harness
+    /// merged across its lane sinks. This is what makes scenario runs
+    /// plottable next to the paper's figures — same row shape, same headline
+    /// p70 percentile, with lanes standing in for traders.
+    pub fn from_scenario(
+        outcome: &defcon_workload::scenario::ScenarioOutcome,
+        mode: SecurityMode,
+        workers: usize,
+        batch_size: usize,
+        lanes: usize,
+        latency: &defcon_metrics::LatencySummary,
+    ) -> PlatformReport {
+        PlatformReport {
+            mode,
+            traders: lanes,
+            workers,
+            batch_size,
+            ticks: outcome.published,
+            orders: 0,
+            trades: 0,
+            warnings: 0,
+            throughput_eps: outcome.throughput_eps(),
+            latency_p70_ms: latency.p70_ms,
+            latency_p50_ms: latency.p50_ms,
+            latency_p99_ms: latency.p99_ms,
+            memory_mib: 0.0,
+        }
+    }
+
     /// Formats the report as a figure row: mode, traders, throughput, latency,
     /// memory.
     pub fn as_row(&self) -> String {
@@ -140,7 +171,9 @@ pub struct TradingPlatform {
     engine: Engine,
     handle: EngineHandle,
     exchange_feed: Publisher,
-    exchange_tag: Tag,
+    /// The interned `(∅, {s})` endorsement label, computed once and cloned per
+    /// tick draft instead of re-interned per tick.
+    exchange_label: defcon_defc::Label,
     broker_shared: Arc<BrokerShared>,
     regulator_shared: Arc<RegulatorShared>,
     orders_placed: Arc<AtomicU64>,
@@ -221,12 +254,13 @@ impl TradingPlatform {
 
         let generator = TickGenerator::new(universe, config.tick_config.clone());
         let handle = engine.start();
+        let exchange_label = StockExchange::endorsed_label(&exchange_tag);
         Ok(TradingPlatform {
             config,
             engine,
             handle,
             exchange_feed,
-            exchange_tag,
+            exchange_label,
             broker_shared,
             regulator_shared,
             orders_placed,
@@ -264,7 +298,7 @@ impl TradingPlatform {
         let tick = self.generator.next_tick();
         let before = self.engine.stats().dispatched();
         self.exchange_feed
-            .publish(StockExchange::tick_draft(&self.exchange_tag, &tick))?;
+            .publish(StockExchange::tick_draft_at(&self.exchange_label, &tick))?;
         let dispatched = if self.handle.worker_count() == 0 {
             self.handle.pump_until_idle()? as u64
         } else {
@@ -295,7 +329,7 @@ impl TradingPlatform {
             .generator
             .trace(count)
             .iter()
-            .map(|tick| StockExchange::tick_draft(&self.exchange_tag, tick))
+            .map(|tick| StockExchange::tick_draft_at(&self.exchange_label, tick))
             .collect();
         self.exchange_feed.publish_batch(drafts)?;
         let dispatched = if self.handle.worker_count() == 0 {

@@ -74,11 +74,13 @@ impl Broker {
 
 impl Unit for Broker {
     fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
-        let regulator_tag = self.regulator_tag.clone();
+        // The audit label `({r}, ∅)` is interned once here; every handler
+        // instance (and every trade it publishes) clones the shared value.
+        let regulator_label = Label::confidential(TagSet::singleton(self.regulator_tag.clone()));
         let shared = Arc::clone(&self.shared);
         let factory: UnitFactory = Box::new(move || {
             Box::new(BrokerHandler {
-                regulator_tag: regulator_tag.clone(),
+                regulator_label: regulator_label.clone(),
                 shared: Arc::clone(&shared),
             }) as Box<dyn Unit>
         });
@@ -94,7 +96,7 @@ impl Unit for Broker {
 
 /// The ephemeral handler created per order contamination.
 struct BrokerHandler {
-    regulator_tag: Tag,
+    regulator_label: Label,
     shared: Arc<BrokerShared>,
 }
 
@@ -199,21 +201,23 @@ impl Unit for BrokerHandler {
             Value::str(event_type::TRADE),
         )?;
         ctx.add_part(&draft, Label::public(), trade::BODY, Value::Map(body))?;
+        // Identity labels are built around unique per-order tags: `unshared`
+        // skips the guaranteed-miss intern lookup.
         ctx.add_part(
             &draft,
-            Label::confidential(TagSet::singleton(Tag::from_id(buyer_tag))),
+            Label::unshared(TagSet::singleton(Tag::from_id(buyer_tag)), TagSet::empty()),
             trade::BUYER,
             Value::Int(completed.buyer as i64),
         )?;
         ctx.add_part(
             &draft,
-            Label::confidential(TagSet::singleton(Tag::from_id(seller_tag))),
+            Label::unshared(TagSet::singleton(Tag::from_id(seller_tag)), TagSet::empty()),
             trade::SELLER,
             Value::Int(completed.seller as i64),
         )?;
         // Audit part for the Regulator: confined to r, carrying the aggressor's tag
         // and the t_r+ privilege (the handler holds t_r+auth from the identity part).
-        let regulator_label = Label::confidential(TagSet::singleton(self.regulator_tag.clone()));
+        let regulator_label = self.regulator_label.clone();
         ctx.add_part(
             &draft,
             regulator_label.clone(),

@@ -162,7 +162,8 @@ impl Unit for RegulatorHandler {
             // Step 8: warn the trader; the warning is confined to the per-order tag
             // so only a principal holding t_r (the offending trader owns it) can
             // read it.
-            let confined = Label::confidential(TagSet::singleton(order_tag.clone()));
+            // Per-order tag: unique by construction, so skip the intern table.
+            let confined = Label::unshared(TagSet::singleton(order_tag.clone()), TagSet::empty());
             let draft = ctx.create_event();
             ctx.add_part(
                 &draft,

@@ -33,7 +33,20 @@ impl StockExchange {
     /// hold `integrity_tag` in its output label for the endorsement to survive
     /// the contamination-independence transform.
     pub fn tick_draft(integrity_tag: &Tag, tick: &Tick) -> EventDraft {
-        let endorsed = Label::endorsed(TagSet::singleton(integrity_tag.clone()));
+        StockExchange::tick_draft_at(&StockExchange::endorsed_label(integrity_tag), tick)
+    }
+
+    /// The endorsement label `(∅, {s})` a feed stamps on every tick part.
+    /// Labels are interned, so feeds should compute this once and replay ticks
+    /// through [`StockExchange::tick_draft_at`] — each draft then clones the
+    /// shared label instead of re-interning it per tick.
+    pub fn endorsed_label(integrity_tag: &Tag) -> Label {
+        Label::endorsed(TagSet::singleton(integrity_tag.clone()))
+    }
+
+    /// [`StockExchange::tick_draft`] with the endorsement label precomputed —
+    /// the allocation-free variant for hot feed loops.
+    pub fn tick_draft_at(endorsed: &Label, tick: &Tick) -> EventDraft {
         EventDraft::new()
             .part(PART_TYPE, endorsed.clone(), Value::str(event_type::TICK))
             .part(
@@ -42,7 +55,11 @@ impl StockExchange {
                 Value::str(tick.symbol.as_str()),
             )
             .part(tick::PRICE, endorsed.clone(), Value::Float(tick.price))
-            .part(tick::SEQUENCE, endorsed, Value::Int(tick.sequence as i64))
+            .part(
+                tick::SEQUENCE,
+                endorsed.clone(),
+                Value::Int(tick.sequence as i64),
+            )
     }
 
     /// Publishes one tick through a [`UnitContext`] (the in-engine variant of

@@ -30,6 +30,9 @@ pub struct Trader {
     id: u64,
     pair: SymbolPair,
     broker_tag: Tag,
+    /// The interned `({b}, ∅)` label, computed once: every order's public-ish
+    /// parts carry it, so the hot path clones instead of re-interning.
+    broker_label: Label,
     exchange_tag: Tag,
     quantity: u64,
     /// Contrarian traders take the opposite side of the signal; mixing both kinds is
@@ -56,6 +59,7 @@ impl Trader {
         Trader {
             id,
             pair,
+            broker_label: Label::confidential(TagSet::singleton(broker_tag.clone())),
             broker_tag,
             exchange_tag,
             quantity: 100,
@@ -131,11 +135,14 @@ impl Unit for Trader {
         let order_tag =
             ctx.create_owned_tag(format!("t-order-{}-{}", self.id, self.order_sequence));
 
-        let broker = Label::confidential(TagSet::singleton(self.broker_tag.clone()));
-        let broker_and_order = Label::confidential(
+        let broker = self.broker_label.clone();
+        // The fresh per-order tag makes this label unique by construction, so
+        // interning it would take the global table lock for a guaranteed miss.
+        let broker_and_order = Label::unshared(
             [self.broker_tag.clone(), order_tag.clone()]
                 .into_iter()
                 .collect(),
+            TagSet::empty(),
         );
 
         let body = ValueMap::new();

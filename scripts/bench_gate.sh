@@ -6,11 +6,17 @@
 # Usage:
 #   scripts/bench_gate.sh <prev-dir> <current-report>...
 #
-# Records are matched by (name, mode, workers, batch_size) — the key that makes
-# two measurements comparable; unmatched records (a new scenario, a different
-# auto-resolved worker count on a different host) are skipped. A missing or
-# empty previous report skips that file with a warning instead of failing, so
-# the first run after adding a bench (or pruning artifacts) stays green.
+# Reports carry a host hardware fingerprint (top-level "host": CPU count +
+# CPU model hash); a previous report from a different host — or one predating
+# the field — is skipped with a warning, since cross-hardware throughput
+# ratios are meaningless and used to produce spurious warning-skips cell by
+# cell.
+# Within a same-host pair, records are matched by (name, mode, workers,
+# batch_size) — the key that makes two measurements comparable; unmatched
+# records (a new scenario, a different auto-resolved worker count) are
+# skipped. A missing or empty previous report skips that file with a warning
+# instead of failing, so the first run after adding a bench (or pruning
+# artifacts) stays green.
 #
 # Environment:
 #   BENCH_GATE_MIN_RATIO  minimum allowed current/previous throughput ratio
@@ -38,6 +44,16 @@ for current in "$@"; do
     prev=$(find "$prev_dir" -name "$base" -type f 2>/dev/null | head -n 1 || true)
     if [ -z "$prev" ] || [ ! -s "$prev" ]; then
         echo "::warning::bench gate: no previous $base to compare against — skipping"
+        continue
+    fi
+
+    # Only same-hardware runs are comparable: skip when the archived report
+    # came from a host with a different fingerprint (or has none, i.e. it
+    # predates the field).
+    cur_host=$(jq -r '.host // ""' "$current")
+    prev_host=$(jq -r '.host // ""' "$prev")
+    if [ -z "$prev_host" ] || [ "$cur_host" != "$prev_host" ]; then
+        echo "::warning::bench gate: $base previous run is from host '${prev_host:-unknown}', current is '${cur_host}' — different hardware, skipping"
         continue
     fi
 
