@@ -2,14 +2,20 @@
 //!
 //! Measures end-to-end events/second (publish → queue → dispatch → delivery)
 //! and per-event delivery latency on a deployment of plain counting units, over
-//! a grid of `(workers, batch_size)` configurations. The headline comparison is
-//! `workers(4)` at `batch_size(8)` versus `batch_size(1)`: the batched path
+//! a grid of `(workers, batch_size)` configurations. The headline comparisons:
+//! `workers(4)` at `batch_size(8)` versus `batch_size(1)` (the batched path
 //! pays one shard-lock round-trip, one in-flight accounting update and one
-//! wakeup check per *batch* where the classic path pays them per *event*.
+//! wakeup check per *batch* where the classic path pays them per *event*),
+//! and — as `dispatch-grouped` cells, the workload alternating its events
+//! between two target units — grouped versus ungrouped delivery of the same
+//! batches (grouping pays one cell-lock acquisition per *unit* per batch
+//! where the ungrouped path pays one per delivery).
 //!
 //! Writes `BENCH_dispatch.json` (override with `--out <path>`); pass `--quick`
-//! for the reduced CI sweep. The derived `speedup_w4_b8_over_b1` metric in the
-//! report is events/sec at `(4, 8)` divided by events/sec at `(4, 1)`.
+//! for the reduced CI sweep. Derived metrics: `speedup_w4_b8_over_b1`
+//! (events/sec at `(4, 8)` over `(4, 1)`, ungrouped) and
+//! `speedup_grouped_w1_b8` (grouped over ungrouped at the pinned
+//! `workers(1) × batch(8)` alternating-unit cell).
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,18 +62,20 @@ struct RunOutcome {
 /// repetition with the highest throughput — the paper's "maximum supported
 /// event rate" metric, which is also robust against scheduler noise on small
 /// or oversubscribed machines.
+#[allow(clippy::too_many_arguments)]
 fn run_cell_best_of(
     mode: SecurityMode,
     workers: usize,
     batch_size: usize,
+    grouped: bool,
     lanes: usize,
     events: u64,
     reps: usize,
 ) -> RunOutcome {
-    run_cell(mode, workers, batch_size, lanes, events / 10);
+    run_cell(mode, workers, batch_size, grouped, lanes, events / 10);
     let mut best: Option<RunOutcome> = None;
     for _ in 0..reps.max(1) {
-        let outcome = run_cell(mode, workers, batch_size, lanes, events);
+        let outcome = run_cell(mode, workers, batch_size, grouped, lanes, events);
         if best
             .as_ref()
             .is_none_or(|b| outcome.throughput_eps > b.throughput_eps)
@@ -92,6 +100,7 @@ fn run_cell(
     mode: SecurityMode,
     workers: usize,
     batch_size: usize,
+    grouped: bool,
     lanes: usize,
     events: u64,
 ) -> RunOutcome {
@@ -99,6 +108,7 @@ fn run_cell(
         .mode(mode)
         .workers(workers)
         .batch_size(batch_size)
+        .grouped_delivery(grouped)
         // The recently-dispatched cache charges a clone per event; it is not
         // part of the queue/dispatch path this bench isolates.
         .event_cache(0)
@@ -193,38 +203,43 @@ fn main() {
     // The worker count `workers_auto()` resolves to on this host; recorded per
     // report so results stay comparable across hosts of different widths.
     let auto = auto_worker_count();
-    // (mode, workers, batch_size) cells. The first two LabelsFreeze cells are
-    // the headline batch-1-vs-batch-8 comparison at four workers; the manual
-    // worker counts {1, 4} (plus 2 in the full sweep) are the grid the
-    // `workers_auto()` resolution competes against at batch 8.
+    // (mode, workers, batch_size, grouped) cells. The ungrouped LabelsFreeze
+    // cells keep their historical `dispatch` keys (the regression gate
+    // compares them against prior runs); the `dispatch-grouped` cells rerun
+    // the same workload with per-unit grouped delivery — the two-lane
+    // round-robin workload alternates target units event by event, so at
+    // batch 8 grouping turns eight cell-lock round-trips into two.
     let manual_workers: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
-    let mut cells: Vec<(SecurityMode, usize, usize)> = vec![
-        (SecurityMode::LabelsFreeze, 4, 1),
-        (SecurityMode::LabelsFreeze, 4, 8),
-        (SecurityMode::LabelsFreeze, 1, 1),
-        (SecurityMode::LabelsFreeze, 1, 8),
+    let mut cells: Vec<(SecurityMode, usize, usize, bool)> = vec![
+        (SecurityMode::LabelsFreeze, 4, 1, false),
+        (SecurityMode::LabelsFreeze, 4, 8, false),
+        (SecurityMode::LabelsFreeze, 1, 1, false),
+        (SecurityMode::LabelsFreeze, 1, 8, false),
+        // The pinned grouped-vs-ungrouped comparison cells.
+        (SecurityMode::LabelsFreeze, 1, 8, true),
+        (SecurityMode::LabelsFreeze, 4, 8, true),
     ];
     if !quick {
         cells.extend([
-            (SecurityMode::LabelsFreeze, 2, 8),
-            (SecurityMode::LabelsFreeze, 4, 32),
-            (SecurityMode::NoSecurity, 4, 1),
-            (SecurityMode::NoSecurity, 4, 8),
-            (SecurityMode::LabelsClone, 4, 1),
-            (SecurityMode::LabelsClone, 4, 8),
-            (SecurityMode::LabelsFreezeIsolation, 4, 1),
-            (SecurityMode::LabelsFreezeIsolation, 4, 8),
+            (SecurityMode::LabelsFreeze, 2, 8, false),
+            (SecurityMode::LabelsFreeze, 4, 32, false),
+            (SecurityMode::LabelsFreeze, 4, 32, true),
+            (SecurityMode::NoSecurity, 4, 1, false),
+            (SecurityMode::NoSecurity, 4, 8, false),
+            (SecurityMode::LabelsClone, 4, 1, false),
+            (SecurityMode::LabelsClone, 4, 8, false),
+            (SecurityMode::LabelsFreezeIsolation, 4, 1, false),
+            (SecurityMode::LabelsFreezeIsolation, 4, 8, false),
         ]);
     }
     // Measure the auto-resolved count at both headline batch sizes, unless a
     // manual cell already covers it (re-running an identical cell would only
     // add noise to the comparison).
     for batch_size in [1, 8] {
-        if !cells
-            .iter()
-            .any(|&(m, w, b)| m == SecurityMode::LabelsFreeze && w == auto && b == batch_size)
-        {
-            cells.push((SecurityMode::LabelsFreeze, auto, batch_size));
+        if !cells.iter().any(|&(m, w, b, grouped)| {
+            m == SecurityMode::LabelsFreeze && w == auto && b == batch_size && !grouped
+        }) {
+            cells.push((SecurityMode::LabelsFreeze, auto, batch_size, false));
         }
     }
 
@@ -233,26 +248,32 @@ fn main() {
     );
     let mut report = BenchReport::new("dispatch", quick);
     report.metric("workers_auto_resolved", auto as f64);
-    // LabelsFreeze throughput per (workers, batch_size): the headline speedup
-    // and the auto-vs-manual comparison both read from this grid.
-    let mut grid: Vec<((usize, usize), f64)> = Vec::new();
-    for &(mode, workers, batch_size) in &cells {
-        let outcome = run_cell_best_of(mode, workers, batch_size, lanes, events, reps);
+    // LabelsFreeze throughput per (workers, batch_size, grouped): the headline
+    // speedups and the auto-vs-manual comparison all read from this grid.
+    let mut grid: Vec<((usize, usize, bool), f64)> = Vec::new();
+    for &(mode, workers, batch_size, grouped) in &cells {
+        let outcome = run_cell_best_of(mode, workers, batch_size, grouped, lanes, events, reps);
+        let name = if grouped {
+            "dispatch-grouped"
+        } else {
+            "dispatch"
+        };
         println!(
-            "{:<26} workers={}{} batch={:<3} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms",
+            "{:<26} workers={}{} batch={:<3} {:<9} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms",
             mode.figure_label(),
             workers,
             if workers == auto { "*" } else { "" },
             batch_size,
+            if grouped { "grouped" } else { "ungrouped" },
             outcome.throughput_eps,
             outcome.latency.p50_ms,
             outcome.latency.p99_ms,
         );
         if mode == SecurityMode::LabelsFreeze {
-            grid.push(((workers, batch_size), outcome.throughput_eps));
+            grid.push(((workers, batch_size, grouped), outcome.throughput_eps));
         }
         report.push(BenchRecord::from_summary(
-            "dispatch",
+            name,
             mode.figure_label(),
             workers,
             batch_size,
@@ -262,16 +283,31 @@ fn main() {
             &outcome.latency,
         ));
     }
-    let at = |workers: usize, batch_size: usize| -> Option<f64> {
+    let at_grouping = |workers: usize, batch_size: usize, grouped: bool| -> Option<f64> {
         grid.iter()
-            .find(|((w, b), _)| *w == workers && *b == batch_size)
+            .find(|((w, b, g), _)| *w == workers && *b == batch_size && *g == grouped)
             .map(|(_, eps)| *eps)
     };
+    let at = |workers: usize, batch_size: usize| at_grouping(workers, batch_size, false);
 
     if let (Some(batch1), Some(batch8)) = (at(4, 1), at(4, 8)) {
         let speedup = batch8 / batch1;
         println!("speedup workers=4 batch 8 vs 1: {speedup:.2}x");
         report.metric("speedup_w4_b8_over_b1", speedup);
+    }
+
+    // The pinned grouped-delivery comparison: same workload, same batches,
+    // alternating target units — one cell-lock acquisition per unit per batch
+    // (grouped) against one per delivery (ungrouped).
+    for (workers, metric) in [(1, "speedup_grouped_w1_b8"), (4, "speedup_grouped_w4_b8")] {
+        if let (Some(ungrouped), Some(grouped)) = (
+            at_grouping(workers, 8, false),
+            at_grouping(workers, 8, true),
+        ) {
+            let speedup = grouped / ungrouped;
+            println!("speedup grouped vs ungrouped at workers={workers} batch 8: {speedup:.2}x");
+            report.metric(metric, speedup);
+        }
     }
 
     // The adaptive default against the best *hand-picked* worker count at
@@ -281,7 +317,7 @@ fn main() {
     // is measured against, or the ratio could never exceed 1.0.
     let best_manual = grid
         .iter()
-        .filter(|((w, b), _)| *b == 8 && manual_workers.contains(w))
+        .filter(|((w, b, g), _)| *b == 8 && !*g && manual_workers.contains(w))
         .map(|(_, eps)| *eps)
         .fold(f64::NEG_INFINITY, f64::max);
     if let Some(auto_eps) = at(auto, 8) {

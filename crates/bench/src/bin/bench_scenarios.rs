@@ -1,12 +1,21 @@
 //! Scenario-driver benchmark: replays the adversarial load shapes of
 //! `defcon_workload::scenario` (Zipf-skewed lanes, bursty open/close arrival,
-//! slow-consumer backpressure, mixed batch sizes) through an engine sized by
-//! `workers_auto()`, and records what the engine absorbed.
+//! slow-consumer backpressure, mixed batch sizes) through an engine running an
+//! *elastic* worker band (`1..max(2, workers_auto())`), and records what the
+//! engine absorbed — including each run's worker high-water mark, the pool
+//! scale the load actually recruited. `SlowConsumerFlood` is the shape that
+//! provably stretches the band: its backlog holds queue depth above the
+//! scale-up threshold until the pool reaches the top of the band.
+//!
+//! It also replays two arrival shapes through the *full trading platform*
+//! (`TradingPlatform::replay_scenario` → `publish_tick_batch`), recording
+//! Figure-5-style p70 rows per shape as `platform-zipf` / `platform-bursty`.
 //!
 //! Writes `BENCH_scenarios.json` (override with `--out <path>`) in the
 //! `defcon-bench-report/v1` schema; pass `--quick` for the reduced CI sweep.
-//! The per-record `workers` field carries the *resolved* auto worker count, so
-//! reports stay comparable across hosts of different widths.
+//! Elastic records carry the configured band in `workers_band` (what the
+//! regression gate matches on) and the observed scale in
+//! `workers_high_water`.
 
 use std::path::Path;
 use std::sync::atomic::Ordering;
@@ -18,7 +27,7 @@ use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
 use defcon_core::{auto_worker_count, Engine, SecurityMode, UnitSpec};
 use defcon_metrics::LatencyHistogram;
-use defcon_trading::PlatformReport;
+use defcon_trading::{PlatformReport, TradingPlatform, TradingPlatformConfig};
 use defcon_workload::scenario::{
     BurstyOpenClose, CountingSink, MixedBatches, Scenario, ScenarioDriver, SlowConsumerFlood,
     ZipfLanes,
@@ -30,16 +39,27 @@ struct ScenarioRun {
     peak_queue_depth: usize,
 }
 
-/// Replays one scenario on a fresh `workers_auto()` engine, one latency-tracked
+/// The elastic band every scenario replay runs under: one worker floor, a
+/// ceiling of at least two so the pool has somewhere to scale even on a
+/// single-core host (the run queue's stealing tolerates mild
+/// oversubscription; what the record captures is how far load pushed the
+/// band).
+fn worker_band() -> (usize, usize) {
+    (1, auto_worker_count().max(2))
+}
+
+/// Replays one scenario on a fresh elastic-band engine, one latency-tracked
 /// counting sink per lane (optionally slowed), and returns its bench record.
 fn run_scenario(
     scenario: &mut dyn Scenario,
     batch_size: usize,
     sink_delay: Duration,
 ) -> ScenarioRun {
+    let (workers_min, workers_max) = worker_band();
     let engine = Engine::builder()
         .mode(SecurityMode::LabelsFreeze)
-        .workers_auto()
+        .workers_min(workers_min)
+        .workers_max(workers_max)
         .batch_size(batch_size)
         // The recently-dispatched cache is not part of the replayed path.
         .event_cache(0)
@@ -87,10 +107,15 @@ fn run_scenario(
     }
     // Wire the sink-side latency percentiles into a PlatformReport-style row
     // (the shape of the paper's figures, p70 included), then record that row.
+    // The row carries the configured band plus the worker high-water mark the
+    // replay actually recruited.
+    let pool = engine.queue_stats();
     let row = PlatformReport::from_scenario(
         &outcome,
         SecurityMode::LabelsFreeze,
+        pool.workers_min,
         engine.configured_workers(),
+        pool.workers_high_water,
         batch_size,
         lanes,
         &latency.summary(),
@@ -109,11 +134,15 @@ fn main() {
 
     let events: u64 = if quick { 60_000 } else { 300_000 };
     let slow_events: u64 = if quick { 8_000 } else { 40_000 };
+    let platform_ticks: u64 = if quick { 1_200 } else { 8_000 };
     let lanes = 8;
     let batch_size = 8;
     let workers = auto_worker_count();
+    let (band_min, band_max) = worker_band();
 
-    println!("== scenario bench: workers_auto() resolved to {workers} worker(s) ==");
+    println!(
+        "== scenario bench: workers_auto() -> {workers}; elastic band {band_min}..{band_max} =="
+    );
     let mut report = BenchReport::new("scenarios", quick);
     report.metric("workers_auto_resolved", workers as f64);
 
@@ -145,9 +174,10 @@ fn main() {
     for (scenario, sink_delay) in &mut scenarios {
         let run = run_scenario(scenario.as_mut(), batch_size, *sink_delay);
         println!(
-            "{:<16} workers={} batch={} events={:>8} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms  peak-queue={}",
+            "{:<16} band={} high-water={} batch={} events={:>8} throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms  peak-queue={}",
             run.record.name,
-            run.record.workers,
+            run.record.workers_band,
+            run.record.workers_high_water,
             run.record.batch_size,
             run.record.events,
             run.record.throughput_eps,
@@ -160,8 +190,50 @@ fn main() {
                 "slow_consumer_peak_queue_depth",
                 run.peak_queue_depth as f64,
             );
+            // The acceptance signal for the elastic pool: a backlogged flood
+            // must recruit workers beyond the band's floor.
+            report.metric(
+                "slow_consumer_worker_high_water",
+                run.record.workers_high_water as f64,
+            );
         }
         report.push(run.record);
+    }
+
+    // Scenario arrival shapes through the full trading platform: the same
+    // bursts now drive tick cascades (monitors, traders, broker, regulator)
+    // instead of synthetic lane sinks, and the rows read like Figure 5's.
+    println!("== platform scenario replays ({platform_ticks} ticks per shape) ==");
+    let platform_shapes: Vec<(&str, Box<dyn Scenario>)> = vec![
+        (
+            "platform-zipf",
+            Box::new(ZipfLanes::new(lanes, 1.0, 32, platform_ticks, 2010)),
+        ),
+        (
+            "platform-bursty",
+            Box::new(BurstyOpenClose::new(
+                lanes,
+                256,
+                8,
+                Duration::from_millis(1),
+                platform_ticks,
+            )),
+        ),
+    ];
+    for (name, mut shape) in platform_shapes {
+        let config = TradingPlatformConfig {
+            mode: SecurityMode::LabelsFreeze,
+            traders: 40,
+            batch_size,
+            event_cache: 0,
+            ..TradingPlatformConfig::default()
+        };
+        let mut platform = TradingPlatform::build(config).expect("platform builds");
+        let row = platform
+            .replay_scenario(shape.as_mut())
+            .expect("platform replay completes");
+        println!("  {name}: {}", row.as_row());
+        report.push(BenchRecord::from_platform(name, &row));
     }
 
     assert!(

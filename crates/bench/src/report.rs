@@ -31,8 +31,18 @@ pub struct BenchRecord {
     pub name: String,
     /// Security mode label (`"labels+freeze"`, ...) or `"baseline"`.
     pub mode: String,
-    /// Dispatcher worker threads (0 = driver-pumped).
+    /// Dispatcher worker threads (0 = driver-pumped). For an elastic run this
+    /// is the band's upper edge (the spawned thread count); the band itself is
+    /// in `workers_band` and the observed count in `workers_high_water`.
     pub workers: usize,
+    /// The configured elastic worker band as `"min..max"`, or empty for fixed
+    /// pools and manual runs. The regression gate matches elastic cells on
+    /// this band — the run's *configuration* — never on the instantaneous
+    /// worker count, which is load-dependent by design.
+    pub workers_band: String,
+    /// Highest concurrently active worker count the run observed (equals
+    /// `workers` for fixed pools; meaningful for elastic bands).
+    pub workers_high_water: usize,
     /// Dispatch/publish batch size.
     pub batch_size: usize,
     /// Deployment scale: traders for the platform figures, subscriber units
@@ -53,12 +63,20 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// Builds a record from a DEFCon trading-platform run.
+    /// Builds a record from a DEFCon trading-platform run. The platform row
+    /// carries both the configured band and the observed worker high-water
+    /// mark; both flow into the record.
     pub fn from_platform(name: &str, report: &PlatformReport) -> Self {
         BenchRecord {
             name: name.to_string(),
             mode: report.mode.figure_label().to_string(),
             workers: report.workers,
+            workers_band: if report.workers_min < report.workers {
+                format!("{}..{}", report.workers_min, report.workers)
+            } else {
+                String::new()
+            },
+            workers_high_water: report.workers_high_water,
             batch_size: report.batch_size,
             traders: report.traders,
             events: report.ticks,
@@ -78,6 +96,8 @@ impl BenchRecord {
             name: name.to_string(),
             mode: "baseline".to_string(),
             workers: 0,
+            workers_band: String::new(),
+            workers_high_water: 0,
             batch_size: 1,
             traders: report.traders,
             events: report.ticks,
@@ -106,6 +126,8 @@ impl BenchRecord {
             name: name.to_string(),
             mode: mode.to_string(),
             workers,
+            workers_band: String::new(),
+            workers_high_water: workers,
             batch_size,
             traders: units,
             events,
@@ -119,10 +141,12 @@ impl BenchRecord {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"mode\":{},\"workers\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{}}}",
+            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{}}}",
             json_string(&self.name),
             json_string(&self.mode),
             self.workers,
+            json_string(&self.workers_band),
+            self.workers_high_water,
             self.batch_size,
             self.traders,
             self.events,
@@ -439,6 +463,8 @@ mod tests {
             name: "dispatch".into(),
             mode: "labels+freeze".into(),
             workers: 4,
+            workers_band: String::new(),
+            workers_high_water: 4,
             batch_size: 8,
             traders: 8,
             events: 30_000,
@@ -480,6 +506,8 @@ mod tests {
             mode: defcon_core::SecurityMode::LabelsFreeze,
             traders: 200,
             workers: 4,
+            workers_min: 1,
+            workers_high_water: 3,
             batch_size: 8,
             ticks: 1000,
             orders: 500,
@@ -494,6 +522,11 @@ mod tests {
         let record = BenchRecord::from_platform("fig5", &platform);
         assert_eq!(record.mode, "labels+freeze");
         assert_eq!(record.workers, 4);
+        assert_eq!(
+            record.workers_band, "1..4",
+            "elastic bands flow into records"
+        );
+        assert_eq!(record.workers_high_water, 3);
         assert_eq!(record.batch_size, 8);
         assert_eq!(record.throughput_eps, 9_000.5);
         assert_eq!(record.latency_p99_ms, 2.0);

@@ -28,24 +28,43 @@ fn tools_available() -> bool {
 }
 
 /// A minimal `defcon-bench-report/v1` document with one dispatch record,
-/// stamped with the given host fingerprint.
-fn report_on_host(throughput_eps: f64, workers: usize, batch_size: usize, host: &str) -> String {
+/// stamped with the given host fingerprint. `workers_band` ("" for fixed
+/// runs) and `workers_high_water` model an elastic run's extra fields.
+fn elastic_report_on_host(
+    throughput_eps: f64,
+    workers: usize,
+    workers_band: &str,
+    workers_high_water: usize,
+    batch_size: usize,
+    host: &str,
+) -> String {
     format!(
         concat!(
             "{{\"schema\":\"defcon-bench-report/v1\",\"suite\":\"dispatch\",",
             "\"quick\":true,\"git_sha\":\"test\",\"host\":\"{}\",\"metrics\":{{}},\"records\":[",
             "{{\"name\":\"dispatch\",\"mode\":\"labels+freeze\",\"workers\":{},",
+            "\"workers_band\":\"{}\",\"workers_high_water\":{},",
             "\"batch_size\":{},\"traders\":2,\"events\":1000,",
             "\"throughput_eps\":{},\"latency_p50_ms\":0.1,\"latency_p70_ms\":0,",
             "\"latency_p99_ms\":0.2,\"memory_mib\":0}}]}}\n"
         ),
-        host, workers, batch_size, throughput_eps
+        host, workers, workers_band, workers_high_water, batch_size, throughput_eps
     )
+}
+
+/// A fixed-pool record on the given host.
+fn report_on_host(throughput_eps: f64, workers: usize, batch_size: usize, host: &str) -> String {
+    elastic_report_on_host(throughput_eps, workers, "", workers, batch_size, host)
 }
 
 /// [`report_on_host`] on the default test host fingerprint.
 fn report(throughput_eps: f64, workers: usize, batch_size: usize) -> String {
     report_on_host(throughput_eps, workers, batch_size, "4cpu")
+}
+
+/// An elastic-band record on the default test host fingerprint.
+fn elastic_report(throughput_eps: f64, band: &str, high_water: usize) -> String {
+    elastic_report_on_host(throughput_eps, 4, band, high_water, 8, "4cpu")
 }
 
 struct Gate {
@@ -172,6 +191,46 @@ fn gate_skips_previous_reports_that_predate_the_host_field() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "unknown previous host must skip, not fail: {out}");
     assert!(out.contains("different hardware"), "{out}");
+}
+
+#[test]
+fn gate_matches_elastic_cells_on_the_configured_band_not_the_observed_count() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("band");
+    // Same configured band, very different observed high-water marks (load-
+    // dependent by design): the cells must still match — and the 30% drop
+    // must therefore fail the gate.
+    gate.write_prev("BENCH_dispatch.json", &elastic_report(100_000.0, "1..4", 4));
+    gate.write_current("BENCH_dispatch.json", &elastic_report(70_000.0, "1..4", 2));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(
+        code, 1,
+        "same band must match regardless of observed workers: {out}"
+    );
+    assert!(out.contains("w[1..4]"), "the key names the band: {out}");
+}
+
+#[test]
+fn gate_never_matches_an_elastic_band_against_a_fixed_pool() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("bandfixed");
+    // A fixed workers=4 run and an elastic 1..4 run are different
+    // configurations even though `workers` is 4 in both records: the huge
+    // "drop" must be skipped as unmatched, not flagged.
+    gate.write_prev("BENCH_dispatch.json", &report(500_000.0, 4, 8));
+    gate.write_current("BENCH_dispatch.json", &elastic_report(100_000.0, "1..4", 4));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "band vs fixed must be unmatched: {out}");
+    assert!(
+        out.contains("no (name, mode, workers, batch_size) cells"),
+        "{out}"
+    );
 }
 
 #[test]

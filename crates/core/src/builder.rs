@@ -46,25 +46,81 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the number of dispatcher worker threads [`Engine::start`] spawns.
+    /// Sets a *fixed* dispatcher worker pool: [`Engine::start`] spawns exactly
+    /// `workers` threads and all of them stay active (`workers_min ==
+    /// workers_max == workers`).
     ///
     /// Zero (the default) means no background dispatch: the started handle is
     /// pumped manually, which keeps single-threaded tests deterministic.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.config.workers = workers;
+        self.config.workers_min = workers;
+        self.config.workers_max = workers;
         self
     }
 
-    /// Sizes the dispatcher worker pool from the host's available parallelism
-    /// ([`auto_worker_count`]): as many workers as the hardware can actually
-    /// run, no more. The run queue's shard count is clamped to the same number
-    /// (one shard per worker), so the resolved count also bounds producer-side
-    /// lock spreading. The resolved number is readable afterwards via
-    /// [`Engine::configured_workers`] — benchmark reports record it so results
-    /// stay comparable across hosts.
+    /// Sets the lower edge of the worker band: how many workers stay active
+    /// when the engine idles. Clamped into `1..=workers_max` at build for live
+    /// pools. Combine with [`EngineBuilder::workers_max`] for an elastic pool;
+    /// on its own (without a larger max) it behaves like
+    /// [`EngineBuilder::workers`].
+    pub fn workers_min(mut self, workers_min: usize) -> Self {
+        self.config.workers_min = workers_min;
+        if self.config.workers_max < workers_min {
+            self.config.workers_max = workers_min;
+        }
+        self
+    }
+
+    /// Sets the upper edge of the worker band: the number of worker threads
+    /// [`Engine::start`] spawns. When it exceeds `workers_min` the pool is
+    /// **elastic**: workers above the minimum park until sampled queue depth
+    /// recruits them, and park back down after an idle grace — see
+    /// [`EngineConfig::workers_max`](crate::EngineConfig) and the elastic
+    /// knobs [`EngineBuilder::elastic_scale_up_depth`] /
+    /// [`EngineBuilder::elastic_idle_grace`].
+    pub fn workers_max(mut self, workers_max: usize) -> Self {
+        self.config.workers_max = workers_max;
+        self
+    }
+
+    /// Sizes a fixed dispatcher worker pool from the host's available
+    /// parallelism ([`auto_worker_count`]): as many workers as the hardware
+    /// can actually run, no more. The run queue's shard count is clamped to
+    /// the same number (one shard per worker), so the resolved count also
+    /// bounds producer-side lock spreading. The resolved number is readable
+    /// afterwards via [`Engine::configured_workers`] — benchmark reports
+    /// record it so results stay comparable across hosts. For a pool that
+    /// adapts to *load* rather than only to hardware, pair
+    /// [`EngineBuilder::workers_min`] with a larger
+    /// [`EngineBuilder::workers_max`].
     pub fn workers_auto(self) -> Self {
         let workers = auto_worker_count();
         self.workers(workers)
+    }
+
+    /// Sets the queue depth at or above which an enqueue counts toward
+    /// recruiting another elastic worker (two consecutive deep observations
+    /// are required). Zero — the default — resolves to `4 * batch_size`.
+    pub fn elastic_scale_up_depth(mut self, depth: usize) -> Self {
+        self.config.elastic_scale_up_depth = depth;
+        self
+    }
+
+    /// Sets how long an active worker above `workers_min` waits for work
+    /// before parking back down (default 2 ms). Bursty arrival with pauses
+    /// shorter than this never thrashes the pool.
+    pub fn elastic_idle_grace(mut self, grace: std::time::Duration) -> Self {
+        self.config.elastic_idle_grace = grace;
+        self
+    }
+
+    /// Enables or disables per-unit grouped delivery of popped batches (on by
+    /// default; see [`EngineConfig::grouped_delivery`](crate::EngineConfig)
+    /// for the exact semantics). Disable to recover strict event-by-event
+    /// subscription-order interleaving across units within a batch.
+    pub fn grouped_delivery(mut self, grouped: bool) -> Self {
+        self.config.grouped_delivery = grouped;
+        self
     }
 
     /// Sets the dispatch batch size: how many events a dispatcher pops (and
@@ -120,12 +176,55 @@ mod tests {
             .mode(SecurityMode::LabelsClone)
             .workers(3)
             .batch_size(16)
+            .grouped_delivery(false)
             .event_cache(7)
             .managed_instance_cap(9)
             .build();
         assert_eq!(engine.mode(), SecurityMode::LabelsClone);
         assert_eq!(engine.configured_workers(), 3);
+        assert_eq!(
+            engine.configured_workers_min(),
+            3,
+            "workers(n) is a fixed pool"
+        );
         assert_eq!(engine.configured_batch_size(), 16);
+        assert!(!engine.grouped_delivery());
+    }
+
+    #[test]
+    fn worker_band_clamps_and_reports_through_queue_stats() {
+        let engine = Engine::builder().workers_min(1).workers_max(4).build();
+        assert_eq!(engine.configured_workers_min(), 1);
+        assert_eq!(engine.configured_workers(), 4);
+        let stats = engine.queue_stats();
+        assert_eq!(stats.workers_min, 1);
+        assert_eq!(stats.workers_max, 4);
+        assert_eq!(
+            stats.workers_active, 1,
+            "elastic pools start at the minimum"
+        );
+        assert_eq!(stats.workers_high_water, 1);
+        assert_eq!(stats.depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.shard_depths.len(), engine.run_queue_shards());
+
+        // workers_min alone raises the max with it (fixed pool semantics)...
+        let fixed = Engine::builder().workers_min(3).build();
+        assert_eq!(fixed.configured_workers(), 3);
+        assert_eq!(fixed.configured_workers_min(), 3);
+        // ...and a zero min on a live band is clamped to one active worker.
+        let clamped = Engine::builder().workers_min(0).workers_max(2).build();
+        assert_eq!(clamped.configured_workers_min(), 1);
+    }
+
+    #[test]
+    fn manual_engines_report_an_empty_worker_band() {
+        let engine = Engine::builder().build();
+        let stats = engine.queue_stats();
+        assert_eq!(stats.workers_min, 0);
+        assert_eq!(stats.workers_max, 0);
+        assert_eq!(stats.workers_active, 0);
+        assert_eq!(stats.workers_high_water, 0);
     }
 
     #[test]
@@ -157,7 +256,8 @@ mod tests {
     fn config_override_replaces_prior_settings() {
         let config = EngineConfig {
             mode: SecurityMode::NoSecurity,
-            workers: 2,
+            workers_min: 2,
+            workers_max: 2,
             ..EngineConfig::default()
         };
         let engine = Engine::builder()

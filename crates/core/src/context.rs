@@ -169,6 +169,7 @@ impl<'a> UnitContext<'a> {
         self.state
             .privileges
             .absorb(&PrivilegeSet::for_created_tag(&tag));
+        self.core.bump_security_epoch();
         tag
     }
 
@@ -190,6 +191,7 @@ impl<'a> UnitContext<'a> {
         let privilege = Privilege::new(tag.clone(), kind);
         self.state.privileges.check_may_delegate(&privilege)?;
         self.state.privileges.grant(privilege);
+        self.core.bump_security_epoch();
         Ok(())
     }
 
@@ -323,7 +325,10 @@ impl<'a> UnitContext<'a> {
                 continue;
             }
             for privilege in part.privileges() {
+                // Reading a privilege-carrying part changes the unit's
+                // security state: retire cached dispatch snapshots.
                 self.state.privileges.grant(privilege.clone());
+                self.core.bump_security_epoch();
             }
             results.push((part.label().clone(), part.data().clone()));
         }
@@ -442,6 +447,8 @@ impl<'a> UnitContext<'a> {
             return Err(EngineError::UnknownSubscription(id.as_u64()));
         }
         *subs = Arc::new(filtered);
+        drop(subs);
+        self.core.bump_security_epoch();
         Ok(())
     }
 
@@ -452,6 +459,8 @@ impl<'a> UnitContext<'a> {
         let mut next: Vec<Subscription> = (**subs).clone();
         next.push(subscription);
         *subs = Arc::new(next);
+        drop(subs);
+        self.core.bump_security_epoch();
     }
 
     // ------------------------------------------------------------------
@@ -468,6 +477,7 @@ impl<'a> UnitContext<'a> {
         let new_output =
             self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
         self.state.output_label = new_output;
+        self.core.bump_security_epoch();
         Ok(())
     }
 
@@ -484,6 +494,7 @@ impl<'a> UnitContext<'a> {
             self.apply_label_op(&self.state.output_label.clone(), component, op, tag)?;
         self.state.input_label = new_input;
         self.state.output_label = new_output;
+        self.core.bump_security_epoch();
         Ok(())
     }
 

@@ -19,6 +19,21 @@
 //! The [`SecurityMode`](crate::SecurityMode) determines whether label checks run,
 //! whether events are shared frozen or deep-copied, and whether the isolation
 //! runtime's interceptor cost is charged per part examined.
+//!
+//! # The batched hot path
+//!
+//! Workers pop whole batches (one run-queue lock round-trip, one in-flight
+//! accounting update), share one owner-state snapshot per batch, and — with
+//! [`EngineConfig::grouped_delivery`](crate::EngineConfig) on, the default —
+//! regroup a batch's deliveries by target unit so each unit's cell lock is
+//! acquired once per batch instead of once per delivery. Only per-unit delivery
+//! order is promised, which is exactly what grouping preserves: each unit sees
+//! its events in batch order, while deliveries to *different* units interleave
+//! in group order. The snapshot itself is cached across batches and keyed on
+//! the engine's security epoch, so consecutive batches over an unchanged
+//! subscription/label population skip the rebuild entirely; any label,
+//! privilege or unit-set mutation bumps the epoch and the next batch starts
+//! from a fresh snapshot.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -46,8 +61,16 @@ use crate::unit::{UnitSpec, UnitState};
 pub struct Dispatcher {
     core: Arc<EngineCore>,
     /// Run-queue shard this dispatcher prefers when popping (reduces contention
-    /// between workers; any dispatcher may steal from any shard).
+    /// between workers; any dispatcher may steal from any shard). Doubles as
+    /// the worker's index in the elastic pool's activation order.
     preferred_shard: usize,
+    /// Batch context reused across consecutive batches while the subscription
+    /// snapshot and security epoch are unchanged (see
+    /// [`Dispatcher::batch_context`]).
+    context_cache: RefCell<Option<CachedContext>>,
+    /// Plan buffers reused across batches by the grouped hot path, so a
+    /// steady-state batch plans with zero allocations.
+    scratch: RefCell<GroupScratch>,
 }
 
 /// A subscription owner's security state as snapshotted for one batch.
@@ -97,20 +120,36 @@ impl std::hash::Hash for FlowKey {
     }
 }
 
-/// Dispatch state prepared once per popped batch and shared by all its events:
-/// the subscription list and each subscription's resolved owner slot plus
+/// Bound on the flow memo: the context is reused across batches now, so a
+/// pathological label churn must not grow it without limit. Clearing (rather
+/// than evicting) keeps the hot path branch-free; the memo refills in one
+/// batch.
+const FLOW_MEMO_CAP: usize = 4096;
+
+/// Dispatch state prepared once per security epoch and shared by batches: the
+/// subscription list and each subscription's resolved owner slot plus
 /// security-state snapshot (`None` when the owner was removed).
 struct BatchContext {
     subscriptions: Arc<Vec<Subscription>>,
     owners: Vec<Option<(Arc<UnitSlot>, OwnerSnapshot)>>,
-    /// Per-batch memo of flow decisions that needed the exact sorted-vector
-    /// scan (the pointer/fingerprint fast paths answer without consulting it):
-    /// a batch of N events over the same handful of interned labels pays each
-    /// lattice scan once instead of once per event per subscription. Sound
-    /// within a batch because labels are immutable values and the owner
-    /// snapshot is fixed for the batch; a mid-batch label change produces a
-    /// *different* interned allocation and therefore a different key.
-    flow_memo: RefCell<HashMap<FlowKey, bool>>,
+    /// Memo of flow decisions that needed the exact sorted-vector scan (the
+    /// pointer/fingerprint fast paths answer without consulting it): repeated
+    /// deliveries over the same handful of interned labels pay each lattice
+    /// scan once. Sound for as long as the context lives because labels are
+    /// immutable values and the owner snapshot is fixed per context; an owner
+    /// label change bumps the security epoch, which retires the whole context
+    /// (memo included). Behind a mutex (uncontended: contexts are per-worker)
+    /// so the context can be cached and shared with spawned helpers.
+    flow_memo: Mutex<HashMap<FlowKey, bool>>,
+}
+
+/// The cache slot of [`Dispatcher::batch_context`]: the snapshot plus the
+/// security epoch it is valid for. Subscribe/unsubscribe bump the epoch too,
+/// so one `u64` compare covers the whole key.
+struct CachedContext {
+    /// The engine's security epoch at build time.
+    epoch: u64,
+    context: Arc<BatchContext>,
 }
 
 impl BatchContext {
@@ -134,9 +173,11 @@ impl BatchContext {
         } else if let Some(answer) = part_label.can_flow_to_fast(owner_input) {
             return answer;
         }
-        *self
-            .flow_memo
-            .borrow_mut()
+        let mut memo = self.flow_memo.lock();
+        if memo.len() >= FLOW_MEMO_CAP {
+            memo.clear();
+        }
+        *memo
             .entry(FlowKey {
                 part: part_label.clone(),
                 owner: owner_input.clone(),
@@ -146,11 +187,43 @@ impl BatchContext {
     }
 }
 
+/// Identity of a planned delivery's target, compared by linear scan (batches
+/// touch a handful of units; a hash lookup per delivery would cost more than
+/// the scan).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TargetKey {
+    /// A direct subscription delivers into its owner: keyed by unit id, so
+    /// the plan never resolves or clones a slot per delivery.
+    Direct(crate::unit::UnitId),
+    /// A managed delivery's handler instance: keyed by slot identity (each
+    /// event's contamination can resolve to a different instance).
+    Managed(usize),
+}
+
+/// Reusable buffers of the grouped planner. The plan is two flat passes: bucket
+/// every matched delivery by target (first-touch order), then counting-sort the
+/// deliveries group-major — stable, so each group keeps batch order, which is
+/// the per-unit order the engine promises.
+#[derive(Default)]
+struct GroupScratch {
+    /// Resolved target slots in first-touch order, with their scan key.
+    targets: Vec<(TargetKey, Arc<UnitSlot>)>,
+    /// Planned deliveries in batch order: `(group, event index, sub index)`.
+    planned: Vec<(u32, u32, u32)>,
+    /// Counting-sort cursors; after the scatter, `offsets[g]` is group `g`'s
+    /// end and `offsets[g - 1]` its start.
+    offsets: Vec<usize>,
+    /// Deliveries regrouped per target (group-major, batch order within).
+    ordered: Vec<(u32, u32)>,
+}
+
 impl Dispatcher {
     pub(crate) fn new(core: Arc<EngineCore>) -> Self {
         Dispatcher {
             core,
             preferred_shard: 0,
+            context_cache: RefCell::new(None),
+            scratch: RefCell::new(GroupScratch::default()),
         }
     }
 
@@ -158,6 +231,8 @@ impl Dispatcher {
         Dispatcher {
             core,
             preferred_shard: worker_index,
+            context_cache: RefCell::new(None),
+            scratch: RefCell::new(GroupScratch::default()),
         }
     }
 
@@ -189,7 +264,7 @@ impl Dispatcher {
     /// and the first error is returned afterwards, so no event is ever lost to
     /// an earlier event's failure.
     fn pump_batch(&self) -> EngineResult<usize> {
-        let batch = self
+        let mut batch = self
             .core
             .run_queue
             .pop_batch(self.preferred_shard, self.batch_size());
@@ -199,6 +274,10 @@ impl Dispatcher {
         let dispatched = batch.len();
         let _guard = self.core.run_queue.batch_guard(dispatched);
         let context = self.batch_context();
+        if self.core.config.grouped_delivery && dispatched > 1 {
+            self.dispatch_batch_grouped(&context, &mut batch)?;
+            return Ok(dispatched);
+        }
         let mut first_error = None;
         for event in batch {
             if let Err(error) = self.dispatch_in(&context, event) {
@@ -261,46 +340,104 @@ impl Dispatcher {
     /// this worker dispatched.
     ///
     /// This is the hot path of the multi-core deployment: each iteration drains
-    /// a whole batch from one shard under a single lock round-trip and settles
-    /// the batch's in-flight accounting with one update and one wakeup check,
-    /// instead of paying those per event.
+    /// a whole batch from one shard under a single lock round-trip, settles the
+    /// batch's in-flight accounting with one update and one wakeup check, and —
+    /// with grouped delivery — pays one cell-lock acquisition per target unit
+    /// instead of per delivery.
+    ///
+    /// In an elastic pool this worker also carries its share of the pool
+    /// protocol: it parks while its index is outside the activation target,
+    /// and (when above `workers_min`) trades the untimed idle wait for a
+    /// bounded grace after which it volunteers to park back down.
     pub(crate) fn run_worker(self) -> u64 {
         let batch_size = self.batch_size();
+        let index = self.preferred_shard;
+        let grouped = self.core.config.grouped_delivery;
+        let pool = self.core.pool.as_ref().filter(|pool| pool.is_elastic());
+        let queue = &self.core.run_queue;
         let mut dispatched = 0;
+        // The popped-batch buffer is reused across iterations: a steady-state
+        // batch costs no allocation on the pop side.
+        let mut batch: Vec<Event> = Vec::new();
         loop {
-            let batch = self
-                .core
-                .run_queue
-                .next_batch(self.preferred_shard, batch_size);
-            if batch.is_empty() {
-                return dispatched;
+            batch.clear();
+            if let Some(pool) = pool {
+                pool.wait_active(index, queue);
             }
+            let popped = match pool {
+                // Elastic workers above the minimum never park untimed while
+                // active: they wait with a bounded grace so an idle engine
+                // deterministically drains the band back to `workers_min`.
+                Some(pool) if index >= pool.min() => {
+                    let popped = queue.pop_batch_into(index, batch_size, &mut batch);
+                    if popped == 0 {
+                        if queue.is_stopping() && queue.is_idle() {
+                            return dispatched;
+                        }
+                        queue.park_for_work(pool.idle_grace());
+                        if queue.len() == 0
+                            && !queue.is_stopping()
+                            && index + 1 == pool.active_target()
+                        {
+                            // Highest active worker and still nothing to do
+                            // after a full grace: park down (LIFO). A racing
+                            // scale-up fails the CAS and we simply stay.
+                            pool.try_park_down(index);
+                        }
+                        continue;
+                    }
+                    popped
+                }
+                _ => {
+                    let popped = queue.next_batch_into(index, batch_size, &mut batch);
+                    if popped == 0 {
+                        return dispatched;
+                    }
+                    popped
+                }
+            };
             // The guard keeps the in-flight count balanced for the whole batch
             // even if the per-event catch itself were to unwind: a dead worker
             // would leak its in-flight count and deadlock shutdown for the
             // whole runtime.
-            let guard = self.core.run_queue.batch_guard(batch.len());
+            let guard = self.core.run_queue.batch_guard(popped);
             let context = self.batch_context();
-            for event in batch {
-                // Neither an `Err` (engine-level inconsistency) nor a panic in
-                // a unit callback may take the worker down — or abandon the
-                // rest of the already-popped batch.
+            dispatched += popped as u64;
+            if grouped && popped > 1 {
+                // Unit misbehaviour is caught and counted per delivery inside
+                // the group execution; anything that unwinds past it is an
+                // engine fault and must not take the worker down.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.dispatch_in(&context, event)
+                    self.dispatch_batch_grouped(&context, &mut batch)
                 }));
-                dispatched += 1;
-                match outcome {
-                    Ok(Ok(())) => {}
-                    // Unit misbehaviour is already caught and counted per
-                    // delivery inside `deliver`; anything that reaches here is
-                    // an engine fault and gets its own counter so it cannot
-                    // hide among expected unit errors. (In `workers(0)` mode
-                    // the same error propagates to the pump caller instead.)
-                    Ok(Err(_)) | Err(_) => {
-                        self.core
-                            .stats
-                            .engine_errors
-                            .fetch_add(1, Ordering::Relaxed);
+                if !matches!(outcome, Ok(Ok(()))) {
+                    self.core
+                        .stats
+                        .engine_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                for event in batch.drain(..) {
+                    // Neither an `Err` (engine-level inconsistency) nor a panic
+                    // in a unit callback may take the worker down — or abandon
+                    // the rest of the already-popped batch.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.dispatch_in(&context, event)
+                    }));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        // Unit misbehaviour is already caught and counted per
+                        // delivery inside `deliver`; anything that reaches here
+                        // is an engine fault and gets its own counter so it
+                        // cannot hide among expected unit errors. (In
+                        // `workers(0)` mode the same error propagates to the
+                        // pump caller instead.)
+                        Ok(Err(_)) | Err(_) => {
+                            self.core
+                                .stats
+                                .engine_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -308,28 +445,36 @@ impl Dispatcher {
         }
     }
 
-    /// Builds the per-batch dispatch context: the subscription list and, for
-    /// every subscription, a snapshot of its owner's security state (labels,
-    /// privileges, name) and slot.
+    /// Returns the dispatch context for the current batch: the subscription
+    /// list and, for every subscription, a snapshot of its owner's security
+    /// state (labels, privileges, name) and slot.
     ///
-    /// Taking this snapshot once per *batch* instead of once per subscription
-    /// per event is a large part of the batched hot path's win: the
-    /// per-subscription cell lock round-trip and label/privilege/name clones
-    /// are paid `S` times per batch instead of `S × batch_size` times. Within
-    /// one batch, dispatch therefore observes a consistent owner-state
-    /// snapshot: a unit changing its own labels during a delivery affects
-    /// visibility filtering from the *next batch* on — including the rest of
-    /// the event currently being dispatched, which under the old
-    /// per-subscription re-read would have seen the change for its remaining
-    /// subscriptions. Concurrent workers always raced such changes anyway;
-    /// the snapshot makes the window explicit and bounded by one batch.
-    fn batch_context(&self) -> BatchContext {
+    /// The context is *cached across batches* and keyed on the subscription
+    /// snapshot's identity plus the engine's security epoch: while nothing
+    /// security-relevant changes — the overwhelmingly common steady state — a
+    /// worker pays the snapshot cost once, not once per batch. Any label or
+    /// privilege change, unit registration/removal or (un)subscribe bumps the
+    /// epoch and the next batch rebuilds. Within one batch dispatch therefore
+    /// still observes a consistent owner-state snapshot, and a unit changing
+    /// its own labels during a delivery affects visibility filtering from the
+    /// *next batch* on, exactly as before — the epoch makes the window end at
+    /// the next batch boundary instead of stretching further.
+    fn batch_context(&self) -> Arc<BatchContext> {
+        // Epoch first: a mutation racing the snapshot build below makes the
+        // stored tag stale (so the next batch rebuilds), never the snapshot
+        // itself staler than its tag.
+        let epoch = self.core.security_epoch.load(Ordering::Acquire);
+        if let Some(cached) = self.context_cache.borrow().as_ref() {
+            if cached.epoch == epoch {
+                return Arc::clone(&cached.context);
+            }
+        }
         let subscriptions: Arc<Vec<Subscription>> = Arc::clone(&self.core.subscriptions.read());
         let owners = subscriptions
             .iter()
             .map(|subscription| {
                 // Owner removed since the subscription snapshot: skip silently
-                // (per-event re-checks in `deliver` handle mid-batch removal).
+                // (per-delivery re-checks handle mid-batch removal).
                 let slot = self.core.slot(subscription.owner).ok()?;
                 let cell = slot.cell.lock();
                 let snapshot = OwnerSnapshot {
@@ -344,25 +489,112 @@ impl Dispatcher {
                 Some((slot, snapshot))
             })
             .collect();
-        BatchContext {
+        let context = Arc::new(BatchContext {
             subscriptions,
             owners,
-            flow_memo: RefCell::new(HashMap::new()),
-        }
+            flow_memo: Mutex::new(HashMap::new()),
+        });
+        *self.context_cache.borrow_mut() = Some(CachedContext {
+            epoch,
+            context: Arc::clone(&context),
+        });
+        context
     }
 
-    /// Dispatches a single event to every matching subscription (building a
-    /// fresh one-event context; the batched paths share one context per batch).
+    /// Dispatches a single event to every matching subscription (sharing the
+    /// epoch-cached context; the batched paths use the same one per batch).
     fn dispatch(&self, event: Event) -> EngineResult<()> {
         self.dispatch_in(&self.batch_context(), event)
     }
 
-    /// Dispatches a single event using a prepared batch context.
+    /// Evaluates one subscription's filter against `event` as visible to its
+    /// owner (label checks per part, isolation interception charged per part
+    /// examined).
+    fn subscription_matches(
+        &self,
+        batch: &BatchContext,
+        subscription: &Subscription,
+        owner_input: &Label,
+        managed: bool,
+        event: &Event,
+    ) -> bool {
+        let mode = self.core.config.mode;
+        if mode.checks_labels() {
+            let isolation = &self.core.isolation;
+            let isolates = mode.isolates();
+            let stats = &self.core.stats;
+            subscription.filter.matches(event, |part: &Part| {
+                // The isolation interception is charged per part *examined*
+                // (it models crossing the isolate boundary to read part
+                // metadata), so it is never skipped on memo hits.
+                if isolates {
+                    isolation.intercept();
+                }
+                let visible = batch.flow_allowed(part.label(), owner_input, managed);
+                if !visible {
+                    stats.label_rejections.fetch_add(1, Ordering::Relaxed);
+                }
+                visible
+            })
+        } else {
+            subscription.filter.matches_any_visibility(event)
+        }
+    }
+
+    /// Resolves the slot a matched subscription delivers into: the owner
+    /// itself, or a managed handler instance at the contamination `event`
+    /// requires (with label checks disabled the single instance at the owner's
+    /// own label is reused). `None` when resolution fails (owner raced
+    /// removal, factory error) — the delivery is skipped, as before.
+    fn resolve_target(
+        &self,
+        subscription: &Subscription,
+        owner_slot: &Arc<UnitSlot>,
+        owner: &OwnerSnapshot,
+        event: &Event,
+        managed: bool,
+    ) -> Option<Arc<UnitSlot>> {
+        if !managed {
+            return Some(Arc::clone(owner_slot));
+        }
+        let managed_owner = owner.managed.as_ref()?;
+        let required = if self.core.config.mode.checks_labels() {
+            owner.input.join(&event.overall_label())
+        } else {
+            owner.input.clone()
+        };
+        // A resolved instance can be evicted (retired) by another worker
+        // before we deliver; re-resolving then creates a fresh handler.
+        // Bounded so that pathological cap pressure cannot livelock us —
+        // delivery skips retired slots, so the last attempt is safe.
+        let mut resolved = None;
+        for _ in 0..4 {
+            match self.managed_instance(
+                subscription,
+                &managed_owner.output,
+                &managed_owner.privileges,
+                &managed_owner.name,
+                required.clone(),
+            ) {
+                Ok(slot) => {
+                    let retired = slot.cell.lock().retired;
+                    resolved = Some(slot);
+                    if !retired {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        resolved
+    }
+
+    /// Dispatches a single event using a prepared batch context — the classic
+    /// per-event path: deliveries happen in strict subscription order and each
+    /// pays its own cell-lock round-trip.
     fn dispatch_in(&self, batch: &BatchContext, event: Event) -> EngineResult<()> {
         self.core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
         self.core.cache_event(&event);
-
-        let mode = self.core.config.mode;
 
         // The event as augmented so far along the main dataflow path.
         let mut current = event;
@@ -371,85 +603,16 @@ impl Dispatcher {
             let Some((owner_slot, owner)) = owner else {
                 continue;
             };
-            let owner_input = &owner.input;
-
             let managed = subscription.is_managed();
-            let matched = if mode.checks_labels() {
-                let isolation = &self.core.isolation;
-                let isolates = mode.isolates();
-                let stats = &self.core.stats;
-                subscription.filter.matches(&current, |part: &Part| {
-                    // The isolation interception is charged per part *examined*
-                    // (it models crossing the isolate boundary to read part
-                    // metadata), so it is never skipped on memo hits.
-                    if isolates {
-                        isolation.intercept();
-                    }
-                    let visible = batch.flow_allowed(part.label(), owner_input, managed);
-                    if !visible {
-                        stats.label_rejections.fetch_add(1, Ordering::Relaxed);
-                    }
-                    visible
-                })
-            } else {
-                subscription.filter.matches_any_visibility(&current)
-            };
-            if !matched {
+            if !self.subscription_matches(batch, subscription, &owner.input, managed, &current) {
                 continue;
             }
-
-            // Resolve the delivery target: the owner itself, or a managed instance
-            // at the contamination this event requires (with label checks disabled
-            // the single instance at the owner's own label is reused).
-            let target_slot = if managed {
-                let Some(managed_owner) = &owner.managed else {
-                    continue;
-                };
-                let required = if mode.checks_labels() {
-                    owner_input.join(&current.overall_label())
-                } else {
-                    owner_input.clone()
-                };
-                // A resolved instance can be evicted (retired) by another worker
-                // before we deliver; re-resolving then creates a fresh handler.
-                // Bounded so that pathological cap pressure cannot livelock us —
-                // `deliver` skips retired slots, so the last attempt is safe.
-                let mut resolved = None;
-                for _ in 0..4 {
-                    match self.managed_instance(
-                        subscription,
-                        &managed_owner.output,
-                        &managed_owner.privileges,
-                        &managed_owner.name,
-                        required.clone(),
-                    ) {
-                        Ok(slot) => {
-                            let retired = slot.cell.lock().retired;
-                            resolved = Some(slot);
-                            if !retired {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
-                    }
-                }
-                match resolved {
-                    Some(slot) => slot,
-                    None => continue,
-                }
-            } else {
-                Arc::clone(owner_slot)
+            let Some(target_slot) =
+                self.resolve_target(subscription, owner_slot, owner, &current, managed)
+            else {
+                continue;
             };
-
-            // `labels+clone` pays a deep copy per delivery; the other modes share
-            // the frozen event by reference.
-            let delivered = if mode.clones_events() {
-                current.deep_clone()
-            } else {
-                current.clone()
-            };
-
-            let additions = self.deliver(&target_slot, delivered, subscription);
+            let additions = self.deliver(&target_slot, &current, subscription);
             for part in additions {
                 current = current.with_part(part);
             }
@@ -457,24 +620,187 @@ impl Dispatcher {
         Ok(())
     }
 
-    /// Delivers an event to one unit slot, returning the parts the unit added to the
-    /// event (released for subsequent deliveries).
-    fn deliver(
+    /// Dispatches a popped batch with its deliveries regrouped by target unit:
+    /// the grouped-delivery hot path.
+    ///
+    /// Two phases. The *plan* walks the batch in order, evaluates every
+    /// subscription's filter against each event (as it entered the batch) and
+    /// buckets the matched deliveries by resolved target slot, preserving
+    /// `(event, subscription)` order inside each bucket — which is exactly
+    /// batch order from any single unit's point of view. The *execution* then
+    /// takes each unit's cell lock once and runs that unit's whole slice under
+    /// it, folding main-path part additions back into the batch's events so
+    /// later groups still receive augmented payloads. Cascade publications
+    /// from one group enter the queue as a single transaction.
+    fn dispatch_batch_grouped(
+        &self,
+        batch: &BatchContext,
+        current: &mut [Event],
+    ) -> EngineResult<()> {
+        self.core
+            .stats
+            .dispatched
+            .fetch_add(current.len() as u64, Ordering::Relaxed);
+        if self.core.config.event_cache_capacity > 0 {
+            for event in current.iter() {
+                self.core.cache_event(event);
+            }
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let GroupScratch {
+            targets,
+            planned,
+            offsets,
+            ordered,
+        } = &mut *scratch;
+        targets.clear();
+        planned.clear();
+
+        // Plan: bucket matched deliveries by target, first-touch order. Direct
+        // subscriptions key by owner unit (no per-delivery slot resolution or
+        // Arc traffic); managed ones resolve per delivery, since each event's
+        // contamination can demand a different handler instance.
+        for (event_index, event) in current.iter().enumerate() {
+            for (sub_index, (subscription, owner)) in
+                batch.subscriptions.iter().zip(&batch.owners).enumerate()
+            {
+                let Some((owner_slot, owner)) = owner else {
+                    continue;
+                };
+                let managed = subscription.is_managed();
+                if !self.subscription_matches(batch, subscription, &owner.input, managed, event) {
+                    continue;
+                }
+                let group = if managed {
+                    let Some(slot) =
+                        self.resolve_target(subscription, owner_slot, owner, event, managed)
+                    else {
+                        continue;
+                    };
+                    let key = TargetKey::Managed(Arc::as_ptr(&slot) as usize);
+                    match targets.iter().position(|(existing, _)| *existing == key) {
+                        Some(group) => group,
+                        None => {
+                            targets.push((key, slot));
+                            targets.len() - 1
+                        }
+                    }
+                } else {
+                    let key = TargetKey::Direct(subscription.owner);
+                    match targets.iter().position(|(existing, _)| *existing == key) {
+                        Some(group) => group,
+                        None => {
+                            targets.push((key, Arc::clone(owner_slot)));
+                            targets.len() - 1
+                        }
+                    }
+                };
+                planned.push((group as u32, event_index as u32, sub_index as u32));
+            }
+        }
+
+        // Stable counting sort of the plan into group-major order: each
+        // group's slice keeps batch order, the per-unit order the engine
+        // promises.
+        offsets.clear();
+        offsets.resize(targets.len() + 1, 0);
+        for &(group, _, _) in planned.iter() {
+            offsets[group as usize + 1] += 1;
+        }
+        for group in 1..offsets.len() {
+            offsets[group] += offsets[group - 1];
+        }
+        ordered.clear();
+        ordered.resize(planned.len(), (0, 0));
+        for &(group, event_index, sub_index) in planned.iter() {
+            let cursor = &mut offsets[group as usize];
+            ordered[*cursor] = (event_index, sub_index);
+            *cursor += 1;
+        }
+
+        // Execute: one cell-lock acquisition and one delivery-stats update per
+        // group; one cascade enqueue transaction per group.
+        let mut delivered_count = 0u64;
+        let mut unit_errors = 0u64;
+        for (group, (_, slot)) in targets.iter().enumerate() {
+            let start = if group == 0 { 0 } else { offsets[group - 1] };
+            let end = offsets[group];
+            let mut outputs = Vec::new();
+            {
+                let mut cell = slot.cell.lock();
+                if cell.retired {
+                    // Evicted between resolution and delivery; its isolate is
+                    // gone — skip, exactly like the per-delivery path does.
+                    continue;
+                }
+                for &(event_index, sub_index) in &ordered[start..end] {
+                    let event_index = event_index as usize;
+                    let subscription = &batch.subscriptions[sub_index as usize];
+                    delivered_count += 1;
+                    let additions = self.deliver_into_cell(
+                        slot,
+                        &mut cell,
+                        &current[event_index],
+                        subscription,
+                        &mut outputs,
+                        &mut unit_errors,
+                    );
+                    // Main-path augmentation: parts released by this delivery
+                    // reach every delivery executed after it — later events in
+                    // this group immediately, other units' groups when theirs
+                    // run.
+                    for part in additions {
+                        current[event_index] = current[event_index].with_part(part);
+                    }
+                }
+            }
+            // One group's cascade publications enter the queue as a single
+            // batch: one shard lock, one accounting update, one wakeup check.
+            self.core.enqueue_batch(outputs);
+        }
+        if delivered_count > 0 {
+            self.core
+                .stats
+                .deliveries
+                .fetch_add(delivered_count, Ordering::Relaxed);
+        }
+        if unit_errors > 0 {
+            self.core
+                .stats
+                .unit_errors
+                .fetch_add(unit_errors, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Runs one delivery into an **already locked** unit cell — the single
+    /// implementation of the engine's delivery semantics, shared by the
+    /// per-event path ([`Dispatcher::deliver`], which locks per delivery) and
+    /// the grouped path (which holds one lock across a unit's whole slice):
+    /// bumps the unit's delivered count, queues into the mailbox in pull mode
+    /// (cloning per the security mode), or invokes `on_event` with per-delivery
+    /// error/panic isolation. Returns the parts the unit added to the event;
+    /// callback failures are tallied into `unit_errors` (callers fold them
+    /// into the engine stats at their own granularity).
+    fn deliver_into_cell(
         &self,
         slot: &Arc<UnitSlot>,
-        event: Event,
+        cell: &mut UnitCell,
+        event: &Event,
         subscription: &Subscription,
+        outputs: &mut Vec<Event>,
+        unit_errors: &mut u64,
     ) -> Vec<Part> {
-        let mut cell = slot.cell.lock();
-        if cell.retired {
-            // Evicted between resolution and delivery; its isolate is gone.
-            return Vec::new();
-        }
+        let mode = self.core.config.mode;
         cell.state.delivered += 1;
-        self.core.stats.deliveries.fetch_add(1, Ordering::Relaxed);
 
         if cell.pull_mode {
-            cell.mailbox.push_back((event, subscription.id));
+            let delivered = if mode.clones_events() {
+                event.deep_clone()
+            } else {
+                event.clone()
+            };
+            cell.mailbox.push_back((delivered, subscription.id));
             slot.mailbox_signal.notify_one();
             return Vec::new();
         }
@@ -484,21 +810,59 @@ impl Dispatcher {
             ref mut instance,
             ..
         } = *cell;
-        let mut outputs = Vec::new();
-        let additions = {
-            let mut ctx = UnitContext::new(&self.core, state, Some(&event), &mut outputs, true);
-            // Errors *and* panics in unit code are isolated per delivery, so a
-            // misbehaving unit cannot rob later subscribers of the same event
-            // (nor, with workers, take a dispatcher thread down).
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                instance.on_event(&mut ctx, &event)
-            }));
-            if !matches!(outcome, Ok(Ok(()))) {
-                self.core.stats.unit_errors.fetch_add(1, Ordering::Relaxed);
-            }
-            ctx.finish()
+        let deep_copy;
+        // `labels+clone` pays a deep copy per delivery; the other modes share
+        // the frozen event by reference.
+        let delivered: &Event = if mode.clones_events() {
+            deep_copy = event.deep_clone();
+            &deep_copy
+        } else {
+            event
         };
+        let mut ctx = UnitContext::new(&self.core, state, Some(delivered), outputs, true);
+        // Errors *and* panics in unit code are isolated per delivery, so a
+        // misbehaving unit cannot rob later subscribers of the same event
+        // (nor, with workers, take a dispatcher thread down).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            instance.on_event(&mut ctx, delivered)
+        }));
+        if !matches!(outcome, Ok(Ok(()))) {
+            *unit_errors += 1;
+        }
+        ctx.finish()
+    }
+
+    /// Delivers an event to one unit slot, returning the parts the unit added to the
+    /// event (released for subsequent deliveries).
+    fn deliver(
+        &self,
+        slot: &Arc<UnitSlot>,
+        event: &Event,
+        subscription: &Subscription,
+    ) -> Vec<Part> {
+        let mut cell = slot.cell.lock();
+        if cell.retired {
+            // Evicted between resolution and delivery; its isolate is gone.
+            return Vec::new();
+        }
+        self.core.stats.deliveries.fetch_add(1, Ordering::Relaxed);
+        let mut outputs = Vec::new();
+        let mut unit_errors = 0u64;
+        let additions = self.deliver_into_cell(
+            slot,
+            &mut cell,
+            event,
+            subscription,
+            &mut outputs,
+            &mut unit_errors,
+        );
         drop(cell);
+        if unit_errors > 0 {
+            self.core
+                .stats
+                .unit_errors
+                .fetch_add(unit_errors, Ordering::Relaxed);
+        }
         // One delivery's cascade publications enter the queue as a single
         // batch: one shard lock, one accounting update, one wakeup check.
         self.core.enqueue_batch(outputs);

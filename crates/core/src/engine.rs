@@ -22,6 +22,7 @@ use crate::context::UnitContext;
 use crate::dispatcher::Dispatcher;
 use crate::error::{EngineError, EngineResult};
 use crate::handle::{EngineHandle, Publisher};
+use crate::pool::WorkerPool;
 use crate::run_queue::RunQueue;
 use crate::subscription::{Subscription, SubscriptionId};
 use crate::tag_store::TagStore;
@@ -94,14 +95,31 @@ impl fmt::Display for SecurityMode {
 pub struct EngineConfig {
     /// The security configuration.
     pub mode: SecurityMode,
-    /// Number of dispatcher worker threads spawned by [`Engine::start`]. Zero
-    /// means no background dispatch: the returned handle is driven manually via
+    /// Lower edge of the dispatcher worker band: the number of workers that
+    /// stay active even when the engine is idle. Clamped into
+    /// `1..=workers_max` whenever `workers_max > 0`. A fixed pool (the classic
+    /// configuration) has `workers_min == workers_max`.
+    pub workers_min: usize,
+    /// Upper edge of the dispatcher worker band: the number of worker threads
+    /// [`Engine::start`] spawns. Zero means no background dispatch: the
+    /// returned handle is driven manually via
     /// [`EngineHandle::pump_until_idle`] / [`EngineHandle::run_for`], which is
-    /// what single-threaded tests and benchmarks want. Deployments that should
-    /// adapt to their hardware use
+    /// what single-threaded tests and benchmarks want. When
+    /// `workers_min < workers_max` the pool is *elastic*: workers above the
+    /// minimum park until sampled queue depth recruits them (see
+    /// [`EngineBuilder::workers_max`](crate::EngineBuilder::workers_max)).
+    /// Deployments that should adapt to their hardware use
     /// [`EngineBuilder::workers_auto`](crate::EngineBuilder::workers_auto),
-    /// which resolves this field from the host's available parallelism.
-    pub workers: usize,
+    /// which resolves the band from the host's available parallelism.
+    pub workers_max: usize,
+    /// Queue depth at or above which an enqueue counts toward recruiting
+    /// another worker in an elastic pool; `0` resolves to `4 * batch_size`.
+    /// Two consecutive deep observations are required (up-side hysteresis).
+    pub elastic_scale_up_depth: usize,
+    /// How long an active worker above `workers_min` waits for work before
+    /// parking back down. Arrival gaps shorter than this (bursty open/close
+    /// churn) never thrash the pool.
+    pub elastic_idle_grace: Duration,
     /// Maximum number of events a dispatcher pops (and accounts for) per run
     /// queue lock round-trip, and the natural chunk size for
     /// [`Publisher::publish_batch`](crate::Publisher::publish_batch). The
@@ -114,6 +132,21 @@ pub struct EngineConfig {
     /// unit changing its own labels during a delivery affects visibility
     /// checks from the next batch on (see `Dispatcher::batch_context`).
     pub batch_size: usize,
+    /// Whether a popped batch's deliveries are regrouped by target unit and
+    /// executed under one cell-lock acquisition per unit (amortising the
+    /// per-delivery lock round-trip the way the queue locks already are).
+    /// Only per-unit delivery order is promised, so the regrouping is legal;
+    /// two observable notes, both bounded by one batch: deliveries to
+    /// *different* units interleave in group order rather than strict
+    /// event-by-event subscription order, and subscription matching — filter
+    /// evaluation *and* managed-handler contamination resolution — happens
+    /// against each event as it entered the batch (main-path part additions
+    /// still flow into later groups' delivered payloads, but within the same
+    /// batch they neither re-trigger filters nor raise the contamination a
+    /// managed instance is resolved at). A batch of one — and
+    /// therefore any engine at the default `batch_size` of 1 — degenerates to
+    /// the classic per-event path, exactly like the owner-state snapshot does.
+    pub grouped_delivery: bool,
     /// Number of recently dispatched events retained in the cache. The paper's
     /// deployment caches tick events (~300 MiB); the cache exists so that the
     /// memory experiment (Figure 7) sees the same population of live objects.
@@ -129,12 +162,38 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             mode: SecurityMode::LabelsFreeze,
-            workers: 0,
+            workers_min: 0,
+            workers_max: 0,
+            elastic_scale_up_depth: 0,
+            elastic_idle_grace: Duration::from_millis(2),
             batch_size: 1,
+            grouped_delivery: true,
             event_cache_capacity: 10_000,
             managed_instance_cap: 1024,
         }
     }
+}
+
+/// A snapshot of the run queue's and worker pool's telemetry counters
+/// ([`Engine::queue_stats`] / [`EngineHandle::queue_stats`]): what an elastic
+/// deployment's operator — or its pool manager — sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events currently queued across all shards.
+    pub depth: usize,
+    /// Per-shard queued depths (sampled under each shard's lock).
+    pub shard_depths: Vec<usize>,
+    /// Events popped but whose dispatch has not finished.
+    pub in_flight: usize,
+    /// Lower edge of the configured worker band (0 for manual engines).
+    pub workers_min: usize,
+    /// Upper edge of the configured worker band — the spawned thread count.
+    pub workers_max: usize,
+    /// Workers currently active (unparked); between min and max.
+    pub workers_active: usize,
+    /// Highest `workers_active` the run has reached — the observed worker
+    /// count benches record next to the configured band.
+    pub workers_high_water: usize,
 }
 
 /// Counters describing engine activity.
@@ -228,6 +287,14 @@ pub(crate) struct EngineCore {
     pub(crate) managed_instances: Mutex<HashMap<(SubscriptionId, Label), UnitId>>,
     pub(crate) memory: MemoryAccountant,
     pub(crate) stats: EngineStats,
+    /// Activation state of the dispatcher worker band (`None` for manual,
+    /// `workers_max == 0` engines).
+    pub(crate) pool: Option<WorkerPool>,
+    /// Bumped by every security-relevant mutation (label/privilege changes,
+    /// unit registration/removal); dispatchers key their cached batch context
+    /// on it, so an unchanged epoch lets consecutive batches reuse one
+    /// subscription/owner snapshot instead of rebuilding it per batch.
+    pub(crate) security_epoch: AtomicU64,
     /// Per-engine unit identifier sequence: two engines in one process (or in
     /// parallel tests) each number their units 1, 2, 3, ... independently.
     unit_sequence: AtomicU64,
@@ -241,11 +308,26 @@ impl EngineCore {
         UnitId::from_raw(self.unit_sequence.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Records a security-relevant mutation (labels, privileges, unit set):
+    /// invalidates every dispatcher's cached batch context.
+    pub(crate) fn bump_security_epoch(&self) {
+        self.security_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Feeds the post-enqueue queue depth to the elastic pool's sampling
+    /// (no-op for fixed pools and manual engines).
+    pub(crate) fn observe_queue_depth(&self) {
+        if let Some(pool) = &self.pool {
+            pool.observe_depth(self.run_queue.len());
+        }
+    }
+
     /// Enqueues an event published from inside dispatch (always accepted; the
     /// publishing dispatch keeps the queue non-idle until it drains).
     pub(crate) fn enqueue(&self, event: Event) {
         self.stats.published.fetch_add(1, Ordering::Relaxed);
         self.run_queue.push(event);
+        self.observe_queue_depth();
     }
 
     /// Enqueues a batch of events published from inside dispatch (one unit
@@ -258,6 +340,7 @@ impl EngineCore {
             .published
             .fetch_add(events.len() as u64, Ordering::Relaxed);
         self.run_queue.push_batch(events);
+        self.observe_queue_depth();
     }
 
     /// Enqueues an event from an external driver; fails once the runtime has
@@ -265,6 +348,7 @@ impl EngineCore {
     pub(crate) fn enqueue_external(&self, event: Event) -> EngineResult<()> {
         if self.run_queue.push_external(event) {
             self.stats.published.fetch_add(1, Ordering::Relaxed);
+            self.observe_queue_depth();
             Ok(())
         } else {
             Err(EngineError::InvalidOperation(
@@ -274,12 +358,13 @@ impl EngineCore {
     }
 
     /// Enqueues a batch of external events onto one run-queue shard under a
-    /// single lock acquisition, returning how many were accepted. An entirely
-    /// rejected batch (runtime shut down) fails loudly like
+    /// single lock acquisition, returning how many were accepted. The batch is
+    /// drained out of `events` (so publishers reuse one buffer per thread).
+    /// An entirely rejected batch (runtime shut down) fails loudly like
     /// [`EngineCore::enqueue_external`]; a batch that races shutdown may be
     /// partially accepted — the returned count is exactly the number of events
     /// that will be dispatched.
-    pub(crate) fn enqueue_external_batch(&self, events: Vec<Event>) -> EngineResult<usize> {
+    pub(crate) fn enqueue_external_batch(&self, events: &mut Vec<Event>) -> EngineResult<usize> {
         if events.is_empty() {
             return Ok(0);
         }
@@ -292,6 +377,7 @@ impl EngineCore {
         self.stats
             .published
             .fetch_add(accepted as u64, Ordering::Relaxed);
+        self.observe_queue_depth();
         Ok(accepted)
     }
 
@@ -391,6 +477,7 @@ impl EngineCore {
             mailbox_signal: Condvar::new(),
         });
         self.units.write().insert(id, slot);
+        self.bump_security_epoch();
         for event in outputs {
             if in_dispatch {
                 // Part of a main-path cascade: guaranteed to drain, like any
@@ -443,7 +530,20 @@ impl Engine {
         } else {
             IsolationRuntime::disabled()
         };
-        let run_queue = RunQueue::new(config.workers.max(1));
+        let run_queue = RunQueue::new(config.workers_max.max(1));
+        let pool = (config.workers_max > 0).then(|| {
+            let scale_up_depth = if config.elastic_scale_up_depth > 0 {
+                config.elastic_scale_up_depth
+            } else {
+                4 * config.batch_size.max(1)
+            };
+            WorkerPool::new(
+                config.workers_min,
+                config.workers_max,
+                scale_up_depth,
+                config.elastic_idle_grace,
+            )
+        });
         Engine {
             core: Arc::new(EngineCore {
                 config,
@@ -456,6 +556,8 @@ impl Engine {
                 managed_instances: Mutex::new(HashMap::new()),
                 memory: MemoryAccountant::new(),
                 stats: EngineStats::default(),
+                pool,
+                security_epoch: AtomicU64::new(0),
                 unit_sequence: AtomicU64::new(1),
                 started: std::sync::atomic::AtomicBool::new(false),
             }),
@@ -499,9 +601,10 @@ impl Engine {
     /// market-data feed, a test harness) publish events *as* `unit` without
     /// going through a [`Engine::with_unit`] closure.
     pub fn publisher(&self, unit: UnitId) -> EngineResult<Publisher> {
-        // Fail fast if the unit does not exist.
-        self.core.slot(unit)?;
-        Ok(Publisher::new(Arc::clone(&self.core), unit))
+        // Fail fast if the unit does not exist; the resolved slot is cached in
+        // the publisher so the hot publish path skips the registry lookup.
+        let slot = self.core.slot(unit)?;
+        Ok(Publisher::new(Arc::clone(&self.core), unit, slot))
     }
 
     /// Returns the configured security mode.
@@ -509,9 +612,50 @@ impl Engine {
         self.core.config.mode
     }
 
-    /// Returns the number of dispatcher workers [`Engine::start`] will spawn.
+    /// Returns the number of dispatcher worker threads [`Engine::start`] will
+    /// spawn — the upper edge of the worker band (`workers_max`).
     pub fn configured_workers(&self) -> usize {
-        self.core.config.workers
+        self.core.config.workers_max
+    }
+
+    /// Returns the lower edge of the worker band: the workers that stay active
+    /// even when the engine is idle (clamped into `1..=workers_max` for live
+    /// pools; 0 for manual engines).
+    pub fn configured_workers_min(&self) -> usize {
+        self.core.pool.as_ref().map_or(0, WorkerPool::min)
+    }
+
+    /// Returns `true` when popped batches regroup their deliveries by target
+    /// unit (see [`EngineConfig::grouped_delivery`]).
+    pub fn grouped_delivery(&self) -> bool {
+        self.core.config.grouped_delivery
+    }
+
+    /// Samples the run queue's and worker pool's telemetry counters: total and
+    /// per-shard queue depth, in-flight dispatches, and the worker band's
+    /// configured edges, current activation and high-water mark.
+    pub fn queue_stats(&self) -> QueueStats {
+        let depth = self.core.run_queue.len();
+        let pending = self.core.run_queue.pending();
+        let (workers_min, workers_max, workers_active, workers_high_water) =
+            match self.core.pool.as_ref() {
+                Some(pool) => (
+                    pool.min(),
+                    pool.max(),
+                    pool.active_target(),
+                    pool.high_water(),
+                ),
+                None => (0, 0, 0, 0),
+            };
+        QueueStats {
+            depth,
+            shard_depths: self.core.run_queue.shard_depths(),
+            in_flight: pending.saturating_sub(depth),
+            workers_min,
+            workers_max,
+            workers_active,
+            workers_high_water,
+        }
     }
 
     /// Returns the configured dispatch batch size (at least 1).
@@ -559,6 +703,7 @@ impl Engine {
                 .collect();
             *subs = Arc::new(filtered);
         }
+        self.core.bump_security_epoch();
         Ok(())
     }
 

@@ -43,7 +43,11 @@ pub struct EngineHandle {
 impl EngineHandle {
     pub(crate) fn launch(engine: Engine) -> Self {
         let core = engine.core();
-        let workers = (0..core.config.workers)
+        // The whole band is spawned up front; workers above the elastic pool's
+        // activation target park on the pool condvar until queue depth
+        // recruits them (see `WorkerPool`), so an idle band costs threads, not
+        // cycles.
+        let workers = (0..core.config.workers_max)
             .map(|index| {
                 let dispatcher = Dispatcher::for_worker(Arc::clone(&core), index);
                 std::thread::Builder::new()
@@ -60,9 +64,20 @@ impl EngineHandle {
         &self.engine
     }
 
-    /// Number of live dispatcher worker threads.
+    /// Number of spawned dispatcher worker threads — the band's `workers_max`.
+    /// For an elastic pool the *active* count at any moment is
+    /// [`EngineHandle::queue_stats`]`.workers_active`.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Samples the run queue's and worker pool's telemetry counters: total and
+    /// per-shard queue depth, in-flight dispatches, and the worker band's
+    /// configured edges, current activation and high-water mark. This is what
+    /// an elastic deployment's dashboards (and the deterministic elastic
+    /// tests) read.
+    pub fn queue_stats(&self) -> crate::engine::QueueStats {
+        self.engine.queue_stats()
     }
 
     /// Returns a typed publisher for `unit` (see [`Publisher`]).
@@ -114,6 +129,12 @@ impl EngineHandle {
     fn shutdown_in_place(&mut self) -> EngineResult<u64> {
         let core = self.engine.core();
         core.run_queue.stop();
+        // Elastic workers parked below the activation target wake here, see
+        // the stopping queue, help drain and exit — a mid-scale shutdown joins
+        // every thread the band ever spawned.
+        if let Some(pool) = &core.pool {
+            pool.release_all();
+        }
         let mut dispatched = 0;
         // Join *every* worker before reporting an error: bailing on the first
         // panicked thread would leak the remaining ones.
@@ -167,10 +188,13 @@ impl std::fmt::Debug for EngineHandle {
 ///
 /// Part names are resolved to interned [`PartName`](defcon_events::PartName)
 /// handles at draft-build time, so a feed publishing millions of events with
-/// the same few part names allocates no name strings at all.
+/// the same few part names allocates no name strings at all. The parts
+/// themselves are built at draft time too: publishing raises each label in
+/// place and moves the buffer straight into the event, so the publish path
+/// never rebuilds a parts vector.
 #[derive(Debug, Default)]
 pub struct EventDraft {
-    parts: Vec<(Label, defcon_events::PartName, Value)>,
+    parts: Vec<defcon_events::Part>,
 }
 
 impl EventDraft {
@@ -181,8 +205,11 @@ impl EventDraft {
 
     /// Adds a part with the requested label.
     pub fn part(mut self, name: impl AsRef<str>, label: Label, data: Value) -> Self {
-        self.parts
-            .push((label, defcon_events::part_name(name), data));
+        self.parts.push(defcon_events::Part::from_name_handle(
+            defcon_events::part_name(name),
+            label,
+            data,
+        ));
         self
     }
 
@@ -215,11 +242,20 @@ impl EventDraft {
 pub struct Publisher {
     core: Arc<EngineCore>,
     unit: UnitId,
+    /// The publishing unit's slot, resolved once at construction so the hot
+    /// publish path reads the output label without a registry lookup. A
+    /// removed unit's slot is retired, which the label read checks — removal
+    /// still fails publishes loudly.
+    slot: std::sync::Arc<crate::engine::UnitSlot>,
 }
 
 impl Publisher {
-    pub(crate) fn new(core: Arc<EngineCore>, unit: UnitId) -> Self {
-        Publisher { core, unit }
+    pub(crate) fn new(
+        core: Arc<EngineCore>,
+        unit: UnitId,
+        slot: Arc<crate::engine::UnitSlot>,
+    ) -> Self {
+        Publisher { core, unit, slot }
     }
 
     /// The unit this publisher publishes as.
@@ -235,7 +271,7 @@ impl Publisher {
             return Ok(false);
         }
         let output_label = self.output_label()?;
-        let event = self.build_event(draft, &output_label)?;
+        let event = self.build_event(draft, &output_label, defcon_events::now_ns())?;
         self.core.enqueue_external(event)?;
         Ok(true)
     }
@@ -251,59 +287,77 @@ impl Publisher {
     /// racing shutdown may be partially accepted, and the returned count is
     /// exactly the number of events that will be dispatched.
     pub fn publish_batch(&self, drafts: Vec<EventDraft>) -> EngineResult<usize> {
-        let mut events = Vec::with_capacity(drafts.len());
-        let mut output_label = None;
-        for draft in drafts {
-            if draft.parts.is_empty() {
-                continue;
+        // The built events live in a reused per-thread buffer: the queue
+        // drains it on enqueue, so a steady feed allocates no batch vectors.
+        thread_local! {
+            static EVENT_SCRATCH: std::cell::RefCell<Vec<Event>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        EVENT_SCRATCH.with(|scratch| {
+            let mut events = scratch.borrow_mut();
+            events.clear();
+            let mut output_label = None;
+            // The whole batch shares one origin timestamp: it enters the
+            // engine through one publish call, so one clock read is the
+            // honest publish instant for every event in it.
+            let origin_ns = defcon_events::now_ns();
+            for draft in drafts {
+                if draft.parts.is_empty() {
+                    continue;
+                }
+                // The label snapshot is shared by the whole batch; it is only
+                // read when at least one draft actually publishes.
+                let label = match &output_label {
+                    Some(label) => label,
+                    None => output_label.insert(self.output_label()?),
+                };
+                let event = self.build_event(draft, label, origin_ns)?;
+                events.push(event);
             }
-            // The label snapshot is shared by the whole batch; it is only read
-            // when at least one draft actually publishes.
-            let label = match &output_label {
-                Some(label) => label,
-                None => output_label.insert(self.output_label()?),
-            };
-            events.push(self.build_event(draft, label)?);
-        }
-        if events.is_empty() {
-            return Ok(0);
-        }
-        self.core.enqueue_external_batch(events)
+            if events.is_empty() {
+                return Ok(0);
+            }
+            self.core.enqueue_external_batch(&mut events)
+        })
     }
 
-    /// Snapshot of the publishing unit's output label.
+    /// Snapshot of the publishing unit's output label (from the cached slot;
+    /// a retired slot means the unit was removed and the publish fails loudly,
+    /// exactly like the registry lookup used to).
     fn output_label(&self) -> EngineResult<Label> {
-        let slot = self.core.slot(self.unit)?;
-        let guard = slot.cell.lock();
+        let guard = self.slot.cell.lock();
+        if guard.retired {
+            return Err(EngineError::UnknownUnit(format!("{}", self.unit)));
+        }
         Ok(guard.state.output_label.clone())
     }
 
     /// Builds one event from a draft, raising part labels to the unit's output
-    /// label and charging isolation interceptions, exactly as a single
+    /// label **in place** (the draft's parts buffer becomes the event's, no
+    /// rebuild) and charging isolation interceptions, exactly as a single
     /// `publish` would.
-    fn build_event(&self, draft: EventDraft, output_label: &Label) -> EngineResult<Event> {
+    fn build_event(
+        &self,
+        draft: EventDraft,
+        output_label: &Label,
+        origin_ns: u64,
+    ) -> EngineResult<Event> {
         let checks = self.core.config.mode.checks_labels();
         let isolates = self.core.config.mode.isolates();
-        let parts = draft
-            .parts
-            .into_iter()
-            .map(|(label, name, data)| {
-                // Mirror `UnitContext::add_part`: the isolation runtime charges
-                // one interception per part entering the engine, so externally
-                // published parts keep counting toward Figure 5's
-                // isolation-overhead series.
-                if isolates {
-                    self.core.isolation.intercept();
-                }
-                let label = if checks {
-                    label.raised_to_output(output_label)
-                } else {
-                    label
-                };
-                defcon_events::Part::from_name_handle(name, label, data)
-            })
-            .collect();
-        Ok(Event::new(parts)?)
+        let mut parts = draft.parts;
+        for part in &mut parts {
+            // Mirror `UnitContext::add_part`: the isolation runtime charges
+            // one interception per part entering the engine, so externally
+            // published parts keep counting toward Figure 5's
+            // isolation-overhead series.
+            if isolates {
+                self.core.isolation.intercept();
+            }
+            if checks {
+                part.raise_label_to_output(output_label);
+            }
+        }
+        Ok(Event::with_origin(parts, origin_ns)?)
     }
 
     /// Runs a closure with the full [`UnitContext`] API as this unit — the

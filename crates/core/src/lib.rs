@@ -76,6 +76,7 @@ pub mod dispatcher;
 pub mod engine;
 pub mod error;
 pub mod handle;
+mod pool;
 mod run_queue;
 pub mod subscription;
 pub mod tag_store;
@@ -84,7 +85,7 @@ pub mod unit;
 pub use builder::{auto_worker_count, EngineBuilder};
 pub use context::{DraftEvent, UnitContext};
 pub use dispatcher::Dispatcher;
-pub use engine::{Engine, EngineConfig, EngineStats, SecurityMode};
+pub use engine::{Engine, EngineConfig, EngineStats, QueueStats, SecurityMode};
 pub use error::{EngineError, EngineResult};
 pub use handle::{EngineHandle, EventDraft, Publisher};
 pub use subscription::{Subscription, SubscriptionId, SubscriptionKind};

@@ -87,6 +87,20 @@ impl RunQueue {
         self.shards.len()
     }
 
+    /// Events accepted but not yet completed (queued plus in flight) — the
+    /// counter idleness is defined over.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Samples every shard's current depth. Each read takes that shard's lock
+    /// briefly; intended for telemetry ([`EngineHandle::queue_stats`]
+    /// (crate::EngineHandle::queue_stats)) and diagnostics, not for hot paths —
+    /// the hot-path depth signal is the lock-free [`RunQueue::len`].
+    pub(crate) fn shard_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|shard| shard.lock().len()).collect()
+    }
+
     /// Returns `true` if nothing is queued and nothing is being dispatched.
     pub(crate) fn is_idle(&self) -> bool {
         self.pending.load(Ordering::SeqCst) == 0
@@ -142,6 +156,8 @@ impl RunQueue {
 
     /// Enqueues a batch of external events onto one shard under one lock,
     /// returning how many were accepted (and will therefore be dispatched).
+    /// The batch is *drained* out of `events` (accepted or not — a rejected
+    /// batch is cleared), so callers can reuse one buffer across batches.
     ///
     /// Lock-free on the accept path, with a re-check after the insert closing
     /// the race against a concurrent full shutdown: if `stop` was observed
@@ -151,39 +167,51 @@ impl RunQueue {
     /// by identity — events a drain already popped are in flight and their
     /// publish stands. The returned count is exactly the number of events that
     /// will reach dispatch.
-    pub(crate) fn push_external_batch(&self, events: Vec<Event>) -> usize {
+    pub(crate) fn push_external_batch(&self, events: &mut Vec<Event>) -> usize {
         let n = events.len();
         if n == 0 || self.stopping.load(Ordering::SeqCst) {
+            events.clear();
             return 0;
         }
-        let ids: Vec<_> = events.iter().map(|event| event.id()).collect();
-        let shard = self.insert_batch(events);
-        if self.stopping.load(Ordering::SeqCst) {
-            // Raced with shutdown; the drain may already be past this shard.
-            // Withdraw whatever is still queued — anything gone is being
-            // dispatched by a consumer, so those publishes stand.
-            let mut withdrawn = 0;
-            {
-                let mut queue = self.shards[shard].lock();
-                for id in &ids {
-                    if let Some(position) = queue.iter().position(|queued| queued.id() == *id) {
-                        queue.remove(position);
-                        withdrawn += 1;
+        // The ids are only consulted on the (rare) stop race below, but they
+        // must be captured before the insert hands the events away. A reused
+        // thread-local keeps this capture allocation-free per batch.
+        thread_local! {
+            static WITHDRAW_IDS: std::cell::RefCell<Vec<defcon_events::EventId>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        WITHDRAW_IDS.with(|ids| {
+            let mut ids = ids.borrow_mut();
+            ids.clear();
+            ids.extend(events.iter().map(|event| event.id()));
+            let shard = self.insert_batch_drain(events);
+            if self.stopping.load(Ordering::SeqCst) {
+                // Raced with shutdown; the drain may already be past this
+                // shard. Withdraw whatever is still queued — anything gone is
+                // being dispatched by a consumer, so those publishes stand.
+                let mut withdrawn = 0;
+                {
+                    let mut queue = self.shards[shard].lock();
+                    for id in ids.iter() {
+                        if let Some(position) = queue.iter().position(|queued| queued.id() == *id) {
+                            queue.remove(position);
+                            withdrawn += 1;
+                        }
+                    }
+                    if withdrawn > 0 {
+                        self.len.fetch_sub(withdrawn, Ordering::SeqCst);
                     }
                 }
-                if withdrawn > 0 {
-                    self.len.fetch_sub(withdrawn, Ordering::SeqCst);
+                self.complete_many(withdrawn);
+                let accepted = n - withdrawn;
+                if accepted > 0 {
+                    self.wake_consumers(accepted);
                 }
+                return accepted;
             }
-            self.complete_many(withdrawn);
-            let accepted = n - withdrawn;
-            if accepted > 0 {
-                self.wake_consumers(accepted);
-            }
-            return accepted;
-        }
-        self.wake_consumers(n);
-        n
+            self.wake_consumers(n);
+            n
+        })
     }
 
     fn insert(&self, event: Event) -> usize {
@@ -206,6 +234,18 @@ impl RunQueue {
         let mut queue = self.shards[shard].lock();
         self.pending.fetch_add(n, Ordering::SeqCst);
         queue.extend(events);
+        self.len.fetch_add(n, Ordering::SeqCst);
+        shard
+    }
+
+    /// [`RunQueue::insert_batch`], draining a caller-owned buffer instead of
+    /// consuming it — the external publish path reuses one buffer per thread.
+    fn insert_batch_drain(&self, events: &mut Vec<Event>) -> usize {
+        let n = events.len();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut queue = self.shards[shard].lock();
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        queue.extend(events.drain(..));
         self.len.fetch_add(n, Ordering::SeqCst);
         shard
     }
@@ -251,6 +291,20 @@ impl RunQueue {
     /// sibling shard when the preferred one is dry. Every popped event counts as
     /// in flight until completed (see [`RunQueue::batch_guard`]).
     pub(crate) fn pop_batch(&self, preferred: usize, max: usize) -> Vec<Event> {
+        let mut batch = Vec::new();
+        self.pop_batch_into(preferred, max, &mut batch);
+        batch
+    }
+
+    /// Allocation-free twin of [`RunQueue::pop_batch`]: appends the popped run
+    /// to `out` (which the hot worker loop reuses across batches) and returns
+    /// how many events were popped.
+    pub(crate) fn pop_batch_into(
+        &self,
+        preferred: usize,
+        max: usize,
+        out: &mut Vec<Event>,
+    ) -> usize {
         let max = max.max(1);
         let shard_count = self.shards.len();
         for offset in 0..shard_count {
@@ -260,13 +314,13 @@ impl RunQueue {
                 continue;
             }
             let take = queue.len().min(max);
-            let batch: Vec<Event> = queue.drain(..take).collect();
+            out.extend(queue.drain(..take));
             // Decremented while the shard lock is held so `len` can never lag
             // a concurrent pop and wrap below zero.
             self.len.fetch_sub(take, Ordering::AcqRel);
-            return batch;
+            return take;
         }
-        Vec::new()
+        0
     }
 
     /// Marks one popped event's dispatch as finished.
@@ -310,14 +364,30 @@ impl RunQueue {
     /// Blocks until at least one event is available, returning a batch of up to
     /// `max` events from one shard, or an empty batch once the queue is
     /// stopping *and* fully idle (telling a worker to exit).
+    #[cfg(test)]
     pub(crate) fn next_batch(&self, preferred: usize, max: usize) -> Vec<Event> {
+        let mut batch = Vec::new();
+        self.next_batch_into(preferred, max, &mut batch);
+        batch
+    }
+
+    /// Allocation-free twin of [`RunQueue::next_batch`]: blocks until at least
+    /// one event is available and appends the popped run to `out` (reused
+    /// across batches by the worker loop), or returns 0 once the queue is
+    /// stopping *and* fully idle (telling the worker to exit).
+    pub(crate) fn next_batch_into(
+        &self,
+        preferred: usize,
+        max: usize,
+        out: &mut Vec<Event>,
+    ) -> usize {
         loop {
-            let batch = self.pop_batch(preferred, max);
-            if !batch.is_empty() {
-                return batch;
+            let popped = self.pop_batch_into(preferred, max, out);
+            if popped > 0 {
+                return popped;
             }
             if self.stopping.load(Ordering::Acquire) && self.is_idle() {
-                return batch;
+                return 0;
             }
             let mut signal = self.signal_lock.lock();
             // Register as a waiter *before* the recheck (SeqCst, pairing with
@@ -555,13 +625,13 @@ mod tests {
     fn external_batch_is_rejected_whole_once_stopping() {
         let queue = RunQueue::new(2);
         assert_eq!(
-            queue.push_external_batch((0..5).map(event).collect()),
+            queue.push_external_batch(&mut (0..5).map(event).collect()),
             5,
             "accepted while running"
         );
         queue.stop();
         assert_eq!(
-            queue.push_external_batch((5..10).map(event).collect()),
+            queue.push_external_batch(&mut (5..10).map(event).collect()),
             0,
             "rejected once stopping"
         );
@@ -607,8 +677,8 @@ mod tests {
             };
             let mut accepted = 0;
             for chunk in 0..4 {
-                accepted +=
-                    queue.push_external_batch((chunk * 8..(chunk + 1) * 8).map(event).collect());
+                accepted += queue
+                    .push_external_batch(&mut (chunk * 8..(chunk + 1) * 8).map(event).collect());
             }
             stopper.join().unwrap();
             consumer.join().unwrap();

@@ -1,0 +1,205 @@
+//! Deterministic tests of the elastic dispatcher worker pool.
+//!
+//! The pool's contract: a sustained backlog recruits workers up to
+//! `workers_max`, an idle engine parks them back down to `workers_min` (after
+//! the idle grace, in LIFO order), and `shutdown()` always drains and joins
+//! every thread the band ever spawned — whatever the pool's scale at that
+//! moment. The tests pin the *transitions* (scale-up under flood, park-down
+//! after drain) by polling [`EngineHandle::queue_stats`] against generous
+//! deadlines: the outcome is deterministic even though the exact instant of
+//! each transition is scheduler-dependent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use defcon_core::unit::NullUnit;
+use defcon_core::{
+    Engine, EngineHandle, EngineResult, EventDraft, Publisher, SecurityMode, Unit, UnitContext,
+    UnitSpec,
+};
+use defcon_events::{Event, Filter, Value};
+
+/// A subscriber that sleeps per event, so the queue backs up and the pool has
+/// a reason to scale.
+struct SlowSink {
+    received: Arc<AtomicU64>,
+    delay: Duration,
+}
+
+impl Unit for SlowSink {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(Filter::for_type("tick"))?;
+        Ok(())
+    }
+
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+        std::thread::sleep(self.delay);
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+const BAND_MIN: usize = 1;
+const BAND_MAX: usize = 3;
+
+fn elastic_engine(received: &Arc<AtomicU64>) -> (Engine, defcon_core::unit::UnitId) {
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers_min(BAND_MIN)
+        .workers_max(BAND_MAX)
+        .batch_size(8)
+        .elastic_scale_up_depth(8)
+        .elastic_idle_grace(Duration::from_millis(2))
+        .event_cache(0)
+        .build();
+    engine
+        .register_unit(
+            UnitSpec::new("slow-sink"),
+            Box::new(SlowSink {
+                received: Arc::clone(received),
+                delay: Duration::from_micros(200),
+            }),
+        )
+        .unwrap();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+    (engine, source)
+}
+
+fn tick_batch(n: usize) -> Vec<EventDraft> {
+    (0..n)
+        .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
+        .collect()
+}
+
+/// Publishes flood bursts until the pool's activation reaches `target` (every
+/// enqueue feeds the pool's depth sampling), returning how many events were
+/// accepted. Panics if the pool has not reached `target` within the deadline.
+fn flood_until_active(
+    handle: &EngineHandle,
+    publisher: &Publisher,
+    target: usize,
+    deadline: Duration,
+) -> u64 {
+    let start = Instant::now();
+    let mut published = 0u64;
+    while handle.queue_stats().workers_active < target {
+        assert!(
+            start.elapsed() < deadline,
+            "pool stuck at {} active workers (target {target}) after {deadline:?}; stats: {:?}",
+            handle.queue_stats().workers_active,
+            handle.queue_stats(),
+        );
+        published += publisher.publish_batch(tick_batch(32)).unwrap() as u64;
+    }
+    published
+}
+
+fn wait_for_active(handle: &EngineHandle, target: usize, deadline: Duration) {
+    let start = Instant::now();
+    while handle.queue_stats().workers_active != target {
+        assert!(
+            start.elapsed() < deadline,
+            "pool did not settle at {target} active workers: {:?}",
+            handle.queue_stats(),
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn flood_scales_to_max_and_idle_drain_parks_back_to_min() {
+    let received = Arc::new(AtomicU64::new(0));
+    let (engine, source) = elastic_engine(&received);
+    let handle = engine.start();
+    assert_eq!(handle.worker_count(), BAND_MAX, "the whole band is spawned");
+    let stats = handle.queue_stats();
+    assert_eq!(
+        stats.workers_active, BAND_MIN,
+        "the band starts at its floor"
+    );
+    assert_eq!(stats.workers_high_water, BAND_MIN);
+
+    // A sustained backlog (slow sink, bursty publishes) must recruit the
+    // whole band.
+    let publisher = handle.publisher(source).unwrap();
+    let mut published = flood_until_active(&handle, &publisher, BAND_MAX, Duration::from_secs(30));
+    assert_eq!(handle.queue_stats().workers_high_water, BAND_MAX);
+
+    // Once the backlog drains and the engine idles past the grace, the band
+    // parks back down to its floor — and the high-water mark stays.
+    assert!(
+        handle.wait_idle(Duration::from_secs(60)),
+        "flood must drain"
+    );
+    wait_for_active(&handle, BAND_MIN, Duration::from_secs(10));
+    assert_eq!(handle.queue_stats().workers_high_water, BAND_MAX);
+
+    // The shrunk pool still dispatches: the floor workers carry new load.
+    published += publisher.publish_batch(tick_batch(8)).unwrap() as u64;
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    assert_eq!(received.load(Ordering::Relaxed), published);
+
+    let dispatched = handle.shutdown().unwrap();
+    assert_eq!(dispatched, published, "shutdown accounts for every event");
+}
+
+#[test]
+fn mid_scale_shutdown_drains_and_joins_every_spawned_worker() {
+    let received = Arc::new(AtomicU64::new(0));
+    let (engine, source) = elastic_engine(&received);
+    let handle = engine.start();
+    let publisher = handle.publisher(source).unwrap();
+
+    // Scale at least one worker beyond the floor, then shut down *while the
+    // backlog is still live* — mid-scale, nothing parked-down yet.
+    let published = flood_until_active(&handle, &publisher, 2, Duration::from_secs(30));
+    let dispatched = handle.shutdown().unwrap();
+    assert_eq!(
+        dispatched, published,
+        "a mid-scale shutdown must drain everything it accepted"
+    );
+    assert_eq!(received.load(Ordering::Relaxed), published);
+    assert_eq!(engine.queue_depth(), 0);
+
+    // Late publishes fail loudly — the drained runtime is really gone.
+    let result = publisher.publish_batch(tick_batch(4));
+    assert!(result.is_err(), "got {result:?}");
+}
+
+#[test]
+fn fixed_pools_never_change_their_activation() {
+    let received = Arc::new(AtomicU64::new(0));
+    let engine = Engine::builder()
+        .workers(2)
+        .batch_size(8)
+        .event_cache(0)
+        .build();
+    engine
+        .register_unit(
+            UnitSpec::new("sink"),
+            Box::new(SlowSink {
+                received: Arc::clone(&received),
+                delay: Duration::ZERO,
+            }),
+        )
+        .unwrap();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+    let handle = engine.start();
+    let publisher = handle.publisher(source).unwrap();
+    for _ in 0..64 {
+        publisher.publish_batch(tick_batch(32)).unwrap();
+    }
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    let stats = handle.queue_stats();
+    assert_eq!(stats.workers_active, 2);
+    assert_eq!(stats.workers_high_water, 2);
+    assert_eq!(stats.workers_min, 2);
+    assert_eq!(stats.workers_max, 2);
+    handle.shutdown().unwrap();
+    assert_eq!(received.load(Ordering::Relaxed), 64 * 32);
+}

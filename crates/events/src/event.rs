@@ -56,29 +56,32 @@ pub struct Event {
     /// Monotonic timestamp (nanoseconds) recorded when the originating event was
     /// created; carried across derived events for end-to-end latency measurement.
     origin_ns: u64,
-    parts: Arc<[Part]>,
+    /// The parts live behind one `Arc<Vec<..>>`: constructing an event is a
+    /// single small allocation that adopts the builder's buffer, instead of a
+    /// shrink-to-fit plus an `Arc<[Part]>` copy — the publish hot path builds
+    /// millions of these.
+    parts: Arc<Vec<Part>>,
 }
 
 impl Event {
     /// Creates an event from parts. Returns an error if `parts` is empty, since the
     /// engine drops empty events on publish (Table 1, `publish`).
     pub fn new(parts: Vec<Part>) -> Result<Self, EventError> {
+        Event::with_origin(parts, now_ns())
+    }
+
+    /// Creates an event carrying an explicit origin timestamp, used when an event is
+    /// derived from an earlier one and should inherit its latency baseline — or when
+    /// a batched publisher stamps a whole batch with one clock read.
+    pub fn with_origin(parts: Vec<Part>, origin_ns: u64) -> Result<Self, EventError> {
         if parts.is_empty() {
             return Err(EventError::EmptyEvent);
         }
         Ok(Event {
             id: EventId::next(),
-            origin_ns: now_ns(),
-            parts: Arc::from(parts.into_boxed_slice()),
+            origin_ns,
+            parts: Arc::new(parts),
         })
-    }
-
-    /// Creates an event carrying an explicit origin timestamp, used when an event is
-    /// derived from an earlier one and should inherit its latency baseline.
-    pub fn with_origin(parts: Vec<Part>, origin_ns: u64) -> Result<Self, EventError> {
-        let mut event = Event::new(parts)?;
-        event.origin_ns = origin_ns;
-        Ok(event)
     }
 
     /// Returns the event identifier.
@@ -96,7 +99,7 @@ impl Event {
     /// This accessor is intended for the trusted engine; units go through the
     /// engine's `readPart`, which filters by the unit's input label.
     pub fn parts(&self) -> &[Part] {
-        &self.parts
+        self.parts.as_slice()
     }
 
     /// Returns the number of parts.
@@ -135,7 +138,7 @@ impl Event {
         Event {
             id: self.id,
             origin_ns: self.origin_ns,
-            parts: Arc::from(parts.into_boxed_slice()),
+            parts: Arc::new(parts),
         }
     }
 
@@ -151,7 +154,7 @@ impl Event {
         Event {
             id: self.id,
             origin_ns: self.origin_ns,
-            parts: Arc::from(parts.into_boxed_slice()),
+            parts: Arc::new(parts),
         }
     }
 
@@ -180,7 +183,7 @@ impl Event {
         Event {
             id: EventId::next(),
             origin_ns: self.origin_ns,
-            parts: Arc::from(parts.into_boxed_slice()),
+            parts: Arc::new(parts),
         }
     }
 
@@ -194,7 +197,7 @@ impl Event {
         Event {
             id: self.id,
             origin_ns: self.origin_ns,
-            parts: Arc::from(parts.into_boxed_slice()),
+            parts: Arc::new(parts),
         }
     }
 

@@ -26,6 +26,7 @@ pub type PartName = Arc<str>;
 /// an allocation per part constructed — which matters on the publish hot path,
 /// where every event allocates its parts.
 pub fn part_name(name: impl AsRef<str>) -> PartName {
+    use std::cell::RefCell;
     use std::collections::HashSet;
     use std::sync::OnceLock;
 
@@ -37,20 +38,42 @@ pub fn part_name(name: impl AsRef<str>) -> PartName {
     const NAME_INTERN_CAP: usize = 4096;
 
     static NAMES: OnceLock<parking_lot::RwLock<HashSet<PartName>>> = OnceLock::new();
-    let names = NAMES.get_or_init(|| parking_lot::RwLock::new(HashSet::new()));
+    // One-entry per-thread cache for the overwhelmingly common case of
+    // consecutive constructions sharing a name (a feed building "type" parts
+    // in a loop): a short string compare instead of the table's lock + hash.
+    thread_local! {
+        static LAST: RefCell<Option<PartName>> = const { RefCell::new(None) };
+    }
     let name = name.as_ref();
-    if let Some(interned) = names.read().get(name) {
-        return Arc::clone(interned);
-    }
-    let mut names = names.write();
-    if let Some(interned) = names.get(name) {
-        return Arc::clone(interned);
-    }
-    let interned: PartName = Arc::from(name);
-    if names.len() < NAME_INTERN_CAP {
-        names.insert(Arc::clone(&interned));
-    }
-    interned
+    LAST.with(|last| {
+        if let Some(cached) = last.borrow().as_deref() {
+            if cached == name {
+                return last.borrow().clone().expect("just observed");
+            }
+        }
+        let names = NAMES.get_or_init(|| parking_lot::RwLock::new(HashSet::new()));
+        // The read guard must be fully released before taking the write lock
+        // (scoped explicitly: an `if let` over `names.read().get(..)` would
+        // keep the read guard alive through its else branch).
+        let interned = {
+            let table = names.read();
+            table.get(name).cloned()
+        };
+        let interned = interned.unwrap_or_else(|| {
+            let mut table = names.write();
+            if let Some(existing) = table.get(name) {
+                Arc::clone(existing)
+            } else {
+                let fresh: PartName = Arc::from(name);
+                if table.len() < NAME_INTERN_CAP {
+                    table.insert(Arc::clone(&fresh));
+                }
+                fresh
+            }
+        });
+        *last.borrow_mut() = Some(Arc::clone(&interned));
+        interned
+    })
 }
 
 /// The shared empty privilege list: almost every part carries no privileges,
@@ -95,6 +118,19 @@ impl Part {
             data,
             privileges: no_privileges(),
         }
+    }
+
+    /// Raises the part's label to a publishing unit's output label **in
+    /// place** (contamination independence, Table 1).
+    ///
+    /// This is the allocation-free publish-path variant of rebuilding the
+    /// part: an [`EventDraft`](crate::Event)-style buffer of pre-built parts
+    /// can be moved into an event after raising each label, instead of being
+    /// reconstructed part by part. It does not break part immutability as
+    /// observed by units — it is only callable while the publisher still owns
+    /// the part exclusively, before the event enters the engine.
+    pub fn raise_label_to_output(&mut self, output: &Label) {
+        self.label = self.label.raised_to_output(output);
     }
 
     /// Creates a privilege-carrying part (§3.1.5).

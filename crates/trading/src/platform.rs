@@ -27,13 +27,22 @@ use crate::units::trader::Trader;
 pub struct TradingPlatformConfig {
     /// The engine security configuration (one of the four series of Figures 5–7).
     pub mode: SecurityMode,
-    /// Dispatcher worker threads (§6's multi-core deployment). The default is
-    /// the host's available parallelism ([`defcon_core::auto_worker_count`],
-    /// what `Engine::builder().workers_auto()` resolves to), so a deployment
-    /// scales with its hardware out of the box. Zero replays each tick's
-    /// cascade on the driver thread, which keeps runs deterministic — tests
-    /// that compare exact event orders should pin `workers: 0`.
+    /// Dispatcher worker threads (§6's multi-core deployment) — the upper
+    /// edge of the worker band, i.e. the thread count the engine spawns. The
+    /// default is the host's available parallelism
+    /// ([`defcon_core::auto_worker_count`], what
+    /// `Engine::builder().workers_auto()` resolves to), so a deployment scales
+    /// with its hardware out of the box. Zero replays each tick's cascade on
+    /// the driver thread, which keeps runs deterministic — tests that compare
+    /// exact event orders should pin `workers: 0`.
     pub workers: usize,
+    /// Lower edge of the worker band. Zero — the default — means a *fixed*
+    /// pool (`workers_min == workers`, the classic deployment); any smaller
+    /// value makes the pool elastic: workers above the minimum park until
+    /// observed queue depth recruits them and park back down after an idle
+    /// grace, so a platform sharing its host only occupies the cores its load
+    /// justifies.
+    pub workers_min: usize,
     /// Dispatch/feed batch size: how many events a dispatcher carries per run
     /// queue visit, and how many ticks the feed driver publishes per
     /// `publish_batch` call in [`TradingPlatform::run_ticks`]. 1 (the default)
@@ -62,6 +71,7 @@ impl Default for TradingPlatformConfig {
         TradingPlatformConfig {
             mode: SecurityMode::LabelsFreezeIsolation,
             workers: defcon_core::auto_worker_count(),
+            workers_min: 0,
             batch_size: 1,
             traders: 200,
             symbols: 64,
@@ -94,8 +104,14 @@ pub struct PlatformReport {
     pub mode: SecurityMode,
     /// Number of traders hosted.
     pub traders: usize,
-    /// Dispatcher worker threads the run used (0 = driver-pumped).
+    /// Dispatcher worker threads the run spawned (0 = driver-pumped) — the
+    /// worker band's upper edge.
     pub workers: usize,
+    /// Lower edge of the worker band (`== workers` for fixed pools).
+    pub workers_min: usize,
+    /// Highest concurrently active worker count observed during the run — the
+    /// *observed* worker cost of the row, as opposed to the configured band.
+    pub workers_high_water: usize,
     /// Dispatch/feed batch size the run used.
     pub batch_size: usize,
     /// Ticks replayed.
@@ -125,10 +141,13 @@ impl PlatformReport {
     /// merged across its lane sinks. This is what makes scenario runs
     /// plottable next to the paper's figures — same row shape, same headline
     /// p70 percentile, with lanes standing in for traders.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_scenario(
         outcome: &defcon_workload::scenario::ScenarioOutcome,
         mode: SecurityMode,
+        workers_min: usize,
         workers: usize,
+        workers_high_water: usize,
         batch_size: usize,
         lanes: usize,
         latency: &defcon_metrics::LatencySummary,
@@ -137,6 +156,8 @@ impl PlatformReport {
             mode,
             traders: lanes,
             workers,
+            workers_min,
+            workers_high_water,
             batch_size,
             ticks: outcome.published,
             orders: 0,
@@ -150,13 +171,19 @@ impl PlatformReport {
         }
     }
 
-    /// Formats the report as a figure row: mode, traders, throughput, latency,
-    /// memory.
+    /// Formats the report as a figure row: mode, traders, observed workers,
+    /// throughput, latency, memory.
     pub fn as_row(&self) -> String {
         format!(
-            "{:<26} traders={:<5} throughput={:>10.0} ev/s  p70={:>7.3} ms  mem={:>8.1} MiB  trades={}",
+            "{:<26} traders={:<5} workers={:<7} throughput={:>10.0} ev/s  p70={:>7.3} ms  mem={:>8.1} MiB  trades={}",
             self.mode.figure_label(),
             self.traders,
+            // The observed count, qualified by the band when it is elastic.
+            if self.workers_min < self.workers {
+                format!("{} ({}..{})", self.workers_high_water, self.workers_min, self.workers)
+            } else {
+                format!("{}", self.workers)
+            },
             self.throughput_eps,
             self.latency_p70_ms,
             self.memory_mib,
@@ -187,9 +214,17 @@ impl TradingPlatform {
     /// which instantiates its Pair Monitor), then starts the engine runtime with the
     /// configured number of dispatcher workers.
     pub fn build(config: TradingPlatformConfig) -> EngineResult<Self> {
+        // workers_min == 0 keeps the classic fixed pool; anything smaller
+        // than `workers` opens an elastic band.
+        let workers_min = if config.workers_min == 0 {
+            config.workers
+        } else {
+            config.workers_min.min(config.workers)
+        };
         let engine = Engine::builder()
             .mode(config.mode)
-            .workers(config.workers)
+            .workers_min(workers_min)
+            .workers_max(config.workers)
             .batch_size(config.batch_size)
             .event_cache(config.event_cache)
             .build();
@@ -347,6 +382,70 @@ impl TradingPlatform {
         Ok(())
     }
 
+    /// Replays a [`Scenario`](defcon_workload::scenario::Scenario)'s *arrival
+    /// shape* through the trading platform: each burst is honoured (pause
+    /// included) and published as one [`TradingPlatform::publish_tick_batch`]
+    /// of the burst's size, so Zipf-skewed or bursty open/close arrival drives
+    /// the full tick→monitor→trader→broker cascade instead of synthetic lane
+    /// sinks. The tick *content* comes from the platform's own generator —
+    /// what the scenario contributes is when and how much arrives at once.
+    ///
+    /// Returns the Figure-5-style row for the replay (built via
+    /// [`PlatformReport::from_scenario`], so scenario rows and platform rows
+    /// share one shape), with the platform's order/trade/memory columns and
+    /// the broker's tick-to-trade latency percentiles filled in.
+    pub fn replay_scenario(
+        &mut self,
+        scenario: &mut dyn defcon_workload::scenario::Scenario,
+    ) -> EngineResult<PlatformReport> {
+        use defcon_workload::scenario::ScenarioOutcome;
+
+        let trades_before = self.broker_shared.trades.load(Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        let mut bursts = 0u64;
+        let mut published = 0u64;
+        while let Some(burst) = scenario.next_burst() {
+            if !burst.pause.is_zero() {
+                std::thread::sleep(burst.pause);
+            }
+            bursts += 1;
+            let count = burst.drafts.len();
+            self.publish_tick_batch(count)?;
+            published += count as u64;
+        }
+        let outcome = ScenarioOutcome {
+            scenario: scenario.name().to_string(),
+            bursts,
+            published,
+            rejected: 0,
+            completed: true,
+            // publish_tick_batch waits out each burst's cascade, so the
+            // replay ends drained by construction — and for the same reason
+            // inter-burst queue-depth samples would always read an empty
+            // queue, so no peak is reported (use the engine-level scenario
+            // driver for backpressure measurements).
+            drained: true,
+            peak_queue_depth: 0,
+            elapsed: start.elapsed(),
+        };
+        let pool = self.handle.queue_stats();
+        let mut row = PlatformReport::from_scenario(
+            &outcome,
+            self.config.mode,
+            pool.workers_min,
+            self.config.workers,
+            pool.workers_high_water,
+            self.config.batch_size.max(1),
+            self.config.traders,
+            &self.broker_shared.latency.summary(),
+        );
+        row.orders = self.orders_placed.load(Ordering::Relaxed);
+        row.trades = self.broker_shared.trades.load(Ordering::Relaxed) - trades_before;
+        row.warnings = self.regulator_shared.warnings.load(Ordering::Relaxed);
+        row.memory_mib = self.engine.memory_mib();
+        Ok(row)
+    }
+
     /// Replays `n` ticks as fast as the engine can absorb them, feeding them in
     /// chunks of the configured batch size (1 = the classic tick-by-tick
     /// drive).
@@ -367,12 +466,16 @@ impl TradingPlatform {
         Ok(self.report())
     }
 
-    /// Produces the current metrics row.
+    /// Produces the current metrics row, including the worker pool's observed
+    /// high-water mark (for fixed pools this equals the configured count).
     pub fn report(&self) -> PlatformReport {
+        let pool = self.handle.queue_stats();
         PlatformReport {
             mode: self.config.mode,
             traders: self.config.traders,
             workers: self.config.workers,
+            workers_min: pool.workers_min,
+            workers_high_water: pool.workers_high_water,
             batch_size: self.config.batch_size.max(1),
             ticks: self.ticks_published,
             orders: self.orders_placed.load(Ordering::Relaxed),

@@ -14,7 +14,11 @@
 # Within a same-host pair, records are matched by (name, mode, workers,
 # batch_size) — the key that makes two measurements comparable; unmatched
 # records (a new scenario, a different auto-resolved worker count) are
-# skipped. A missing or empty previous report skips that file with a warning
+# skipped. Elastic runs are matched on the *configured* worker band
+# (workers_band, e.g. "1..4") rather than any instantaneous or high-water
+# worker count: the observed count is a function of load, so keying on it
+# would turn every load wiggle into an unmatched (silently skipped) cell.
+# A missing or empty previous report skips that file with a warning
 # instead of failing, so the first run after adding a bench (or pruning
 # artifacts) stays green.
 #
@@ -57,23 +61,30 @@ for current in "$@"; do
         continue
     fi
 
-    # Compare throughput per matched (name, mode, workers, batch_size) cell.
+    # Compare throughput per matched (name, mode, workers-or-band, batch_size)
+    # cell. Fixed cells key on the worker count; elastic cells key on the
+    # configured band.
     regressions=$(jq -r --slurpfile prev "$prev" --argjson min "$min_ratio" '
+        def cellkey: "\(.name)|\(.mode)|w\(
+            if (.workers_band // "") != "" then "[\(.workers_band)]"
+            else (.workers | tostring) end
+        )|b\(.batch_size)";
         ($prev[0].records
-         | map({key: "\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)",
-                value: .throughput_eps})
+         | map({key: cellkey, value: .throughput_eps})
          | from_entries) as $base
         | .records[]
-        | "\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)" as $k
+        | cellkey as $k
         | select($base[$k] != null and $base[$k] > 0)
         | select(.throughput_eps < $base[$k] * $min)
         | "\($k): \(.throughput_eps | floor) ev/s vs previous \($base[$k] | floor) ev/s (\((.throughput_eps / $base[$k] * 100) | floor)%)"
     ' "$current")
     matched=$(jq -r --slurpfile prev "$prev" '
-        ($prev[0].records
-         | map("\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)")) as $keys
-        | [.records[] | select(("\(.name)|\(.mode)|w\(.workers)|b\(.batch_size)") as $k
-                               | $keys | index($k))]
+        def cellkey: "\(.name)|\(.mode)|w\(
+            if (.workers_band // "") != "" then "[\(.workers_band)]"
+            else (.workers | tostring) end
+        )|b\(.batch_size)";
+        ($prev[0].records | map(cellkey)) as $keys
+        | [.records[] | select(cellkey as $k | $keys | index($k))]
         | length
     ' "$current")
 

@@ -35,7 +35,8 @@ pub use defcon_workload as workload;
 pub mod prelude {
     pub use defcon_core::{
         auto_worker_count, Engine, EngineBuilder, EngineConfig, EngineError, EngineHandle,
-        EngineResult, EventDraft, Publisher, SecurityMode, Unit, UnitContext, UnitId, UnitSpec,
+        EngineResult, EventDraft, Publisher, QueueStats, SecurityMode, Unit, UnitContext, UnitId,
+        UnitSpec,
     };
     pub use defcon_defc::{Component, Label, Privilege, PrivilegeKind, Tag, TagSet};
     pub use defcon_events::{Event, EventBuilder, Filter, Predicate, Value, ValueList, ValueMap};
