@@ -13,9 +13,18 @@
 //!
 //! Writes `BENCH_dispatch.json` (override with `--out <path>`); pass `--quick`
 //! for the reduced CI sweep. Derived metrics: `speedup_w4_b8_over_b1`
-//! (events/sec at `(4, 8)` over `(4, 1)`, ungrouped) and
-//! `speedup_grouped_w1_b8` (grouped over ungrouped at the pinned
-//! `workers(1) × batch(8)` alternating-unit cell).
+//! (events/sec at `(4, 8)` over `(4, 1)`, ungrouped), `speedup_grouped_w1_b8`
+//! (grouped over ungrouped at the pinned `workers(1) × batch(8)`
+//! alternating-unit cell), and `wal_overhead_w1_b8` (that same pinned cell
+//! with the write-ahead log off over on-with-`fsync: EveryBatch` — the
+//! durability cost factor).
+//!
+//! Record/replay: `--record <trace>` captures the pinned cell's arrival trace
+//! (and exits); `--replay <trace>` re-feeds a captured trace byte-for-byte —
+//! same batch boundaries, same inter-burst schedule — and reports
+//! `replay`-flagged records plus `replay_events_dispatched` /
+//! `replay_deliveries` metrics, which are identical across replays of one
+//! trace (the determinism CI asserts).
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,10 +35,12 @@ use defcon_bench::report::arg_value;
 use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
 use defcon_core::{
-    auto_worker_count, Engine, EngineResult, EventDraft, SecurityMode, Unit, UnitContext, UnitSpec,
+    auto_worker_count, Engine, EngineResult, EventDraft, FsyncPolicy, SecurityMode, Unit,
+    UnitContext, UnitId, UnitSpec, WalConfig,
 };
 use defcon_events::{now_ns, Event, Filter, Value};
 use defcon_metrics::{LatencyHistogram, LatencySummary};
+use defcon_workload::scenario::{MixedBatches, ReplayTrace, Scenario, ScenarioDriver};
 
 /// A subscriber counting deliveries on one lane and recording the
 /// publish-to-delivery latency of every event it receives.
@@ -71,11 +82,12 @@ fn run_cell_best_of(
     lanes: usize,
     events: u64,
     reps: usize,
+    wal: Option<FsyncPolicy>,
 ) -> RunOutcome {
-    run_cell(mode, workers, batch_size, grouped, lanes, events / 10);
+    run_cell(mode, workers, batch_size, grouped, lanes, events / 10, wal);
     let mut best: Option<RunOutcome> = None;
     for _ in 0..reps.max(1) {
-        let outcome = run_cell(mode, workers, batch_size, grouped, lanes, events);
+        let outcome = run_cell(mode, workers, batch_size, grouped, lanes, events, wal);
         if best
             .as_ref()
             .is_none_or(|b| outcome.throughput_eps > b.throughput_eps)
@@ -96,6 +108,7 @@ fn run_cell_best_of(
 /// publish phase times the (batched) enqueue path alone, the drain phase times
 /// the (batched) dispatch path over a queue that never runs dry until the end.
 /// Reported throughput is end-to-end events over the sum of both phases.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     mode: SecurityMode,
     workers: usize,
@@ -103,16 +116,25 @@ fn run_cell(
     grouped: bool,
     lanes: usize,
     events: u64,
+    wal: Option<FsyncPolicy>,
 ) -> RunOutcome {
-    let engine = Engine::builder()
+    let mut builder = Engine::builder()
         .mode(mode)
         .workers(workers)
         .batch_size(batch_size)
         .grouped_delivery(grouped)
         // The recently-dispatched cache charges a clone per event; it is not
         // part of the queue/dispatch path this bench isolates.
-        .event_cache(0)
-        .build();
+        .event_cache(0);
+    // Each repetition logs into a freshly wiped directory, so no run pays for
+    // (or recovers) a predecessor's segments.
+    let wal_dir =
+        wal.map(|_| std::env::temp_dir().join(format!("defcon-bench-wal-{}", std::process::id())));
+    if let (Some(policy), Some(dir)) = (wal, &wal_dir) {
+        let _ = std::fs::remove_dir_all(dir);
+        builder = builder.wal(WalConfig::new(dir).fsync(policy));
+    }
+    let engine = builder.build();
 
     let received = Arc::new(AtomicU64::new(0));
     let lane_names: Vec<String> = (0..lanes).map(|i| format!("lane-{i}")).collect();
@@ -179,6 +201,9 @@ fn run_cell(
     }
     let elapsed = start.elapsed();
     handle.shutdown().expect("shutdown");
+    if let Some(dir) = &wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     let delivered = received.load(Ordering::Relaxed);
     assert_eq!(delivered, events, "every event is delivered exactly once");
@@ -192,10 +217,112 @@ fn run_cell(
     }
 }
 
+/// The pinned trace-cell topology: `lanes` counting subscriber units (sharing
+/// one delivery counter and one latency histogram — workers(1), so the shared
+/// instruments see no contention) plus a feed source, on the `dispatch-grouped`
+/// headline configuration: `labels+freeze`, workers(1), batch(8), grouped.
+fn replay_engine(lanes: usize) -> (Engine, Arc<AtomicU64>, Arc<LatencyHistogram>, UnitId) {
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers(1)
+        .batch_size(8)
+        .grouped_delivery(true)
+        .event_cache(0)
+        .build();
+    let received = Arc::new(AtomicU64::new(0));
+    let latency = Arc::new(LatencyHistogram::new());
+    for lane in 0..lanes {
+        engine
+            .register_unit(
+                UnitSpec::new(format!("counter-lane-{lane}")),
+                Box::new(LaneCounter {
+                    lane: format!("lane-{lane}"),
+                    received: Arc::clone(&received),
+                    latency: Arc::clone(&latency),
+                }),
+            )
+            .expect("unit registers");
+    }
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+    (engine, received, latency, source)
+}
+
+/// `--record <trace>`: captures the pinned cell's arrival trace — a short
+/// mixed-batch sweep over two lanes — while running it, then exits.
+fn record_trace(path: &Path) {
+    let mut scenario = MixedBatches::new(2, vec![1, 8, 64], 30_000);
+    let (engine, received, _, source) = replay_engine(scenario.lane_count());
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).expect("driver");
+    let outcome = driver.record(&mut scenario, path).expect("record trace");
+    handle.shutdown().expect("shutdown");
+    assert!(outcome.completed && outcome.drained, "recording run failed");
+    println!(
+        "recorded {} bursts / {} events ({} delivered) to {}",
+        outcome.bursts,
+        outcome.published,
+        received.load(Ordering::Relaxed),
+        path.display()
+    );
+}
+
+/// `--replay <trace>`: re-feeds a captured trace byte-for-byte through the
+/// pinned cell and writes a report whose records carry `replay: true` and
+/// whose `replay_events_dispatched` / `replay_deliveries` metrics are
+/// identical across replays of the same trace.
+fn run_replay(path: &Path, out: &str, quick: bool) {
+    let mut replay = ReplayTrace::load(path).expect("load trace");
+    let lanes = replay.lane_count();
+    let (engine, received, latency, source) = replay_engine(lanes);
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).expect("driver");
+    let outcome = driver.run(&mut replay);
+    assert!(outcome.completed && outcome.drained, "replay run failed");
+    let dispatched = engine.stats().dispatched();
+    handle.shutdown().expect("shutdown");
+    let deliveries = received.load(Ordering::Relaxed);
+
+    let mut report = BenchReport::new("dispatch", quick);
+    report.push(
+        BenchRecord::from_summary(
+            "dispatch-replay",
+            SecurityMode::LabelsFreeze.figure_label(),
+            1,
+            8,
+            lanes,
+            outcome.published,
+            outcome.throughput_eps(),
+            &latency.summary(),
+        )
+        .as_replay(),
+    );
+    report.metric("replay_events_dispatched", dispatched as f64);
+    report.metric("replay_deliveries", deliveries as f64);
+    println!(
+        "replayed {} bursts / {} events from {}: dispatched={dispatched} deliveries={deliveries} throughput={:.0} ev/s",
+        outcome.bursts,
+        outcome.published,
+        path.display(),
+        outcome.throughput_eps(),
+    );
+    report.write(Path::new(out)).expect("write replay report");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+    if let Some(path) = arg_value(&args, "--record") {
+        record_trace(Path::new(&path));
+        return;
+    }
+    if let Some(path) = arg_value(&args, "--replay") {
+        run_replay(Path::new(&path), &out, quick);
+        return;
+    }
 
     let lanes = 2;
     let events: u64 = if quick { 120_000 } else { 400_000 };
@@ -252,7 +379,9 @@ fn main() {
     // speedups and the auto-vs-manual comparison all read from this grid.
     let mut grid: Vec<((usize, usize, bool), f64)> = Vec::new();
     for &(mode, workers, batch_size, grouped) in &cells {
-        let outcome = run_cell_best_of(mode, workers, batch_size, grouped, lanes, events, reps);
+        let outcome = run_cell_best_of(
+            mode, workers, batch_size, grouped, lanes, events, reps, None,
+        );
         let name = if grouped {
             "dispatch-grouped"
         } else {
@@ -289,6 +418,48 @@ fn main() {
             .map(|(_, eps)| *eps)
     };
     let at = |workers: usize, batch_size: usize| at_grouping(workers, batch_size, false);
+
+    // Durability cost: the pinned grouped workers(1) × batch(8) cell rerun
+    // with the write-ahead log on, at both ends of the fsync spectrum. Each
+    // repetition logs into a freshly wiped temp directory.
+    let mut wal_everybatch_eps = None;
+    for (name, policy) in [
+        ("wal-everybatch", FsyncPolicy::EveryBatch),
+        ("wal-never", FsyncPolicy::Never),
+    ] {
+        let outcome = run_cell_best_of(
+            SecurityMode::LabelsFreeze,
+            1,
+            8,
+            true,
+            lanes,
+            events,
+            reps,
+            Some(policy),
+        );
+        println!(
+            "{:<26} workers=1 batch=8   grouped   throughput={:>12.0} ev/s  p50={:.4} ms  p99={:.4} ms",
+            name, outcome.throughput_eps, outcome.latency.p50_ms, outcome.latency.p99_ms,
+        );
+        if name == "wal-everybatch" {
+            wal_everybatch_eps = Some(outcome.throughput_eps);
+        }
+        report.push(BenchRecord::from_summary(
+            name,
+            SecurityMode::LabelsFreeze.figure_label(),
+            1,
+            8,
+            lanes,
+            events,
+            outcome.throughput_eps,
+            &outcome.latency,
+        ));
+    }
+    if let (Some(off), Some(on)) = (at_grouping(1, 8, true), wal_everybatch_eps) {
+        let overhead = off / on;
+        println!("WAL overhead (off over fsync-EveryBatch) at workers=1 batch 8: {overhead:.2}x");
+        report.metric("wal_overhead_w1_b8", overhead);
+    }
 
     if let (Some(batch1), Some(batch8)) = (at(4, 1), at(4, 8)) {
         let speedup = batch8 / batch1;

@@ -13,6 +13,9 @@
 //!
 //! Writes `BENCH_scenarios.json` (override with `--out <path>`) in the
 //! `defcon-bench-report/v1` schema; pass `--quick` for the reduced CI sweep.
+//! `--replay <trace>` re-feeds an arrival trace captured by
+//! `ScenarioDriver::record` (e.g. via `bench_dispatch --record`) instead of
+//! the generated shapes, reporting `replay`-flagged rows.
 //! Elastic records carry the configured band in `workers_band` (what the
 //! regression gate matches on) and the observed scale in
 //! `workers_high_water`.
@@ -29,8 +32,8 @@ use defcon_core::{auto_worker_count, Engine, SecurityMode, UnitSpec};
 use defcon_metrics::LatencyHistogram;
 use defcon_trading::{PlatformReport, TradingPlatform, TradingPlatformConfig};
 use defcon_workload::scenario::{
-    BurstyOpenClose, CountingSink, MixedBatches, Scenario, ScenarioDriver, SlowConsumerFlood,
-    ZipfLanes,
+    BurstyOpenClose, CountingSink, MixedBatches, ReplayTrace, Scenario, ScenarioDriver,
+    SlowConsumerFlood, ZipfLanes,
 };
 
 /// One measured replay: outcome counters plus the merged sink-side latency.
@@ -127,10 +130,46 @@ fn run_scenario(
     }
 }
 
+/// `--replay <trace>`: re-feeds a recorded arrival trace byte-for-byte through
+/// the elastic lane harness and (as an arrival shape) the trading platform,
+/// reporting `replay`-flagged rows that only ever gate against replay
+/// baselines.
+fn run_replay(path: &Path, out: &str, quick: bool) {
+    let mut report = BenchReport::new("scenarios", quick);
+    let mut replay = ReplayTrace::load(path).expect("load trace");
+    let run = run_scenario(&mut replay, 8, Duration::ZERO);
+    println!(
+        "replayed {} events from {}",
+        run.record.events,
+        path.display()
+    );
+    report.push(run.record.as_replay());
+
+    let config = TradingPlatformConfig {
+        mode: SecurityMode::LabelsFreeze,
+        traders: 40,
+        batch_size: 8,
+        event_cache: 0,
+        ..TradingPlatformConfig::default()
+    };
+    let mut platform = TradingPlatform::build(config).expect("platform builds");
+    let row = platform
+        .replay_trace(path)
+        .expect("platform replay completes");
+    println!("  platform-replay: {}", row.as_row());
+    report.push(BenchRecord::from_platform("platform-replay", &row).as_replay());
+    report.write(Path::new(out)).expect("write replay report");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+    if let Some(path) = arg_value(&args, "--replay") {
+        run_replay(Path::new(&path), &out, quick);
+        return;
+    }
 
     let events: u64 = if quick { 60_000 } else { 300_000 };
     let slow_events: u64 = if quick { 8_000 } else { 40_000 };

@@ -60,6 +60,11 @@ pub struct BenchRecord {
     pub latency_p99_ms: f64,
     /// Occupied memory in MiB (0 when not measured).
     pub memory_mib: f64,
+    /// `true` when the cell replayed a recorded arrival trace instead of
+    /// generating its workload. The regression gate keys on this, so replay
+    /// cells only ever compare against replay baselines — a trace's arrival
+    /// shape is not comparable with a generator's.
+    pub replay: bool,
 }
 
 impl BenchRecord {
@@ -85,7 +90,14 @@ impl BenchRecord {
             latency_p70_ms: report.latency_p70_ms,
             latency_p99_ms: report.latency_p99_ms,
             memory_mib: report.memory_mib,
+            replay: false,
         }
+    }
+
+    /// Marks the record as a trace replay (see [`BenchRecord::replay`]).
+    pub fn as_replay(mut self) -> Self {
+        self.replay = true;
+        self
     }
 
     /// Builds a record from a Marketcetera-style baseline run. The baseline
@@ -106,6 +118,7 @@ impl BenchRecord {
             latency_p70_ms: report.total_p70_ms,
             latency_p99_ms: 0.0,
             memory_mib: report.memory_mib,
+            replay: false,
         }
     }
 
@@ -136,12 +149,13 @@ impl BenchRecord {
             latency_p70_ms: latency.p70_ms,
             latency_p99_ms: latency.p99_ms,
             memory_mib: 0.0,
+            replay: false,
         }
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{}}}",
+            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{}}}",
             json_string(&self.name),
             json_string(&self.mode),
             self.workers,
@@ -155,6 +169,7 @@ impl BenchRecord {
             json_number(self.latency_p70_ms),
             json_number(self.latency_p99_ms),
             json_number(self.memory_mib),
+            self.replay,
         )
     }
 }
@@ -473,6 +488,7 @@ mod tests {
             latency_p70_ms: 0.0,
             latency_p99_ms: 1.5,
             memory_mib: 10.25,
+            replay: false,
         }
     }
 
@@ -498,6 +514,16 @@ mod tests {
             json.contains("\"throughput_eps\":null"),
             "non-finite numbers must serialise as null, not NaN"
         );
+        assert!(json.contains("\"replay\":false"));
+    }
+
+    #[test]
+    fn replay_records_are_flagged_in_the_json() {
+        let mut report = BenchReport::new("dispatch", true);
+        report.push(sample_record().as_replay());
+        let json = report.to_json();
+        json::validate(&json).unwrap();
+        assert!(json.contains("\"replay\":true"));
     }
 
     #[test]

@@ -52,9 +52,17 @@ fn elastic_report_on_host(
     )
 }
 
-/// A fixed-pool record on the given host.
+/// A fixed-pool record on the given host. Deliberately emitted *without* a
+/// `replay` field, like every archived report predating it — the gate must
+/// treat such records as non-replay cells.
 fn report_on_host(throughput_eps: f64, workers: usize, batch_size: usize, host: &str) -> String {
     elastic_report_on_host(throughput_eps, workers, "", workers, batch_size, host)
+}
+
+/// A fixed-pool record flagged as a trace replay.
+fn replay_report(throughput_eps: f64, workers: usize, batch_size: usize) -> String {
+    report(throughput_eps, workers, batch_size)
+        .replace("\"memory_mib\":0}", "\"memory_mib\":0,\"replay\":true}")
 }
 
 /// [`report_on_host`] on the default test host fingerprint.
@@ -228,9 +236,67 @@ fn gate_never_matches_an_elastic_band_against_a_fixed_pool() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "band vs fixed must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay) cells"),
         "{out}"
     );
+}
+
+#[test]
+fn gate_never_matches_a_replay_cell_against_a_generated_baseline() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("replayfixed");
+    // A trace replay and a generated-workload run of the same configuration
+    // are different measurements: the "drop" must be skipped as unmatched.
+    gate.write_prev("BENCH_dispatch.json", &report(500_000.0, 4, 8));
+    gate.write_current("BENCH_dispatch.json", &replay_report(100_000.0, 4, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "replay vs generated must be unmatched: {out}");
+    assert!(
+        out.contains("no (name, mode, workers, batch_size, replay) cells"),
+        "{out}"
+    );
+}
+
+#[test]
+fn gate_matches_replay_cells_against_replay_baselines() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("replaypair");
+    gate.write_prev("BENCH_dispatch.json", &replay_report(100_000.0, 4, 8));
+    gate.write_current("BENCH_dispatch.json", &replay_report(70_000.0, 4, 8));
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 1, "a 30% replay-vs-replay drop must fail: {out}");
+    assert!(
+        out.contains("|r1"),
+        "the key carries the replay marker: {out}"
+    );
+}
+
+#[test]
+fn gate_treats_records_predating_the_replay_field_as_non_replay() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("replaylegacy");
+    // The archived baseline has no replay field (it predates it); the current
+    // non-replay record must still match it — and this 30% drop must fail.
+    gate.write_prev("BENCH_dispatch.json", &report(100_000.0, 4, 8));
+    gate.write_current(
+        "BENCH_dispatch.json",
+        &report(70_000.0, 4, 8).replace("\"memory_mib\":0}", "\"memory_mib\":0,\"replay\":false}"),
+    );
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(
+        code, 1,
+        "legacy baselines must match non-replay cells: {out}"
+    );
+    assert!(out.contains("|r0"), "{out}");
 }
 
 #[test]
@@ -247,7 +313,7 @@ fn gate_skips_unmatched_cells_instead_of_comparing_apples_to_oranges() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "unmatched cells must be skipped: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay) cells"),
         "{out}"
     );
 }

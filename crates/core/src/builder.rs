@@ -147,6 +147,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the write-ahead event log: every externally published batch is
+    /// appended (one CRC-framed record per batch, fsynced per the config's
+    /// [`FsyncPolicy`](defcon_durability::FsyncPolicy)) *before* it is
+    /// enqueued, and [`Engine::recover_from`] replays the directory after a
+    /// crash. Cascade publications are not logged — dispatch regenerates them
+    /// on replay. [`Engine::new`] panics if the log directory cannot be
+    /// opened.
+    pub fn wal(mut self, config: defcon_durability::WalConfig) -> Self {
+        self.config.wal = Some(config);
+        self
+    }
+
     /// Replaces the whole configuration (for deployments described
     /// declaratively as an [`EngineConfig`] value).
     pub fn config(mut self, config: EngineConfig) -> Self {

@@ -7,11 +7,13 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use defcon_defc::Label;
+use defcon_durability::{WalConfig, WalRecord, WalWriter};
 use defcon_events::Event;
 use defcon_isolation::IsolationRuntime;
 use defcon_metrics::{memory::MemoryCategory, MemoryAccountant};
@@ -156,6 +158,15 @@ pub struct EngineConfig {
     /// contamination; the cap bounds their memory like a JVM would bound event
     /// processes via garbage collection.
     pub managed_instance_cap: usize,
+    /// Write-ahead log configuration. When set, every externally published
+    /// event (publisher batches, `with_unit` closure outputs, driver-side
+    /// bootstrap publishes) is appended to the log *before* it is enqueued —
+    /// one frame per publish batch, flushed per the configured
+    /// [`FsyncPolicy`](defcon_durability::FsyncPolicy). Cascade publications
+    /// (events units emit while processing) are not logged: replaying the log
+    /// through [`Engine::recover_from`] regenerates them via normal dispatch.
+    /// `None` (the default) keeps the engine purely in-memory.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for EngineConfig {
@@ -170,6 +181,7 @@ impl Default for EngineConfig {
             grouped_delivery: true,
             event_cache_capacity: 10_000,
             managed_instance_cap: 1024,
+            wal: None,
         }
     }
 }
@@ -295,6 +307,10 @@ pub(crate) struct EngineCore {
     /// on it, so an unchanged epoch lets consecutive batches reuse one
     /// subscription/owner snapshot instead of rebuilding it per batch.
     pub(crate) security_epoch: AtomicU64,
+    /// The write-ahead log appender, present when [`EngineConfig::wal`] is
+    /// set. The mutex serialises appends from concurrent publishers, which
+    /// also makes log order a linearisation of the publish calls.
+    pub(crate) wal: Option<Mutex<WalWriter>>,
     /// Per-engine unit identifier sequence: two engines in one process (or in
     /// parallel tests) each number their units 1, 2, 3, ... independently.
     unit_sequence: AtomicU64,
@@ -343,9 +359,50 @@ impl EngineCore {
         self.observe_queue_depth();
     }
 
-    /// Enqueues an event from an external driver; fails once the runtime has
-    /// shut down instead of silently losing the event.
-    pub(crate) fn enqueue_external(&self, event: Event) -> EngineResult<()> {
+    /// Appends one publish batch to the write-ahead log (no-op when the log is
+    /// disabled). Called *before* the queue push — the write-ahead contract:
+    /// an append failure rejects the publish, so no event is ever dispatched
+    /// without being durable first. The converse race is documented rather
+    /// than prevented: a batch logged here and then rejected by a concurrent
+    /// shutdown stays in the log and is re-fed on recovery.
+    fn log_external_batch(
+        &self,
+        source: UnitId,
+        output_label: &Label,
+        arrival_ns: u64,
+        events: &[Event],
+    ) -> EngineResult<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let record = WalRecord {
+            publisher_unit: source.as_u64(),
+            output_label: output_label.clone(),
+            arrival_ns,
+            // Events clone by `Arc`, so logging shares the parts buffers the
+            // queue is about to take.
+            events: events.to_vec(),
+        };
+        wal.lock()
+            .append(&record)
+            .map_err(|err| EngineError::Durability(format!("wal append failed: {err}")))
+    }
+
+    /// Enqueues an event from an external driver, logging it first when the
+    /// write-ahead log is enabled; fails once the runtime has shut down
+    /// instead of silently losing the event.
+    pub(crate) fn enqueue_external(
+        &self,
+        source: UnitId,
+        output_label: &Label,
+        event: Event,
+    ) -> EngineResult<()> {
+        self.log_external_batch(
+            source,
+            output_label,
+            event.origin_ns(),
+            std::slice::from_ref(&event),
+        )?;
         if self.run_queue.push_external(event) {
             self.stats.published.fetch_add(1, Ordering::Relaxed);
             self.observe_queue_depth();
@@ -360,18 +417,49 @@ impl EngineCore {
     /// Enqueues a batch of external events onto one run-queue shard under a
     /// single lock acquisition, returning how many were accepted. The batch is
     /// drained out of `events` (so publishers reuse one buffer per thread).
+    /// When the write-ahead log is enabled the whole batch is appended as one
+    /// frame — and flushed per the fsync policy — before anything is enqueued.
     /// An entirely rejected batch (runtime shut down) fails loudly like
     /// [`EngineCore::enqueue_external`]; a batch that races shutdown may be
     /// partially accepted — the returned count is exactly the number of events
     /// that will be dispatched.
-    pub(crate) fn enqueue_external_batch(&self, events: &mut Vec<Event>) -> EngineResult<usize> {
+    pub(crate) fn enqueue_external_batch(
+        &self,
+        source: UnitId,
+        output_label: &Label,
+        arrival_ns: u64,
+        events: &mut Vec<Event>,
+    ) -> EngineResult<usize> {
         if events.is_empty() {
             return Ok(0);
         }
+        self.log_external_batch(source, output_label, arrival_ns, events)?;
         let accepted = self.run_queue.push_external_batch(events);
         if accepted == 0 {
             return Err(EngineError::InvalidOperation(
                 "engine runtime has shut down; event batch rejected".into(),
+            ));
+        }
+        self.stats
+            .published
+            .fetch_add(accepted as u64, Ordering::Relaxed);
+        self.observe_queue_depth();
+        Ok(accepted)
+    }
+
+    /// Re-feeds recovered events into the run queue through the normal
+    /// dispatch path *without* re-logging them (their log records already
+    /// exist). Each recovered batch keeps its internal order on one shard,
+    /// exactly like the original `publish_batch` transaction did.
+    pub(crate) fn enqueue_recovered_batch(&self, events: &mut Vec<Event>) -> EngineResult<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let expected = events.len();
+        let accepted = self.run_queue.push_external_batch(events);
+        if accepted < expected {
+            return Err(EngineError::InvalidOperation(
+                "engine runtime has shut down; recovery batch rejected".into(),
             ));
         }
         self.stats
@@ -406,9 +494,13 @@ impl EngineCore {
             ctx.finish();
             r
         };
+        // Snapshot for the write-ahead log before releasing the cell: the
+        // closure may have changed the unit's output label, and that final
+        // label is the one its publishes were raised to.
+        let output_label = cell.state.output_label.clone();
         drop(cell);
         for event in outputs {
-            self.enqueue_external(event)?;
+            self.enqueue_external(unit, &output_label, event)?;
         }
         result
     }
@@ -466,6 +558,7 @@ impl EngineCore {
             ctx.finish();
         }
 
+        let output_label = state.output_label.clone();
         let slot = Arc::new(UnitSlot {
             cell: Mutex::new(UnitCell {
                 state,
@@ -487,11 +580,25 @@ impl EngineCore {
                 // Registration from a driver thread: after shutdown the
                 // bootstrap events are rejected loudly (the unit itself stays
                 // registered) instead of rotting on the stopped queue.
-                self.enqueue_external(event)?;
+                self.enqueue_external(id, &output_label, event)?;
             }
         }
         Ok(id)
     }
+}
+
+/// What [`Engine::recover_from`] found in a write-ahead log and re-fed through
+/// dispatch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Publish batches (log frames) replayed.
+    pub batches: u64,
+    /// Events re-enqueued across those batches.
+    pub events: u64,
+    /// Whether the final segment ended in a torn frame that was truncated away.
+    pub torn_tail_truncated: bool,
+    /// Bytes removed by that truncation.
+    pub truncated_bytes: u64,
 }
 
 /// The public handle to a DEFCon engine instance.
@@ -524,12 +631,24 @@ impl Engine {
 
     /// Creates an engine directly from a configuration (the low-level
     /// constructor behind [`EngineBuilder::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured write-ahead log directory cannot be opened for
+    /// appending — a deployment that asked for durability and cannot have it
+    /// should not come up at all.
     pub fn new(config: EngineConfig) -> Self {
         let isolation = if config.mode.isolates() {
             IsolationRuntime::standard()
         } else {
             IsolationRuntime::disabled()
         };
+        let wal = config.wal.clone().map(|wal_config| {
+            let dir = wal_config.dir.clone();
+            Mutex::new(WalWriter::open(wal_config).unwrap_or_else(|err| {
+                panic!("opening write-ahead log in {}: {err}", dir.display())
+            }))
+        });
         let run_queue = RunQueue::new(config.workers_max.max(1));
         let pool = (config.workers_max > 0).then(|| {
             let scale_up_depth = if config.elastic_scale_up_depth > 0 {
@@ -557,6 +676,7 @@ impl Engine {
                 memory: MemoryAccountant::new(),
                 stats: EngineStats::default(),
                 pool,
+                wal,
                 security_epoch: AtomicU64::new(0),
                 unit_sequence: AtomicU64::new(1),
                 started: std::sync::atomic::AtomicBool::new(false),
@@ -595,6 +715,38 @@ impl Engine {
             "Engine::start may only be called once per engine (the runtime lifecycle is one-shot)"
         );
         EngineHandle::launch(self.clone())
+    }
+
+    /// Replays a write-ahead log directory into this engine: scans the
+    /// segments in order, truncates a torn tail at the last valid frame, and
+    /// re-feeds every surviving batch through the normal dispatch path —
+    /// same per-batch ordering as the original `publish_batch` transactions,
+    /// event identities preserved (the id sequence is advanced past every
+    /// recovered id).
+    ///
+    /// Call it after registering the deployment's units (recovered events
+    /// dispatch to whatever is subscribed when they drain) and at any point
+    /// before shutdown; with background workers the replay starts dispatching
+    /// immediately, with `workers(0)` it sits on the queue until pumped.
+    ///
+    /// Recovered events are **not** re-appended to this engine's own log —
+    /// their records already exist when recovering in place, and recovery into
+    /// a different log directory is a migration, not a publish. Cascade
+    /// publications are regenerated by dispatch, exactly as in the original
+    /// run.
+    pub fn recover_from(&self, dir: impl AsRef<Path>) -> EngineResult<RecoveryReport> {
+        let scan = defcon_durability::recover(dir.as_ref())
+            .map_err(|err| EngineError::Durability(format!("wal recovery failed: {err}")))?;
+        let mut report = RecoveryReport {
+            batches: scan.records.len() as u64,
+            torn_tail_truncated: scan.torn_tail_truncated,
+            truncated_bytes: scan.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        for mut record in scan.records {
+            report.events += self.core.enqueue_recovered_batch(&mut record.events)? as u64;
+        }
+        Ok(report)
     }
 
     /// Returns a typed publisher handle that lets an external driver (a

@@ -28,6 +28,10 @@ pub enum EngineError {
     EmptyFilter,
     /// The unit attempted an operation the engine forbids in its current state.
     InvalidOperation(String),
+    /// The write-ahead log failed (I/O error on append or recovery scan). The
+    /// publish that triggered it was *not* enqueued: the write-ahead contract
+    /// refuses work it cannot make durable.
+    Durability(String),
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +47,7 @@ impl fmt::Display for EngineError {
                 write!(f, "subscriptions require a non-empty filter (Table 1)")
             }
             EngineError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            EngineError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }

@@ -218,6 +218,19 @@ impl EventDraft {
         self.part(name, Label::public(), data)
     }
 
+    /// A draft over already-built parts — the replay path: a recorded arrival
+    /// trace stores each draft's parts verbatim (pre-label-raise), and feeding
+    /// them back through here reproduces the original publish byte-for-byte.
+    pub fn from_parts(parts: Vec<defcon_events::Part>) -> Self {
+        EventDraft { parts }
+    }
+
+    /// The parts added so far, in order — what a trace recorder captures
+    /// before the draft is consumed by publishing.
+    pub fn parts(&self) -> &[defcon_events::Part] {
+        &self.parts
+    }
+
     /// Number of parts added so far.
     pub fn len(&self) -> usize {
         self.parts.len()
@@ -272,7 +285,8 @@ impl Publisher {
         }
         let output_label = self.output_label()?;
         let event = self.build_event(draft, &output_label, defcon_events::now_ns())?;
-        self.core.enqueue_external(event)?;
+        self.core
+            .enqueue_external(self.unit, &output_label, event)?;
         Ok(true)
     }
 
@@ -317,7 +331,11 @@ impl Publisher {
             if events.is_empty() {
                 return Ok(0);
             }
-            self.core.enqueue_external_batch(&mut events)
+            let label = output_label
+                .as_ref()
+                .expect("non-empty batch snapshots the label");
+            self.core
+                .enqueue_external_batch(self.unit, label, origin_ns, &mut events)
         })
     }
 

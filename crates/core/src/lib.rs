@@ -85,9 +85,13 @@ pub mod unit;
 pub use builder::{auto_worker_count, EngineBuilder};
 pub use context::{DraftEvent, UnitContext};
 pub use dispatcher::Dispatcher;
-pub use engine::{Engine, EngineConfig, EngineStats, QueueStats, SecurityMode};
+pub use engine::{Engine, EngineConfig, EngineStats, QueueStats, RecoveryReport, SecurityMode};
 pub use error::{EngineError, EngineResult};
 pub use handle::{EngineHandle, EventDraft, Publisher};
 pub use subscription::{Subscription, SubscriptionId, SubscriptionKind};
 pub use tag_store::TagStore;
 pub use unit::{Unit, UnitFactory, UnitId, UnitSpec, UnitState};
+
+// Durability configuration types, re-exported so deployments can enable the
+// write-ahead log (`EngineBuilder::wal`) without a direct crate dependency.
+pub use defcon_durability::{FsyncPolicy, WalConfig};

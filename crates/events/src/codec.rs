@@ -15,7 +15,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use defcon_defc::{Label, Privilege, PrivilegeKind, Tag, TagId, TagSet};
 
-use crate::event::Event;
+use crate::event::{Event, EventId};
 use crate::part::Part;
 use crate::value::{Value, ValueList, ValueMap};
 use crate::EventError;
@@ -23,36 +23,147 @@ use crate::EventError;
 /// Serialises an event into a freshly allocated byte buffer.
 pub fn encode_event(event: &Event) -> Bytes {
     let mut buf = BytesMut::with_capacity(128);
+    encode_event_into(&mut buf, event);
+    buf.freeze()
+}
+
+fn encode_event_into(buf: &mut BytesMut, event: &Event) {
     buf.put_u64_le(event.id().as_u64());
     buf.put_u64_le(event.origin_ns());
-    buf.put_u32_le(event.parts().len() as u32);
-    for part in event.parts() {
-        encode_part(&mut buf, part);
-    }
-    buf.freeze()
+    encode_parts_into(buf, event.parts());
 }
 
 /// Deserialises an event previously produced by [`encode_event`].
 ///
 /// The decoded event receives a fresh [`EventId`](crate::EventId) internally via
 /// [`Event::with_origin`]; the encoded identifier is only used for diagnostics and
-/// is returned alongside the event.
+/// is returned alongside the event. Recovery and replay paths, which need the
+/// original identity, use [`decode_event_preserving_id`] instead.
 pub fn decode_event(mut data: &[u8]) -> Result<(u64, Event), EventError> {
     let buf = &mut data;
     let original_id = take_u64(buf)?;
     let origin_ns = take_u64(buf)?;
+    let parts = decode_parts_from(buf)?;
+    let event = Event::with_origin(parts, origin_ns)?;
+    Ok((original_id, event))
+}
+
+/// Deserialises an event, keeping the encoded [`EventId`](crate::EventId) as the
+/// decoded event's identity.
+///
+/// [`decode_event`] always mints a fresh id, which is correct for the
+/// copy-cost-modelling baselines but breaks replay determinism and exactly-once
+/// accounting across recovery: the write-ahead log must hand back the *same*
+/// event it logged. Construction goes through [`Event::with_identity`], which
+/// also advances the process-wide id sequence past the recovered id so freshly
+/// minted events never collide with it.
+pub fn decode_event_preserving_id(mut data: &[u8]) -> Result<Event, EventError> {
+    decode_event_from(&mut data)
+}
+
+fn decode_event_from(buf: &mut &[u8]) -> Result<Event, EventError> {
+    let id = take_u64(buf)?;
+    let origin_ns = take_u64(buf)?;
+    let parts = decode_parts_from(buf)?;
+    Event::with_identity(EventId::from_raw(id), parts, origin_ns)
+}
+
+/// Serialises a bare part list (count-prefixed, no event header).
+///
+/// This is the unit of the recorded arrival-trace format: a draft captured
+/// before publish has no identity, label raise or timestamp yet, only parts.
+pub fn encode_parts(parts: &[Part]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    encode_parts_into(&mut buf, parts);
+    buf.freeze()
+}
+
+/// Deserialises a part list produced by [`encode_parts`], rejecting trailing
+/// bytes.
+pub fn decode_parts(mut data: &[u8]) -> Result<Vec<Part>, EventError> {
+    let parts = decode_parts_from(&mut data)?;
+    if !data.is_empty() {
+        return Err(EventError::Codec("trailing bytes after parts".into()));
+    }
+    Ok(parts)
+}
+
+fn encode_parts_into(buf: &mut BytesMut, parts: &[Part]) {
+    buf.put_u32_le(parts.len() as u32);
+    for part in parts {
+        encode_part(buf, part);
+    }
+}
+
+fn decode_parts_from(buf: &mut &[u8]) -> Result<Vec<Part>, EventError> {
     let part_count = take_u32(buf)? as usize;
     if part_count > 1_000_000 {
         return Err(EventError::Codec(format!(
             "implausible part count {part_count}"
         )));
     }
-    let mut parts = Vec::with_capacity(part_count);
+    let mut parts = Vec::with_capacity(part_count.min(4096));
     for _ in 0..part_count {
         parts.push(decode_part(buf)?);
     }
-    let event = Event::with_origin(parts, origin_ns)?;
-    Ok((original_id, event))
+    Ok(parts)
+}
+
+/// One write-ahead-log record: everything the engine needs to re-feed an
+/// externally published batch through normal dispatch after a crash.
+#[derive(Debug)]
+pub struct WalRecord {
+    /// Raw id of the publishing unit.
+    pub publisher_unit: u64,
+    /// The publisher's output label at publish time (diagnostics: events carry
+    /// their raised labels themselves).
+    pub output_label: Label,
+    /// The arrival timestamp stamped on the whole batch, in nanoseconds.
+    pub arrival_ns: u64,
+    /// The batch's events, in publish order, identities preserved.
+    pub events: Vec<Event>,
+}
+
+/// Serialises a [`WalRecord`]: publisher unit, output label and arrival
+/// timestamp round-trip alongside the batch's events (ids preserved).
+pub fn encode_wal_record(record: &WalRecord) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256);
+    buf.put_u64_le(record.publisher_unit);
+    encode_label(&mut buf, &record.output_label);
+    buf.put_u64_le(record.arrival_ns);
+    buf.put_u32_le(record.events.len() as u32);
+    for event in &record.events {
+        encode_event_into(&mut buf, event);
+    }
+    buf.freeze()
+}
+
+/// Deserialises a [`WalRecord`] produced by [`encode_wal_record`], preserving
+/// every event's identity and rejecting trailing bytes.
+pub fn decode_wal_record(mut data: &[u8]) -> Result<WalRecord, EventError> {
+    let buf = &mut data;
+    let publisher_unit = take_u64(buf)?;
+    let output_label = decode_label(buf)?;
+    let arrival_ns = take_u64(buf)?;
+    let event_count = take_u32(buf)? as usize;
+    if event_count > 1_000_000 {
+        return Err(EventError::Codec(format!(
+            "implausible event count {event_count}"
+        )));
+    }
+    let mut events = Vec::with_capacity(event_count.min(4096));
+    for _ in 0..event_count {
+        events.push(decode_event_from(buf)?);
+    }
+    if !buf.is_empty() {
+        return Err(EventError::Codec("trailing bytes after wal record".into()));
+    }
+    Ok(WalRecord {
+        publisher_unit,
+        output_label,
+        arrival_ns,
+        events,
+    })
 }
 
 fn encode_part(buf: &mut BytesMut, part: &Part) {
@@ -324,6 +435,63 @@ mod tests {
                 assert_eq!(pa.tag.id(), pb.tag.id());
             }
         }
+    }
+
+    #[test]
+    fn decode_preserving_id_round_trips_identity() {
+        let event = rich_event();
+        let encoded = encode_event(&event);
+        let decoded = decode_event_preserving_id(&encoded).unwrap();
+        assert_eq!(decoded.id(), event.id());
+        assert_eq!(decoded.origin_ns(), event.origin_ns());
+        assert_eq!(decoded.part_count(), event.part_count());
+        // The sequence was advanced past the recovered id: fresh events do not
+        // collide with it.
+        assert!(rich_event().id().as_u64() > decoded.id().as_u64());
+    }
+
+    #[test]
+    fn parts_round_trip_and_reject_trailing_bytes() {
+        let event = rich_event();
+        let encoded = encode_parts(event.parts());
+        let decoded = decode_parts(&encoded).unwrap();
+        assert_eq!(decoded.len(), event.part_count());
+        for (a, b) in decoded.iter().zip(event.parts()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.label(), b.label());
+            assert!(a.data().structurally_equals(b.data()));
+        }
+        let mut padded = encoded.to_vec();
+        padded.push(0);
+        assert!(decode_parts(&padded).is_err());
+    }
+
+    #[test]
+    fn wal_record_round_trips_batch_metadata() {
+        let t = Tag::with_name("wal-test");
+        let label = Label::confidential(TagSet::singleton(t));
+        let events = vec![rich_event(), rich_event()];
+        let record = WalRecord {
+            publisher_unit: 17,
+            output_label: label.clone(),
+            arrival_ns: 12345,
+            events: events.clone(),
+        };
+        let encoded = encode_wal_record(&record);
+        let decoded = decode_wal_record(&encoded).unwrap();
+        assert_eq!(decoded.publisher_unit, 17);
+        assert_eq!(decoded.output_label, label);
+        assert_eq!(decoded.arrival_ns, 12345);
+        assert_eq!(decoded.events.len(), 2);
+        for (a, b) in decoded.events.iter().zip(&events) {
+            assert_eq!(a.id(), b.id(), "wal decode preserves event identity");
+            assert_eq!(a.part_count(), b.part_count());
+        }
+        // Truncation anywhere must fail cleanly, and trailing bytes are rejected.
+        assert!(decode_wal_record(&encoded[..encoded.len() - 1]).is_err());
+        let mut padded = encoded.to_vec();
+        padded.push(0);
+        assert!(decode_wal_record(&padded).is_err());
     }
 
     #[test]

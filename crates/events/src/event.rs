@@ -36,6 +36,21 @@ impl EventId {
     pub fn as_u64(&self) -> u64 {
         self.0
     }
+
+    /// Reconstitutes an identifier from its raw value, as stored by the codec.
+    ///
+    /// Callers that mint events with a recovered id must also call
+    /// [`EventId::advance_past`] (or construct via [`Event::with_identity`],
+    /// which does so) to keep future fresh ids collision-free.
+    pub fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+
+    /// Advances the process-wide id sequence past `raw`, so that identifiers
+    /// recovered from a log can never collide with freshly minted ones.
+    pub fn advance_past(raw: u64) {
+        EVENT_SEQUENCE.fetch_max(raw.saturating_add(1), Ordering::Relaxed);
+    }
 }
 
 impl fmt::Display for EventId {
@@ -79,6 +94,27 @@ impl Event {
         }
         Ok(Event {
             id: EventId::next(),
+            origin_ns,
+            parts: Arc::new(parts),
+        })
+    }
+
+    /// Reconstitutes an event with an explicit identity, used by recovery and
+    /// replay: the decoded event must *be* the original — same id — for
+    /// exactly-once accounting and run-to-run delivery comparison to hold
+    /// across a crash. Advances the process-wide id sequence past `id` so
+    /// later fresh events cannot collide with the recovered one.
+    pub fn with_identity(
+        id: EventId,
+        parts: Vec<Part>,
+        origin_ns: u64,
+    ) -> Result<Self, EventError> {
+        if parts.is_empty() {
+            return Err(EventError::EmptyEvent);
+        }
+        EventId::advance_past(id.as_u64());
+        Ok(Event {
+            id,
             origin_ns,
             parts: Arc::new(parts),
         })
@@ -437,6 +473,27 @@ mod tests {
             .unwrap();
         assert_eq!(event.origin_ns(), 42);
         assert!(event.first_part("grant").unwrap().is_privilege_carrying());
+    }
+
+    #[test]
+    fn with_identity_preserves_id_and_advances_sequence() {
+        let raw = simple_event().id().as_u64() + 1000;
+        let rebuilt = Event::with_identity(
+            EventId::from_raw(raw),
+            vec![Part::new("type", Label::public(), Value::str("bid"))],
+            7,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.id().as_u64(), raw);
+        assert_eq!(rebuilt.origin_ns(), 7);
+        assert!(
+            simple_event().id().as_u64() > raw,
+            "sequence advanced past recovered id"
+        );
+        assert_eq!(
+            Event::with_identity(EventId::from_raw(1), vec![], 0).unwrap_err(),
+            EventError::EmptyEvent
+        );
     }
 
     #[test]

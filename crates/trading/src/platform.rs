@@ -446,6 +446,21 @@ impl TradingPlatform {
         Ok(row)
     }
 
+    /// Replays a recorded arrival trace through the platform — the
+    /// [`TradingPlatform::replay_scenario`] convenience for trace files
+    /// captured by `ScenarioDriver::record`. The trace contributes the burst
+    /// sizes and inter-burst pauses; tick content comes from the platform's
+    /// own generator, exactly as for any other scenario replay.
+    pub fn replay_trace(&mut self, path: &std::path::Path) -> EngineResult<PlatformReport> {
+        let mut replay = defcon_workload::ReplayTrace::load(path).map_err(|err| {
+            defcon_core::EngineError::InvalidOperation(format!(
+                "loading arrival trace {}: {err}",
+                path.display()
+            ))
+        })?;
+        self.replay_scenario(&mut replay)
+    }
+
     /// Replays `n` ticks as fast as the engine can absorb them, feeding them in
     /// chunks of the configured batch size (1 = the classic tick-by-tick
     /// drive).

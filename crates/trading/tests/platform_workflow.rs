@@ -165,6 +165,46 @@ fn scenario_arrival_shapes_replay_through_the_platform() {
 }
 
 #[test]
+fn recorded_traces_replay_through_the_platform() {
+    // Capture an arrival trace with the engine-level driver, then feed its
+    // shape — burst sizes and pauses — through the full trading cascade via
+    // replay_trace. The tick count must equal the trace's event count.
+    use defcon_core::unit::NullUnit;
+    use defcon_core::{Engine, UnitSpec};
+    use defcon_workload::scenario::{MixedBatches, ScenarioDriver};
+
+    let dir = std::env::temp_dir().join(format!("defcon-platform-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("arrival.trace");
+
+    let engine = Engine::builder().build();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).unwrap();
+    let mut scenario = MixedBatches::new(2, vec![4, 12], 320);
+    let outcome = driver.record(&mut scenario, &path).unwrap();
+    handle.shutdown().unwrap();
+    assert_eq!(outcome.published, 320);
+
+    let config = TradingPlatformConfig {
+        batch_size: 8,
+        ..small_config(SecurityMode::LabelsFreeze, 8)
+    };
+    let mut platform = TradingPlatform::build(config).unwrap();
+    let row = platform.replay_trace(&path).unwrap();
+    assert_eq!(row.ticks, 320, "every traced draft becomes one tick");
+    assert!(row.orders > 0, "the cascade must place orders");
+
+    // A torn trace is rejected loudly, not replayed partially.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    assert!(platform.replay_trace(&path).is_err());
+}
+
+#[test]
 fn traders_never_receive_other_traders_opportunities() {
     // With label checks on, every match event is confined to one trader's tag, so
     // the number of deliveries of match events equals the number of match events

@@ -31,8 +31,8 @@ pub mod zipf;
 
 pub use orders::{Order, OrderSide, Trade};
 pub use scenario::{
-    Burst, BurstyOpenClose, CountingSink, MixedBatches, Scenario, ScenarioDriver, ScenarioOutcome,
-    SlowConsumerFlood, ZipfLanes,
+    Burst, BurstyOpenClose, CountingSink, MixedBatches, ReplayTrace, Scenario, ScenarioDriver,
+    ScenarioOutcome, SlowConsumerFlood, ZipfLanes,
 };
 pub use symbols::{Symbol, SymbolPair, SymbolUniverse};
 pub use ticks::{Tick, TickGenerator, TickGeneratorConfig};

@@ -35,11 +35,13 @@
 //! handle.shutdown().unwrap();
 //! ```
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use defcon_core::{EngineHandle, EngineResult, EventDraft, Publisher, Unit, UnitContext, UnitId};
+use defcon_durability::{Trace, TraceBurst, TraceWriter};
 use defcon_events::{now_ns, Event, Filter, Value};
 use defcon_metrics::LatencyHistogram;
 
@@ -484,6 +486,42 @@ impl<'a> ScenarioDriver<'a> {
     /// because it shut down), then — for handle-attached drivers — waits for
     /// the engine to drain everything it accepted.
     pub fn run(&self, scenario: &mut dyn Scenario) -> ScenarioOutcome {
+        self.drive(scenario, &mut |_| Ok(()))
+            .expect("the no-op tap never fails")
+    }
+
+    /// Runs `scenario` exactly like [`ScenarioDriver::run`] while recording
+    /// every burst — batch boundaries, inter-burst pauses and each draft's
+    /// parts verbatim — into a [`Trace`] file at `path`. Replaying the file
+    /// (via [`ReplayTrace`]) reproduces the captured arrival process
+    /// byte-for-byte.
+    pub fn record(
+        &self,
+        scenario: &mut dyn Scenario,
+        path: &Path,
+    ) -> std::io::Result<ScenarioOutcome> {
+        let mut writer = TraceWriter::create(path, scenario.lane_count())?;
+        let outcome = self.drive(scenario, &mut |burst| {
+            writer.append(&TraceBurst {
+                pause_ns: burst.pause.as_nanos() as u64,
+                drafts: burst
+                    .drafts
+                    .iter()
+                    .map(|draft| draft.parts().to_vec())
+                    .collect(),
+            })
+        })?;
+        writer.finish()?;
+        Ok(outcome)
+    }
+
+    /// The shared replay loop: `tap` observes each burst just before it is
+    /// published (the trace recorder); a tap failure aborts the replay.
+    fn drive(
+        &self,
+        scenario: &mut dyn Scenario,
+        tap: &mut dyn FnMut(&Burst) -> std::io::Result<()>,
+    ) -> std::io::Result<ScenarioOutcome> {
         let start = Instant::now();
         let mut outcome = ScenarioOutcome {
             scenario: scenario.name().to_string(),
@@ -500,6 +538,7 @@ impl<'a> ScenarioDriver<'a> {
                 outcome.completed = outcome.rejected == 0;
                 break;
             };
+            tap(&burst)?;
             if !burst.pause.is_zero() {
                 std::thread::sleep(burst.pause);
             }
@@ -534,7 +573,69 @@ impl<'a> ScenarioDriver<'a> {
             };
         }
         outcome.elapsed = start.elapsed();
-        outcome
+        Ok(outcome)
+    }
+}
+
+/// A [`Scenario`] replaying a recorded arrival [`Trace`] byte-for-byte: the
+/// same batch boundaries, the same inter-burst pauses, the same draft parts
+/// (labels are re-raised and ids re-minted at publish, as on the original
+/// run). Because dispatch is deterministic for a fixed engine configuration,
+/// two replays of one trace produce identical dispatched and delivered
+/// counts — the noise-free A/B baseline for hot-path changes.
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    trace: Trace,
+    cursor: usize,
+}
+
+impl ReplayTrace {
+    /// Loads a trace file recorded by [`ScenarioDriver::record`]. A torn file
+    /// (recording crashed mid-burst) is an error.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        Ok(ReplayTrace::from_trace(Trace::load(path)?))
+    }
+
+    /// Wraps an already-loaded trace.
+    pub fn from_trace(trace: Trace) -> Self {
+        ReplayTrace { trace, cursor: 0 }
+    }
+
+    /// Rewinds to the first burst so the same loaded trace can replay again.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl Scenario for ReplayTrace {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn lane_count(&self) -> usize {
+        self.trace.lane_count
+    }
+
+    fn total_events(&self) -> u64 {
+        self.trace.total_events()
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        let recorded = self.trace.bursts.get(self.cursor)?;
+        self.cursor += 1;
+        Some(Burst {
+            pause: Duration::from_nanos(recorded.pause_ns),
+            drafts: recorded
+                .drafts
+                .iter()
+                .map(|parts| EventDraft::from_parts(parts.clone()))
+                .collect(),
+        })
     }
 }
 
@@ -609,6 +710,97 @@ mod tests {
         let (events, _, sizes) = drain(&mut scenario);
         assert_eq!(events, 2 * (1 + 8 + 64));
         assert_eq!(sizes, vec![1, 8, 64, 1, 8, 64]);
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_bursts_and_deliveries() {
+        use defcon_core::unit::NullUnit;
+        use defcon_core::{Engine, UnitSpec};
+
+        let dir =
+            std::env::temp_dir().join(format!("defcon-scenario-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.trace");
+
+        let run = |scenario: &mut dyn Scenario,
+                   record_to: Option<&Path>|
+         -> (ScenarioOutcome, Vec<u64>) {
+            let engine = Engine::builder().build();
+            let lanes = scenario.lane_count();
+            let counters: Vec<_> = (0..lanes)
+                .map(|lane| {
+                    let (sink, received) = CountingSink::new(lane_name(lane));
+                    engine
+                        .register_unit(UnitSpec::new(format!("sink-{lane}")), Box::new(sink))
+                        .unwrap();
+                    received
+                })
+                .collect();
+            let source = engine
+                .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+                .unwrap();
+            let handle = engine.start();
+            let driver = ScenarioDriver::new(&handle, source).unwrap();
+            let outcome = match record_to {
+                Some(path) => driver.record(scenario, path).unwrap(),
+                None => driver.run(scenario),
+            };
+            handle.shutdown().unwrap();
+            let per_lane = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            (outcome, per_lane)
+        };
+
+        let mut original = MixedBatches::new(3, vec![2, 5], 40);
+        let (recorded_outcome, recorded_lanes) = run(&mut original, Some(&path));
+        assert!(recorded_outcome.completed && recorded_outcome.drained);
+        assert_eq!(recorded_outcome.published, 40);
+
+        let mut replay = ReplayTrace::load(&path).unwrap();
+        assert_eq!(replay.lane_count(), 3);
+        assert_eq!(replay.total_events(), 40);
+        let (replay_outcome, replay_lanes) = run(&mut replay, None);
+        assert_eq!(replay_outcome.bursts, recorded_outcome.bursts);
+        assert_eq!(replay_outcome.published, recorded_outcome.published);
+        assert_eq!(replay_lanes, recorded_lanes, "same per-lane deliveries");
+
+        // The same loaded trace replays again after a rewind.
+        assert!(replay.next_burst().is_none());
+        replay.rewind();
+        let (again, again_lanes) = run(&mut replay, None);
+        assert_eq!(again.published, 40);
+        assert_eq!(again_lanes, replay_lanes);
+    }
+
+    #[test]
+    fn replay_preserves_recorded_pauses() {
+        let dir =
+            std::env::temp_dir().join(format!("defcon-scenario-pause-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bursty.trace");
+
+        let pause = Duration::from_millis(2);
+        let engine = defcon_core::Engine::builder().build();
+        let source = engine
+            .register_unit(
+                defcon_core::UnitSpec::new("feed"),
+                Box::new(defcon_core::unit::NullUnit),
+            )
+            .unwrap();
+        let handle = engine.start();
+        let driver = ScenarioDriver::new(&handle, source).unwrap();
+        let mut scenario = BurstyOpenClose::new(2, 10, 2, pause, 48);
+        driver.record(&mut scenario, &path).unwrap();
+        handle.shutdown().unwrap();
+
+        let mut replay = ReplayTrace::load(&path).unwrap();
+        let mut pauses = Vec::new();
+        while let Some(burst) = replay.next_burst() {
+            pauses.push(burst.pause);
+        }
+        assert!(pauses.iter().step_by(2).all(|p| p.is_zero()));
+        assert!(pauses.iter().skip(1).step_by(2).all(|p| *p == pause));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`defc`] — tags, labels, the can-flow-to lattice and privileges (§3.1);
 //! * [`events`] — multi-part events, freezable values, filters and a codec (§3.1.2,
 //!   §5);
+//! * [`durability`] — segmented CRC32-framed write-ahead log and recorded
+//!   arrival traces for crash recovery and deterministic replay;
 //! * [`isolation`] — the isolation substrate modelling §4's methodology;
 //! * [`core`] — the DEFCon engine: dispatcher, subscriptions, the Table 1 API;
 //! * [`metrics`] — throughput, latency and memory instrumentation (§6.2);
@@ -25,6 +27,7 @@
 pub use defcon_baseline as baseline;
 pub use defcon_core as core;
 pub use defcon_defc as defc;
+pub use defcon_durability as durability;
 pub use defcon_events as events;
 pub use defcon_isolation as isolation;
 pub use defcon_metrics as metrics;
