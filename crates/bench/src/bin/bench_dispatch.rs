@@ -17,7 +17,9 @@
 //! (grouped over ungrouped at the pinned `workers(1) × batch(8)`
 //! alternating-unit cell), and `wal_overhead_w1_b8` (that same pinned cell
 //! with the write-ahead log off over on-with-`fsync: EveryBatch` — the
-//! durability cost factor).
+//! durability cost factor). The same pinned cell also sweeps the fsync
+//! spectrum: `wal-everybatch`, `wal-interval` (5ms bounded-loss window) and
+//! `wal-never` cells.
 //!
 //! Record/replay: `--record <trace>` captures the pinned cell's arrival trace
 //! (and exits); `--replay <trace>` re-feeds a captured trace byte-for-byte —
@@ -182,7 +184,10 @@ fn run_cell(
                 })
                 .collect();
             assert_eq!(
-                publisher.publish_batch(drafts).expect("publish batch"),
+                publisher
+                    .publish_batch(drafts)
+                    .expect("publish batch")
+                    .accepted(),
                 chunk
             );
         }
@@ -420,11 +425,13 @@ fn main() {
     let at = |workers: usize, batch_size: usize| at_grouping(workers, batch_size, false);
 
     // Durability cost: the pinned grouped workers(1) × batch(8) cell rerun
-    // with the write-ahead log on, at both ends of the fsync spectrum. Each
-    // repetition logs into a freshly wiped temp directory.
+    // with the write-ahead log on, across the fsync spectrum — per-batch
+    // fsync, a 5ms interval (the bounded-loss middle ground), and never.
+    // Each repetition logs into a freshly wiped temp directory.
     let mut wal_everybatch_eps = None;
     for (name, policy) in [
         ("wal-everybatch", FsyncPolicy::EveryBatch),
+        ("wal-interval", FsyncPolicy::IntervalMs(5)),
         ("wal-never", FsyncPolicy::Never),
     ] {
         let outcome = run_cell_best_of(

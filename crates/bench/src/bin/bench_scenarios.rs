@@ -28,13 +28,17 @@ use std::time::Duration;
 use defcon_bench::report::arg_value;
 use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
-use defcon_core::{auto_worker_count, Engine, SecurityMode, UnitSpec};
+use defcon_core::{
+    auto_worker_count, Engine, FullQueuePolicy, IngressConfig, SecurityMode, UnitSpec,
+};
+use defcon_ingress::IngressTier;
 use defcon_metrics::LatencyHistogram;
 use defcon_trading::{PlatformReport, TradingPlatform, TradingPlatformConfig};
 use defcon_workload::scenario::{
-    BurstyOpenClose, CountingSink, MixedBatches, ReplayTrace, Scenario, ScenarioDriver,
-    SlowConsumerFlood, ZipfLanes,
+    BurstyOpenClose, CountingSink, CreditStorm, MixedBatches, ReplayTrace, Scenario,
+    ScenarioDriver, SlowConsumerFlood, ZipfLanes,
 };
+use defcon_workload::IngressScenarioDriver;
 
 /// One measured replay: outcome counters plus the merged sink-side latency.
 struct ScenarioRun {
@@ -127,6 +131,116 @@ fn run_scenario(
     ScenarioRun {
         record: BenchRecord::from_platform(&outcome.scenario, &row),
         peak_queue_depth: outcome.peak_queue_depth,
+    }
+}
+
+/// One credit-gated replay: the bench record (policy-stamped) plus the
+/// admission ledger the run left behind.
+struct IngressRun {
+    record: BenchRecord,
+    peak_queue_depth: usize,
+    bound_held: bool,
+    shed: u64,
+    credit_stalls: u64,
+}
+
+/// Replays one scenario through the credit-gated ingress tier on a fresh
+/// elastic-band engine with a bounded run queue, and returns its
+/// policy-stamped bench record plus the admission ledger. The exactly-once
+/// check here is against the *admitted* count — under a shedding policy the
+/// ledger accounts for the rest.
+fn run_ingress_scenario(
+    scenario: &mut dyn Scenario,
+    policy: FullQueuePolicy,
+    queue_bound: usize,
+    batch_size: usize,
+    sink_delay: Duration,
+) -> IngressRun {
+    let (workers_min, workers_max) = worker_band();
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers_min(workers_min)
+        .workers_max(workers_max)
+        .batch_size(batch_size)
+        .event_cache(0)
+        .ingress(
+            IngressConfig::new(queue_bound)
+                .credit_window(queue_bound / 4)
+                .policy(policy),
+        )
+        .build();
+
+    let lanes = scenario.lane_count();
+    let mut counters = Vec::with_capacity(lanes);
+    let mut histograms = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        let histogram = Arc::new(LatencyHistogram::new());
+        let (sink, received) = CountingSink::new(ZipfLanes::lane_name(lane));
+        let sink = sink
+            .with_latency(Arc::clone(&histogram))
+            .with_delay(sink_delay);
+        engine
+            .register_unit(UnitSpec::new(format!("sink-{lane}")), Box::new(sink))
+            .expect("sink registers");
+        counters.push(received);
+        histograms.push(histogram);
+    }
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+
+    let handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let driver = IngressScenarioDriver::new(&tier, &engine, source, 4).expect("ingress driver");
+    let outcome = driver.run(scenario);
+    tier.shutdown();
+    handle.shutdown().expect("shutdown");
+
+    assert!(
+        outcome.drained,
+        "{}[{}]: a bench replay must drain",
+        outcome.scenario,
+        policy.as_str()
+    );
+    let stats = engine.queue_stats();
+    let delivered: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    assert_eq!(
+        delivered,
+        stats.ingress_admitted,
+        "{}[{}]: exactly-once delivery of every admitted event",
+        outcome.scenario,
+        policy.as_str()
+    );
+    assert_eq!(
+        stats.ingress_admitted + stats.ingress_shed,
+        scenario.total_events(),
+        "{}[{}]: admitted + shed must account for every submitted event",
+        outcome.scenario,
+        policy.as_str()
+    );
+
+    let latency = LatencyHistogram::new();
+    for histogram in &histograms {
+        latency.merge(histogram);
+    }
+    let pool = engine.queue_stats();
+    let row = PlatformReport::from_scenario(
+        &outcome,
+        SecurityMode::LabelsFreeze,
+        pool.workers_min,
+        engine.configured_workers(),
+        pool.workers_high_water,
+        batch_size,
+        lanes,
+        &latency.summary(),
+    );
+    println!("  [{}] {}", policy.as_str(), row.as_row());
+    IngressRun {
+        record: BenchRecord::from_platform(&outcome.scenario, &row).with_policy(policy.as_str()),
+        peak_queue_depth: outcome.peak_queue_depth,
+        bound_held: outcome.peak_queue_depth <= queue_bound,
+        shed: stats.ingress_shed,
+        credit_stalls: stats.ingress_credit_stalls,
     }
 }
 
@@ -238,6 +352,64 @@ fn main() {
         }
         report.push(run.record);
     }
+
+    // The credit-gated ingress sweep: the same SlowConsumerFlood that drives
+    // the direct path to multi-thousand-event backlogs (the committed
+    // slow_consumer_peak_queue_depth metric), replayed through bounded
+    // admission under each full-queue policy — plus a CreditStorm cell that
+    // hammers one session's credit window at a time. The headline metric is
+    // `ingress_bound_holds`: 1 iff every credit-gated run's sampled peak
+    // queue depth stayed within the configured bound.
+    let ingress_bound = 128usize;
+    let ingress_events = slow_events;
+    println!("== credit-gated ingress sweep (queue bound {ingress_bound}) ==");
+    let mut bound_holds = true;
+    for policy in FullQueuePolicy::all() {
+        let mut scenario = SlowConsumerFlood::new(64, ingress_events);
+        let run = run_ingress_scenario(
+            &mut scenario,
+            policy,
+            ingress_bound,
+            batch_size,
+            Duration::from_micros(20),
+        );
+        println!(
+            "{:<16} policy={:<12} peak-queue={:>5} (bound {ingress_bound}) shed={:>6} credit-stalls={}",
+            run.record.name,
+            policy.as_str(),
+            run.peak_queue_depth,
+            run.shed,
+            run.credit_stalls,
+        );
+        bound_holds &= run.bound_held;
+        let policy_key = policy.as_str().replace('-', "_");
+        report.metric(&format!("ingress_shed_{policy_key}"), run.shed as f64);
+        report.metric(
+            &format!("ingress_credit_stalls_{policy_key}"),
+            run.credit_stalls as f64,
+        );
+        report.metric(
+            &format!("ingress_peak_queue_depth_{policy_key}"),
+            run.peak_queue_depth as f64,
+        );
+        report.push(run.record);
+    }
+    {
+        let mut scenario = CreditStorm::new(lanes, 96, ingress_events);
+        let run = run_ingress_scenario(
+            &mut scenario,
+            FullQueuePolicy::Block,
+            ingress_bound,
+            batch_size,
+            Duration::from_micros(20),
+        );
+        bound_holds &= run.bound_held;
+        report.metric("credit_storm_peak_queue_depth", run.peak_queue_depth as f64);
+        report.metric("credit_storm_credit_stalls", run.credit_stalls as f64);
+        report.push(run.record);
+    }
+    report.metric("ingress_bound_holds", if bound_holds { 1.0 } else { 0.0 });
+    report.metric("ingress_queue_bound", ingress_bound as f64);
 
     // Scenario arrival shapes through the full trading platform: the same
     // bursts now drive tick cascades (monitors, traders, broker, regulator)

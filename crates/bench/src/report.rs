@@ -65,6 +65,11 @@ pub struct BenchRecord {
     /// cells only ever compare against replay baselines — a trace's arrival
     /// shape is not comparable with a generator's.
     pub replay: bool,
+    /// The full-queue admission policy the cell ran under (`"block"`,
+    /// `"shed-newest"`, `"shed-oldest"`), or empty for cells that publish on
+    /// the direct unbounded path. The regression gate keys on this too:
+    /// a shedding cell's throughput is not comparable with a blocking one's.
+    pub policy: String,
 }
 
 impl BenchRecord {
@@ -91,12 +96,20 @@ impl BenchRecord {
             latency_p99_ms: report.latency_p99_ms,
             memory_mib: report.memory_mib,
             replay: false,
+            policy: String::new(),
         }
     }
 
     /// Marks the record as a trace replay (see [`BenchRecord::replay`]).
     pub fn as_replay(mut self) -> Self {
         self.replay = true;
+        self
+    }
+
+    /// Stamps the admission policy the cell ran under (see
+    /// [`BenchRecord::policy`]).
+    pub fn with_policy(mut self, policy: &str) -> Self {
+        self.policy = policy.to_string();
         self
     }
 
@@ -119,6 +132,7 @@ impl BenchRecord {
             latency_p99_ms: 0.0,
             memory_mib: report.memory_mib,
             replay: false,
+            policy: String::new(),
         }
     }
 
@@ -150,12 +164,13 @@ impl BenchRecord {
             latency_p99_ms: latency.p99_ms,
             memory_mib: 0.0,
             replay: false,
+            policy: String::new(),
         }
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{}}}",
+            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{},\"policy\":{}}}",
             json_string(&self.name),
             json_string(&self.mode),
             self.workers,
@@ -170,6 +185,7 @@ impl BenchRecord {
             json_number(self.latency_p99_ms),
             json_number(self.memory_mib),
             self.replay,
+            json_string(&self.policy),
         )
     }
 }
@@ -489,6 +505,7 @@ mod tests {
             latency_p99_ms: 1.5,
             memory_mib: 10.25,
             replay: false,
+            policy: String::new(),
         }
     }
 
@@ -515,6 +532,10 @@ mod tests {
             "non-finite numbers must serialise as null, not NaN"
         );
         assert!(json.contains("\"replay\":false"));
+        assert!(
+            json.contains("\"policy\":\"\""),
+            "direct-path cells carry an empty policy key"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Tests of `scripts/bench_gate.sh`, the CI bench regression gate: it must
 //! fail on a >20% throughput drop at a matched `(name, mode, workers,
-//! batch_size)` cell, pass within the threshold, and skip (with a warning,
+//! batch_size, replay, policy)` cell, pass within the threshold, and skip (with a warning,
 //! not a failure) when there is no previous report to compare against.
 //!
 //! The script is plain bash + jq; when either tool is unavailable the tests
@@ -63,6 +63,14 @@ fn report_on_host(throughput_eps: f64, workers: usize, batch_size: usize, host: 
 fn replay_report(throughput_eps: f64, workers: usize, batch_size: usize) -> String {
     report(throughput_eps, workers, batch_size)
         .replace("\"memory_mib\":0}", "\"memory_mib\":0,\"replay\":true}")
+}
+
+/// A fixed-pool record stamped with an admission policy.
+fn policy_report(throughput_eps: f64, workers: usize, batch_size: usize, policy: &str) -> String {
+    report(throughput_eps, workers, batch_size).replace(
+        "\"memory_mib\":0}",
+        &format!("\"memory_mib\":0,\"policy\":\"{policy}\"}}"),
+    )
 }
 
 /// [`report_on_host`] on the default test host fingerprint.
@@ -236,7 +244,7 @@ fn gate_never_matches_an_elastic_band_against_a_fixed_pool() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "band vs fixed must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
         "{out}"
     );
 }
@@ -255,7 +263,7 @@ fn gate_never_matches_a_replay_cell_against_a_generated_baseline() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "replay vs generated must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
         "{out}"
     );
 }
@@ -313,7 +321,74 @@ fn gate_skips_unmatched_cells_instead_of_comparing_apples_to_oranges() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "unmatched cells must be skipped: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
         "{out}"
+    );
+}
+
+#[test]
+fn gate_never_matches_an_admission_policy_cell_against_the_direct_path() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("policyfixed");
+    // A shed-newest cell and a direct-path cell of the same configuration are
+    // different measurements (shedding changes what throughput means): the
+    // huge "drop" must be skipped as unmatched, not flagged.
+    gate.write_prev("BENCH_scenarios.json", &report(500_000.0, 4, 8));
+    gate.write_current(
+        "BENCH_scenarios.json",
+        &policy_report(100_000.0, 4, 8, "shed-newest"),
+    );
+    let (code, out) = gate.run("BENCH_scenarios.json");
+    assert_eq!(code, 0, "policy vs direct must be unmatched: {out}");
+    assert!(
+        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
+        "{out}"
+    );
+}
+
+#[test]
+fn gate_matches_admission_policy_cells_against_same_policy_baselines() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("policypair");
+    gate.write_prev(
+        "BENCH_scenarios.json",
+        &policy_report(100_000.0, 4, 8, "block"),
+    );
+    gate.write_current(
+        "BENCH_scenarios.json",
+        &policy_report(70_000.0, 4, 8, "block"),
+    );
+    let (code, out) = gate.run("BENCH_scenarios.json");
+    assert_eq!(code, 1, "a 30% same-policy drop must fail: {out}");
+    assert!(
+        out.contains("|pblock"),
+        "the key carries the policy marker: {out}"
+    );
+}
+
+#[test]
+fn gate_treats_records_predating_the_policy_field_as_direct_path() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("policylegacy");
+    // The archived baseline has no policy field (it predates it); the current
+    // direct-path record must still match it — and this 30% drop must fail.
+    gate.write_prev("BENCH_scenarios.json", &report(100_000.0, 4, 8));
+    gate.write_current(
+        "BENCH_scenarios.json",
+        &report(70_000.0, 4, 8).replace("\"memory_mib\":0}", "\"memory_mib\":0,\"policy\":\"\"}"),
+    );
+    let (code, out) = gate.run("BENCH_scenarios.json");
+    assert_eq!(
+        code, 1,
+        "legacy baselines must match direct-path cells: {out}"
     );
 }

@@ -11,6 +11,7 @@
 //! assert_eq!(engine.configured_workers(), 4);
 //! ```
 
+use crate::admission::{ElasticConfig, IngressConfig};
 use crate::engine::{Engine, EngineConfig, SecurityMode};
 use crate::handle::EngineHandle;
 
@@ -75,9 +76,8 @@ impl EngineBuilder {
     /// [`Engine::start`] spawns. When it exceeds `workers_min` the pool is
     /// **elastic**: workers above the minimum park until sampled queue depth
     /// recruits them, and park back down after an idle grace — see
-    /// [`EngineConfig::workers_max`](crate::EngineConfig) and the elastic
-    /// knobs [`EngineBuilder::elastic_scale_up_depth`] /
-    /// [`EngineBuilder::elastic_idle_grace`].
+    /// [`EngineConfig::workers_max`](crate::EngineConfig) and the grouped
+    /// tuning in [`EngineBuilder::elastic`].
     pub fn workers_max(mut self, workers_max: usize) -> Self {
         self.config.workers_max = workers_max;
         self
@@ -98,19 +98,39 @@ impl EngineBuilder {
         self.workers(workers)
     }
 
-    /// Sets the queue depth at or above which an enqueue counts toward
-    /// recruiting another elastic worker (two consecutive deep observations
-    /// are required). Zero — the default — resolves to `4 * batch_size`.
-    pub fn elastic_scale_up_depth(mut self, depth: usize) -> Self {
-        self.config.elastic_scale_up_depth = depth;
+    /// Sets the elastic worker-band tuning in one grouped config (scale-up
+    /// depth threshold, park-down idle grace) — replaces the loose v2
+    /// `elastic_scale_up_depth` / `elastic_idle_grace` knobs:
+    ///
+    /// ```
+    /// use defcon_core::{ElasticConfig, Engine};
+    /// use std::time::Duration;
+    ///
+    /// let engine = Engine::builder()
+    ///     .workers_min(1)
+    ///     .workers_max(4)
+    ///     .elastic(
+    ///         ElasticConfig::new()
+    ///             .scale_up_depth(8)
+    ///             .idle_grace(Duration::from_millis(2)),
+    ///     )
+    ///     .build();
+    /// assert_eq!(engine.configured_workers(), 4);
+    /// ```
+    pub fn elastic(mut self, config: ElasticConfig) -> Self {
+        self.config.elastic = config;
         self
     }
 
-    /// Sets how long an active worker above `workers_min` waits for work
-    /// before parking back down (default 2 ms). Bursty arrival with pauses
-    /// shorter than this never thrashes the pool.
-    pub fn elastic_idle_grace(mut self, grace: std::time::Duration) -> Self {
-        self.config.elastic_idle_grace = grace;
+    /// Enables bounded admission, grouped like [`EngineBuilder::wal`]: the
+    /// engine enforces the configured
+    /// [`queue_bound`](crate::IngressConfig::queue_bound) on
+    /// [`try_publish_batch`](crate::Publisher::try_publish_batch) calls, and
+    /// an ingress tier built over the engine paces its sessions with
+    /// [`credit_window`](crate::IngressConfig::credit_window) credits under
+    /// the configured [`FullQueuePolicy`](crate::FullQueuePolicy).
+    pub fn ingress(mut self, config: IngressConfig) -> Self {
+        self.config.ingress = Some(config);
         self
     }
 
@@ -184,6 +204,7 @@ mod tests {
 
     #[test]
     fn builder_applies_every_knob() {
+        use crate::admission::FullQueuePolicy;
         let engine = Engine::builder()
             .mode(SecurityMode::LabelsClone)
             .workers(3)
@@ -191,6 +212,16 @@ mod tests {
             .grouped_delivery(false)
             .event_cache(7)
             .managed_instance_cap(9)
+            .elastic(
+                ElasticConfig::new()
+                    .scale_up_depth(12)
+                    .idle_grace(std::time::Duration::from_millis(3)),
+            )
+            .ingress(
+                IngressConfig::new(256)
+                    .credit_window(32)
+                    .policy(FullQueuePolicy::ShedNewest),
+            )
             .build();
         assert_eq!(engine.mode(), SecurityMode::LabelsClone);
         assert_eq!(engine.configured_workers(), 3);
@@ -201,6 +232,10 @@ mod tests {
         );
         assert_eq!(engine.configured_batch_size(), 16);
         assert!(!engine.grouped_delivery());
+        let ingress = engine.ingress_config().expect("ingress config set");
+        assert_eq!(ingress.queue_bound, 256);
+        assert_eq!(ingress.credit_window, 32);
+        assert_eq!(ingress.policy, FullQueuePolicy::ShedNewest);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use defcon_isolation::IsolationRuntime;
 use defcon_metrics::{memory::MemoryCategory, MemoryAccountant};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::admission::{AdmissionCounters, ElasticConfig, IngressConfig};
 use crate::builder::EngineBuilder;
 use crate::context::UnitContext;
 use crate::dispatcher::Dispatcher;
@@ -114,14 +115,10 @@ pub struct EngineConfig {
     /// [`EngineBuilder::workers_auto`](crate::EngineBuilder::workers_auto),
     /// which resolves the band from the host's available parallelism.
     pub workers_max: usize,
-    /// Queue depth at or above which an enqueue counts toward recruiting
-    /// another worker in an elastic pool; `0` resolves to `4 * batch_size`.
-    /// Two consecutive deep observations are required (up-side hysteresis).
-    pub elastic_scale_up_depth: usize,
-    /// How long an active worker above `workers_min` waits for work before
-    /// parking back down. Arrival gaps shorter than this (bursty open/close
-    /// churn) never thrash the pool.
-    pub elastic_idle_grace: Duration,
+    /// Elastic worker-band tuning (scale-up depth threshold, park-down idle
+    /// grace), grouped into one struct — see
+    /// [`EngineBuilder::elastic`](crate::EngineBuilder::elastic).
+    pub elastic: ElasticConfig,
     /// Maximum number of events a dispatcher pops (and accounts for) per run
     /// queue lock round-trip, and the natural chunk size for
     /// [`Publisher::publish_batch`](crate::Publisher::publish_batch). The
@@ -167,6 +164,13 @@ pub struct EngineConfig {
     /// through [`Engine::recover_from`] regenerates them via normal dispatch.
     /// `None` (the default) keeps the engine purely in-memory.
     pub wal: Option<WalConfig>,
+    /// Bounded-admission configuration. When set,
+    /// [`Publisher::try_publish_batch`](crate::Publisher::try_publish_batch)
+    /// enforces the configured queue bound, and an
+    /// ingress tier built over the engine paces its sessions by credit window
+    /// under the configured full-queue policy. `None` (the default) keeps the
+    /// classic unbounded publish path.
+    pub ingress: Option<IngressConfig>,
 }
 
 impl Default for EngineConfig {
@@ -175,13 +179,13 @@ impl Default for EngineConfig {
             mode: SecurityMode::LabelsFreeze,
             workers_min: 0,
             workers_max: 0,
-            elastic_scale_up_depth: 0,
-            elastic_idle_grace: Duration::from_millis(2),
+            elastic: ElasticConfig::default(),
             batch_size: 1,
             grouped_delivery: true,
             event_cache_capacity: 10_000,
             managed_instance_cap: 1024,
             wal: None,
+            ingress: None,
         }
     }
 }
@@ -206,6 +210,16 @@ pub struct QueueStats {
     /// Highest `workers_active` the run has reached — the observed worker
     /// count benches record next to the configured band.
     pub workers_high_water: usize,
+    /// Events admitted through the admission layer (`try_publish_batch` and
+    /// ingress sessions); zero for engines publishing only via the direct
+    /// unbounded path.
+    pub ingress_admitted: u64,
+    /// Events shed by a full-queue policy — loud accounting, one count per
+    /// dropped event.
+    pub ingress_shed: u64,
+    /// Times a submitter stalled on an exhausted credit window or a full
+    /// queue before making progress.
+    pub ingress_credit_stalls: u64,
 }
 
 /// Counters describing engine activity.
@@ -299,6 +313,10 @@ pub(crate) struct EngineCore {
     pub(crate) managed_instances: Mutex<HashMap<(SubscriptionId, Label), UnitId>>,
     pub(crate) memory: MemoryAccountant,
     pub(crate) stats: EngineStats,
+    /// Admission reservation state and shed/admit/credit-stall counters (see
+    /// [`AdmissionCounters`]); always present so `queue_stats()` reads one
+    /// shape whether or not bounded admission is configured.
+    pub(crate) admission: AdmissionCounters,
     /// Activation state of the dispatcher worker band (`None` for manual,
     /// `workers_max == 0` engines).
     pub(crate) pool: Option<WorkerPool>,
@@ -335,6 +353,43 @@ impl EngineCore {
     pub(crate) fn observe_queue_depth(&self) {
         if let Some(pool) = &self.pool {
             pool.observe_depth(self.run_queue.len());
+        }
+    }
+
+    /// Attempts to reserve depth for `events` new external events against the
+    /// configured ingress bound. Admission holds `depth + reserved + events <=
+    /// queue_bound` under a CAS loop, so concurrent admitters can never
+    /// jointly overshoot; the reservation must be released with
+    /// [`EngineCore::release_admission`] once the enqueue has made the events
+    /// visible in `len` (the momentary double-count in between is
+    /// conservative). Always succeeds when no ingress bound is configured.
+    pub(crate) fn try_admit(&self, events: usize) -> bool {
+        let Some(ingress) = &self.config.ingress else {
+            return true;
+        };
+        let bound = ingress.queue_bound;
+        let mut reserved = self.admission.reserved.load(Ordering::Acquire);
+        loop {
+            let depth = self.run_queue.len();
+            if depth + reserved + events > bound {
+                return false;
+            }
+            match self.admission.reserved.compare_exchange_weak(
+                reserved,
+                reserved + events,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => reserved = actual,
+            }
+        }
+    }
+
+    /// Releases a reservation taken by [`EngineCore::try_admit`].
+    pub(crate) fn release_admission(&self, events: usize) {
+        if self.config.ingress.is_some() && events > 0 {
+            self.admission.reserved.fetch_sub(events, Ordering::AcqRel);
         }
     }
 
@@ -651,8 +706,8 @@ impl Engine {
         });
         let run_queue = RunQueue::new(config.workers_max.max(1));
         let pool = (config.workers_max > 0).then(|| {
-            let scale_up_depth = if config.elastic_scale_up_depth > 0 {
-                config.elastic_scale_up_depth
+            let scale_up_depth = if config.elastic.scale_up_depth > 0 {
+                config.elastic.scale_up_depth
             } else {
                 4 * config.batch_size.max(1)
             };
@@ -660,7 +715,7 @@ impl Engine {
                 config.workers_min,
                 config.workers_max,
                 scale_up_depth,
-                config.elastic_idle_grace,
+                config.elastic.idle_grace,
             )
         });
         Engine {
@@ -675,6 +730,7 @@ impl Engine {
                 managed_instances: Mutex::new(HashMap::new()),
                 memory: MemoryAccountant::new(),
                 stats: EngineStats::default(),
+                admission: AdmissionCounters::default(),
                 pool,
                 wal,
                 security_epoch: AtomicU64::new(0),
@@ -807,7 +863,33 @@ impl Engine {
             workers_max,
             workers_active,
             workers_high_water,
+            ingress_admitted: self.core.admission.admitted(),
+            ingress_shed: self.core.admission.shed(),
+            ingress_credit_stalls: self.core.admission.credit_stalls(),
         }
+    }
+
+    /// The engine's admission ledger: shed/admit/credit-stall counters the
+    /// ingress tier records into and `queue_stats()` exports. Public so the
+    /// tier (a separate crate) and the admission layer share one set of
+    /// numbers.
+    pub fn admission(&self) -> &AdmissionCounters {
+        &self.core.admission
+    }
+
+    /// The configured ingress admission parameters, when bounded admission is
+    /// enabled (see [`EngineBuilder::ingress`](crate::EngineBuilder::ingress)).
+    pub fn ingress_config(&self) -> Option<&IngressConfig> {
+        self.core.config.ingress.as_ref()
+    }
+
+    /// Blocks until queued depth drops below `target`, the runtime stops, or
+    /// `timeout` elapses; returns `true` when depth is below `target` (or the
+    /// queue is stopping — a stopping queue drains, so blocked admitters must
+    /// not wait out their full timeout). This is the drain-side depth signal
+    /// `Block`-policy ingress sessions park on instead of spinning.
+    pub fn wait_queue_depth_below(&self, target: usize, timeout: Duration) -> bool {
+        self.core.run_queue.wait_depth_below(target, timeout)
     }
 
     /// Returns the configured dispatch batch size (at least 1).

@@ -24,6 +24,7 @@ use std::time::Duration;
 use defcon_defc::Label;
 use defcon_events::{Event, Value};
 
+use crate::admission::{Admission, TryPublish};
 use crate::context::UnitContext;
 use crate::dispatcher::Dispatcher;
 use crate::engine::{Engine, EngineCore};
@@ -87,9 +88,19 @@ impl EngineHandle {
 
     /// Publishes a batch of drafts *as* `unit` in one run-queue transaction —
     /// shorthand for [`Publisher::publish_batch`] when a driver does not keep a
-    /// long-lived publisher around. Returns the number of events published.
-    pub fn publish_batch(&self, unit: UnitId, drafts: Vec<EventDraft>) -> EngineResult<usize> {
+    /// long-lived publisher around. Returns the typed [`Admission`] result.
+    pub fn publish_batch(&self, unit: UnitId, drafts: Vec<EventDraft>) -> EngineResult<Admission> {
         self.engine.publisher(unit)?.publish_batch(drafts)
+    }
+
+    /// Non-blocking bounded publish *as* `unit` — shorthand for
+    /// [`Publisher::try_publish_batch`].
+    pub fn try_publish_batch(
+        &self,
+        unit: UnitId,
+        drafts: Vec<EventDraft>,
+    ) -> EngineResult<TryPublish> {
+        self.engine.publisher(unit)?.try_publish_batch(drafts)
     }
 
     /// Dispatches queued events on the calling thread until the queue drains;
@@ -296,11 +307,16 @@ impl Publisher {
     /// the driver-side half of the engine's batched dispatch hot path. Empty
     /// drafts are dropped per Table 1.
     ///
-    /// Returns the number of events published. An entirely rejected batch (the
-    /// runtime has shut down) fails loudly like [`Publisher::publish`]; a batch
-    /// racing shutdown may be partially accepted, and the returned count is
-    /// exactly the number of events that will be dispatched.
-    pub fn publish_batch(&self, drafts: Vec<EventDraft>) -> EngineResult<usize> {
+    /// Returns the typed [`Admission`] result: `accepted()` is exactly the
+    /// number of events that will be dispatched. An entirely rejected batch
+    /// (the runtime has shut down) fails loudly like [`Publisher::publish`]; a
+    /// batch racing shutdown may be partially accepted, and the withdrawn
+    /// remainder is reported as `shed()`.
+    ///
+    /// This direct path bypasses bounded admission; use
+    /// [`Publisher::try_publish_batch`] to respect a configured
+    /// [`IngressConfig`](crate::IngressConfig) queue bound.
+    pub fn publish_batch(&self, drafts: Vec<EventDraft>) -> EngineResult<Admission> {
         // The built events live in a reused per-thread buffer: the queue
         // drains it on enqueue, so a steady feed allocates no batch vectors.
         thread_local! {
@@ -329,14 +345,48 @@ impl Publisher {
                 events.push(event);
             }
             if events.is_empty() {
-                return Ok(0);
+                return Ok(Admission::default());
             }
+            let built = events.len();
             let label = output_label
                 .as_ref()
                 .expect("non-empty batch snapshots the label");
-            self.core
-                .enqueue_external_batch(self.unit, label, origin_ns, &mut events)
+            let accepted =
+                self.core
+                    .enqueue_external_batch(self.unit, label, origin_ns, &mut events)?;
+            Ok(Admission::new(accepted, built - accepted, 0))
         })
+    }
+
+    /// Non-blocking bounded variant of [`Publisher::publish_batch`]: admission
+    /// first checks the engine's configured
+    /// [`IngressConfig::queue_bound`](crate::IngressConfig::queue_bound)
+    /// against current run-queue depth (plus concurrent admitters'
+    /// reservations, so the bound holds exactly under contention). If the
+    /// batch fits it is published and counted toward the engine's
+    /// `ingress_admitted` telemetry; otherwise nothing is enqueued and the
+    /// drafts come back in [`TryPublish::WouldBlock`] for the caller to retry,
+    /// buffer or shed. Without an ingress configuration the admission check
+    /// always passes.
+    pub fn try_publish_batch(&self, drafts: Vec<EventDraft>) -> EngineResult<TryPublish> {
+        // Reserve for every non-empty draft: the reservation is a conservative
+        // upper bound on what the publish will enqueue.
+        let want = drafts.iter().filter(|draft| !draft.is_empty()).count();
+        if want == 0 {
+            return Ok(TryPublish::Admitted(Admission::default()));
+        }
+        if !self.core.try_admit(want) {
+            return Ok(TryPublish::WouldBlock { drafts });
+        }
+        let result = self.publish_batch(drafts);
+        // The enqueue has made the events visible in queue depth (or failed);
+        // either way the reservation is no longer needed.
+        self.core.release_admission(want);
+        let admission = result?;
+        self.core
+            .admission
+            .record_admitted(admission.accepted() as u64);
+        Ok(TryPublish::Admitted(admission))
     }
 
     /// Snapshot of the publishing unit's output label (from the cached slot;
@@ -473,9 +523,11 @@ mod tests {
             EventDraft::new(), // dropped per Table 1
             EventDraft::new().public_part("type", Value::str("tick")),
         ];
-        assert_eq!(publisher.publish_batch(drafts).unwrap(), 2);
+        let admission = publisher.publish_batch(drafts).unwrap();
+        assert_eq!(admission.accepted(), 2);
+        assert_eq!(admission.shed(), 0, "nothing sheds on the unbounded path");
         assert_eq!(
-            publisher.publish_batch(Vec::new()).unwrap(),
+            publisher.publish_batch(Vec::new()).unwrap().accepted(),
             0,
             "an all-empty batch publishes nothing"
         );
@@ -504,7 +556,7 @@ mod tests {
         let drafts = (0..8)
             .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
             .collect();
-        assert_eq!(handle.publish_batch(source, drafts).unwrap(), 8);
+        assert_eq!(handle.publish_batch(source, drafts).unwrap().accepted(), 8);
         handle.pump_until_idle().unwrap();
         assert_eq!(seen.load(Ordering::Relaxed), 8);
         handle.shutdown().unwrap();
@@ -529,6 +581,78 @@ mod tests {
         );
         assert_eq!(engine.queue_depth(), 0, "nothing may linger on the queue");
         assert_eq!(engine.stats().published(), 0);
+    }
+
+    #[test]
+    fn try_publish_batch_enforces_the_configured_queue_bound() {
+        use crate::admission::{IngressConfig, TryPublish};
+        // workers(0): nothing drains, so queued depth is fully deterministic.
+        let engine = Engine::builder().ingress(IngressConfig::new(6)).build();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+        let handle = engine.start();
+        let publisher = handle.publisher(source).unwrap();
+
+        let drafts = |n: usize| -> Vec<EventDraft> {
+            (0..n)
+                .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
+                .collect()
+        };
+        match publisher.try_publish_batch(drafts(4)).unwrap() {
+            TryPublish::Admitted(admission) => {
+                assert_eq!(admission.accepted(), 4);
+                assert_eq!(admission.shed(), 0);
+            }
+            other => panic!("a batch within the bound admits, got {other:?}"),
+        }
+        // 4 queued + 4 more would overshoot the bound of 6: handed back.
+        match publisher.try_publish_batch(drafts(4)).unwrap() {
+            TryPublish::WouldBlock { drafts } => {
+                assert_eq!(drafts.len(), 4, "drafts come back untouched");
+                assert_eq!(engine.queue_depth(), 4, "nothing was enqueued");
+            }
+            other => panic!("an overflowing batch must not admit, got {other:?}"),
+        }
+        // A smaller batch still fits exactly up to the bound.
+        match publisher.try_publish_batch(drafts(2)).unwrap() {
+            TryPublish::Admitted(admission) => assert_eq!(admission.accepted(), 2),
+            other => panic!("a batch filling the bound exactly admits, got {other:?}"),
+        }
+        assert_eq!(engine.queue_depth(), 6);
+        let stats = engine.queue_stats();
+        assert_eq!(stats.ingress_admitted, 6);
+        assert_eq!(stats.ingress_shed, 0);
+
+        handle.pump_until_idle().unwrap();
+        // Drained: the next admission passes again.
+        match publisher.try_publish_batch(drafts(4)).unwrap() {
+            TryPublish::Admitted(admission) => assert_eq!(admission.accepted(), 4),
+            other => panic!("a drained queue re-admits, got {other:?}"),
+        }
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn try_publish_batch_without_ingress_config_always_admits() {
+        let engine = Engine::builder().build();
+        let source = engine
+            .register_unit(UnitSpec::new("source"), Box::new(NullUnit))
+            .unwrap();
+        let handle = engine.start();
+        for _ in 0..5 {
+            let drafts = (0..100)
+                .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
+                .collect();
+            match handle.try_publish_batch(source, drafts).unwrap() {
+                crate::admission::TryPublish::Admitted(admission) => {
+                    assert_eq!(admission.accepted(), 100)
+                }
+                other => panic!("unbounded engines never block, got {other:?}"),
+            }
+        }
+        handle.pump_until_idle().unwrap();
+        handle.shutdown().unwrap();
     }
 
     #[test]

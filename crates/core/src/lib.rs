@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod builder;
 pub mod context;
 pub mod dispatcher;
@@ -82,6 +83,9 @@ pub mod subscription;
 pub mod tag_store;
 pub mod unit;
 
+pub use admission::{
+    Admission, AdmissionCounters, ElasticConfig, FullQueuePolicy, IngressConfig, TryPublish,
+};
 pub use builder::{auto_worker_count, EngineBuilder};
 pub use context::{DraftEvent, UnitContext};
 pub use dispatcher::Dispatcher;

@@ -56,6 +56,13 @@ pub(crate) struct RunQueue {
     work_signal: Condvar,
     /// Signalled when the queue becomes fully idle.
     idle_signal: Condvar,
+    /// Blocked admitters (ingress publishers waiting for queued depth to
+    /// drop) currently parked on `depth_signal`; lets the hot pop path skip
+    /// the signal lock when nobody is watching depth.
+    depth_waiters: AtomicUsize,
+    /// Signalled when queued depth drops (events popped for dispatch) — the
+    /// drain-side sampling hook bounded admission parks on.
+    depth_signal: Condvar,
 }
 
 impl RunQueue {
@@ -73,6 +80,8 @@ impl RunQueue {
             signal_lock: Mutex::new(()),
             work_signal: Condvar::new(),
             idle_signal: Condvar::new(),
+            depth_waiters: AtomicUsize::new(0),
+            depth_signal: Condvar::new(),
         }
     }
 
@@ -280,6 +289,8 @@ impl RunQueue {
                 // Only `len` drops here; `pending` keeps counting the event
                 // until its dispatch calls `complete`.
                 self.len.fetch_sub(1, Ordering::AcqRel);
+                drop(queue);
+                self.note_depth_drop();
                 return Some(event);
             }
         }
@@ -318,9 +329,50 @@ impl RunQueue {
             // Decremented while the shard lock is held so `len` can never lag
             // a concurrent pop and wrap below zero.
             self.len.fetch_sub(take, Ordering::AcqRel);
+            drop(queue);
+            self.note_depth_drop();
             return take;
         }
         0
+    }
+
+    /// Wakes admitters parked on the depth signal after queued depth dropped.
+    /// One relaxed-ish atomic load on the hot pop path when nobody is
+    /// watching; waiters re-check their own depth condition after waking.
+    fn note_depth_drop(&self) {
+        if self.depth_waiters.load(Ordering::SeqCst) > 0 {
+            let _signal = self.signal_lock.lock();
+            self.depth_signal.notify_all();
+        }
+    }
+
+    /// Blocks until queued depth is below `target`, the queue starts
+    /// stopping, or `timeout` elapses; returns `true` when depth is below
+    /// `target` or the queue is stopping (a stopping queue drains, so blocked
+    /// admitters should bail out rather than wait out the timeout).
+    ///
+    /// Each park is additionally bounded (1 ms slices) so the rare missed
+    /// wakeup — a pop's waiter check racing this thread's registration —
+    /// costs a bounded delay, never a hang.
+    pub(crate) fn wait_depth_below(&self, target: usize, timeout: Duration) -> bool {
+        const WAIT_SLICE: Duration = Duration::from_millis(1);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.len() < target || self.is_stopping() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let mut signal = self.signal_lock.lock();
+            self.depth_waiters.fetch_add(1, Ordering::SeqCst);
+            if self.len.load(Ordering::SeqCst) >= target && !self.is_stopping() {
+                self.depth_signal
+                    .wait_for(&mut signal, (deadline - now).min(WAIT_SLICE));
+            }
+            self.depth_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 
     /// Marks one popped event's dispatch as finished.
@@ -432,6 +484,9 @@ impl RunQueue {
         let _signal = self.signal_lock.lock();
         self.work_signal.notify_all();
         self.idle_signal.notify_all();
+        // Blocked admitters must observe the stop instead of waiting for a
+        // depth drop that may never come.
+        self.depth_signal.notify_all();
     }
 
     /// Returns `true` once [`RunQueue::stop`] has been called.
@@ -764,6 +819,31 @@ mod tests {
             consumer.join().unwrap().is_none(),
             "stop on an idle queue releases parked consumers"
         );
+    }
+
+    #[test]
+    fn wait_depth_below_wakes_on_pop_and_observes_stop() {
+        let queue = Arc::new(RunQueue::new(1));
+        queue.push_batch((0..8).map(event).collect());
+
+        // Deep queue: the wait must time out while nothing drains.
+        assert!(!queue.wait_depth_below(5, Duration::from_millis(20)));
+
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.wait_depth_below(5, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        let batch = queue.pop_batch(0, 4); // depth 8 -> 4, below the target
+        assert!(
+            waiter.join().unwrap(),
+            "a pop dropping depth below the target must release the waiter"
+        );
+        queue.complete_many(batch.len());
+
+        // A stopping queue releases blocked admitters even at depth.
+        queue.stop();
+        assert!(queue.wait_depth_below(1, Duration::from_secs(5)));
     }
 
     #[test]

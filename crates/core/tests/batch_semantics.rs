@@ -97,7 +97,7 @@ fn publish_batch_order_is_preserved_with_a_single_worker() {
         const TOTAL: i64 = 20 * 8;
         for batch in 0..20 {
             let drafts = (0..8).map(|i| tick_draft(batch * 8 + i)).collect();
-            publisher.publish_batch(drafts).unwrap();
+            let _ = publisher.publish_batch(drafts).unwrap();
         }
         handle.shutdown().unwrap();
 
@@ -136,7 +136,7 @@ fn batch_size_does_not_change_single_threaded_results() {
         let publisher = handle.publisher(source).unwrap();
         for batch in 0..10 {
             let drafts = (0..7).map(|i| tick_draft(batch * 7 + i)).collect();
-            publisher.publish_batch(drafts).unwrap();
+            let _ = publisher.publish_batch(drafts).unwrap();
         }
         handle.pump_until_idle().unwrap();
         let stats = (
@@ -211,7 +211,7 @@ fn batch_size_one_makes_mid_batch_label_changes_observable() {
         // One batch: a public trigger (on which the chameleon raises its own
         // input label) followed by an event whose filtered part is
         // confidential under the tag the raise would make visible.
-        publisher
+        let _ = publisher
             .publish_batch(vec![
                 EventDraft::new()
                     .public_part("type", Value::str("tick"))
@@ -280,8 +280,8 @@ fn publish_batch_racing_shutdown_is_exact() {
                 for batch in 0..50i64 {
                     let drafts = (0..4).map(|i| tick_draft(batch * 4 + i)).collect();
                     match publisher.publish_batch(drafts) {
-                        Ok(n) => {
-                            accepted.fetch_add(n, Ordering::SeqCst);
+                        Ok(admission) => {
+                            accepted.fetch_add(admission.accepted(), Ordering::SeqCst);
                         }
                         // The runtime shut down underneath us: rejected loudly,
                         // nothing partially enqueued from this call onwards.

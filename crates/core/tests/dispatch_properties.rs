@@ -117,7 +117,10 @@ fn check_delivery_invariants(
                         let drafts = (0..take)
                             .map(|_| EventDraft::new().public_part("type", Value::str("tick")))
                             .collect();
-                        assert_eq!(publisher.publish_batch(drafts).unwrap(), take as usize);
+                        assert_eq!(
+                            publisher.publish_batch(drafts).unwrap().accepted(),
+                            take as usize
+                        );
                     }
                     remaining -= take;
                 }

@@ -49,8 +49,11 @@ fn elastic_engine(received: &Arc<AtomicU64>) -> (Engine, defcon_core::unit::Unit
         .workers_min(BAND_MIN)
         .workers_max(BAND_MAX)
         .batch_size(8)
-        .elastic_scale_up_depth(8)
-        .elastic_idle_grace(Duration::from_millis(2))
+        .elastic(
+            defcon_core::ElasticConfig::new()
+                .scale_up_depth(8)
+                .idle_grace(Duration::from_millis(2)),
+        )
         .event_cache(0)
         .build();
     engine
@@ -92,7 +95,7 @@ fn flood_until_active(
             handle.queue_stats().workers_active,
             handle.queue_stats(),
         );
-        published += publisher.publish_batch(tick_batch(32)).unwrap() as u64;
+        published += publisher.publish_batch(tick_batch(32)).unwrap().accepted() as u64;
     }
     published
 }
@@ -138,7 +141,7 @@ fn flood_scales_to_max_and_idle_drain_parks_back_to_min() {
     assert_eq!(handle.queue_stats().workers_high_water, BAND_MAX);
 
     // The shrunk pool still dispatches: the floor workers carry new load.
-    published += publisher.publish_batch(tick_batch(8)).unwrap() as u64;
+    published += publisher.publish_batch(tick_batch(8)).unwrap().accepted() as u64;
     assert!(handle.wait_idle(Duration::from_secs(30)));
     assert_eq!(received.load(Ordering::Relaxed), published);
 
@@ -192,7 +195,7 @@ fn fixed_pools_never_change_their_activation() {
     let handle = engine.start();
     let publisher = handle.publisher(source).unwrap();
     for _ in 0..64 {
-        publisher.publish_batch(tick_batch(32)).unwrap();
+        let _ = publisher.publish_batch(tick_batch(32)).unwrap();
     }
     assert!(handle.wait_idle(Duration::from_secs(30)));
     let stats = handle.queue_stats();

@@ -114,7 +114,7 @@ fn publish_all(fixture: &Fixture) -> usize {
     let publisher = fixture.engine.publisher(fixture.source).unwrap();
     workload()
         .into_iter()
-        .map(|batch| publisher.publish_batch(batch).unwrap())
+        .map(|batch| publisher.publish_batch(batch).unwrap().accepted())
         .sum()
 }
 

@@ -1,0 +1,184 @@
+//! Integration tests for the credit-gated ingress tier: policy semantics,
+//! bound enforcement, and accounting consistency.
+
+use std::time::Duration;
+
+use defcon_core::unit::NullUnit;
+use defcon_core::{Engine, EventDraft, FullQueuePolicy, IngressConfig, SecurityMode, UnitSpec};
+use defcon_events::Value;
+use defcon_ingress::IngressTier;
+
+fn draft(seq: i64) -> EventDraft {
+    EventDraft::new()
+        .public_part("type", Value::str("tick"))
+        .public_part("seq", Value::Int(seq))
+}
+
+fn engine_with(config: IngressConfig, workers: usize) -> (Engine, defcon_core::UnitId) {
+    let engine = Engine::builder()
+        .mode(SecurityMode::NoSecurity)
+        .workers(workers)
+        .ingress(config)
+        .build();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+    (engine, source)
+}
+
+#[test]
+fn block_policy_delivers_everything_exactly_once() {
+    let (engine, source) = engine_with(
+        IngressConfig::new(32)
+            .credit_window(8)
+            .policy(FullQueuePolicy::Block),
+        1,
+    );
+    let handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let session = tier.session(source).unwrap();
+
+    let mut accepted = 0u64;
+    let mut waits = 0u64;
+    for burst in 0..20 {
+        let admission = session.submit((0..25).map(|i| draft(burst * 25 + i)).collect());
+        accepted += admission.accepted() as u64;
+        waits += admission.credit_waits() as u64;
+        assert_eq!(admission.shed(), 0, "Block never sheds");
+    }
+    assert_eq!(accepted, 500);
+    assert!(tier.drain(Duration::from_secs(30)), "session must drain");
+
+    let stats = engine.queue_stats();
+    assert_eq!(
+        stats.ingress_admitted, 500,
+        "every accepted event reaches the bounded publish path exactly once"
+    );
+    assert_eq!(stats.ingress_shed, 0);
+    // Bursts of 25 against a window of 8 must stall at least once each.
+    assert!(waits > 0, "credit window must have paced the submitter");
+
+    let report = tier.shutdown();
+    assert_eq!(report.admitted, 500);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.sessions, 1);
+    let dispatched = handle.shutdown().unwrap();
+    assert_eq!(dispatched, 500);
+}
+
+#[test]
+fn shed_newest_drops_the_overflow_and_counts_it() {
+    // No workers and no pumping: nothing drains, so the window fills and
+    // stays full — the policy decision is the only thing being tested.
+    let (engine, source) = engine_with(
+        IngressConfig::new(1_000)
+            .credit_window(10)
+            .policy(FullQueuePolicy::ShedNewest),
+        0,
+    );
+    let _handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let session = tier.session(source).unwrap();
+
+    let admission = session.submit((0..50).map(draft).collect());
+    assert_eq!(admission.accepted(), 10, "window admits its size");
+    assert_eq!(admission.shed(), 40, "the newest overflow is dropped");
+
+    // Nothing can drain, so the window is still full: the whole second
+    // chunk sheds.
+    let again = session.submit((50..60).map(draft).collect());
+    assert_eq!(again.accepted(), 0);
+    assert_eq!(again.shed(), 10);
+    assert_eq!(engine.queue_stats().ingress_shed, 50);
+    drop(tier);
+}
+
+#[test]
+fn shed_oldest_conflates_in_favour_of_fresh_data() {
+    // The *queue* is the bottleneck (bound 4): at most 4 of the window's 10
+    // events can be in flight on the engine, so at least 6 stay buffered in
+    // the session — and buffered events are what ShedOldest can evict.
+    let (engine, source) = engine_with(
+        IngressConfig::new(4)
+            .credit_window(10)
+            .policy(FullQueuePolicy::ShedOldest),
+        0,
+    );
+    let _handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let session = tier.session(source).unwrap();
+
+    // Fill the window, then submit fresh data: the buffered oldest are
+    // evicted to make room, counted as shed on this chunk's admission.
+    assert_eq!(session.submit((0..10).map(draft).collect()).accepted(), 10);
+    let fresh = session.submit((10..16).map(draft).collect());
+    assert_eq!(fresh.accepted(), 6, "fresh data enters by evicting stale");
+    assert_eq!(fresh.shed(), 6, "the evicted buffered events are counted");
+
+    // A chunk far larger than the window: everything buffered is evicted,
+    // the chunk's own oldest drafts shed, its newest fill the free space.
+    let huge = session.submit((100..130).map(draft).collect());
+    assert_eq!(huge.shed(), 30, "evictions + own-oldest overflow");
+    let buffered_before = huge.accepted(); // == what was evictable
+    assert!(
+        (6..=10).contains(&buffered_before),
+        "between 6 (queue full) and 10 (nothing published yet) buffered, got {buffered_before}"
+    );
+    drop(tier);
+}
+
+#[test]
+fn queue_bound_holds_under_many_flooding_sessions() {
+    const BOUND: usize = 48;
+    let (engine, source) = engine_with(
+        IngressConfig::new(BOUND)
+            .credit_window(16)
+            .policy(FullQueuePolicy::Block)
+            .executor_threads(2),
+        1,
+    );
+    let handle = engine.start();
+    let tier = IngressTier::new(&engine);
+
+    let mut peak = 0usize;
+    std::thread::scope(|scope| {
+        for s in 0..6 {
+            let session = tier.session(source).unwrap();
+            scope.spawn(move || {
+                for burst in 0..10 {
+                    let chunk = (0..20).map(|i| draft(s * 1_000 + burst * 20 + i)).collect();
+                    let _ = session.submit(chunk);
+                }
+            });
+        }
+        for _ in 0..2_000 {
+            peak = peak.max(engine.queue_depth());
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    });
+    assert!(
+        peak <= BOUND,
+        "run-queue depth {peak} exceeded the configured bound {BOUND}"
+    );
+    assert!(tier.drain(Duration::from_secs(60)));
+    let report = tier.shutdown();
+    assert_eq!(report.admitted, 6 * 10 * 20);
+    assert_eq!(report.shed, 0);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn closed_sessions_shed_further_submits_loudly() {
+    let (engine, source) = engine_with(IngressConfig::new(64), 1);
+    let handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let session = tier.session(source).unwrap();
+    assert_eq!(session.submit((0..5).map(draft).collect()).accepted(), 5);
+    session.close();
+    let late = session.submit((5..10).map(draft).collect());
+    assert_eq!(late.accepted(), 0);
+    assert_eq!(late.shed(), 5);
+    let report = tier.shutdown();
+    assert!(report.shed >= 5);
+    handle.shutdown().unwrap();
+}

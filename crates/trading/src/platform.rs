@@ -12,8 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use defcon_core::{Engine, EngineHandle, EngineResult, Publisher, SecurityMode, UnitSpec};
+use defcon_core::{
+    Engine, EngineHandle, EngineResult, IngressConfig, Publisher, SecurityMode, UnitSpec,
+};
 use defcon_defc::Privilege;
+use defcon_ingress::{IngressTier, SessionHandle};
 use defcon_metrics::ThroughputRecorder;
 use defcon_workload::{assign_pairs, SymbolUniverse, TickGenerator, TickGeneratorConfig};
 
@@ -64,6 +67,14 @@ pub struct TradingPlatformConfig {
     pub event_cache: usize,
     /// Seed for the Zipf pair assignment.
     pub seed: u64,
+    /// Bounded admission for the exchange feed. `None` (the default) keeps
+    /// the classic unbounded blocking publish; `Some` routes every tick
+    /// through a credit-gated ingress session under this configuration (run
+    /// queue bounded, full-queue policy applied), which requires `workers >=
+    /// 1` — with no dispatcher the feed session could never earn credits
+    /// back and the first over-window burst would deadlock, so
+    /// [`TradingPlatform::build`] rejects that combination loudly.
+    pub ingress: Option<IngressConfig>,
 }
 
 impl Default for TradingPlatformConfig {
@@ -81,6 +92,7 @@ impl Default for TradingPlatformConfig {
             volume_quota: 100_000,
             event_cache: 10_000,
             seed: 2010,
+            ingress: None,
         }
     }
 }
@@ -196,6 +208,12 @@ impl PlatformReport {
 pub struct TradingPlatform {
     config: TradingPlatformConfig,
     engine: Engine,
+    /// The credit-gated feed path (tier + the exchange's session), present
+    /// when the config enables ingress. Declared before `handle` so drop
+    /// order closes the sessions and stops the executor threads before the
+    /// engine's dispatch runtime goes away underneath them.
+    ingress_tier: Option<IngressTier>,
+    feed_session: Option<SessionHandle>,
     handle: EngineHandle,
     exchange_feed: Publisher,
     /// The interned `(∅, {s})` endorsement label, computed once and cloned per
@@ -221,13 +239,23 @@ impl TradingPlatform {
         } else {
             config.workers_min.min(config.workers)
         };
-        let engine = Engine::builder()
+        if config.ingress.is_some() && config.workers == 0 {
+            return Err(defcon_core::EngineError::InvalidOperation(
+                "an ingress-fed platform needs dispatcher workers: with workers=0 nothing \
+                 drains the queue, so the feed session could never earn its credits back"
+                    .into(),
+            ));
+        }
+        let mut builder = Engine::builder()
             .mode(config.mode)
             .workers_min(workers_min)
             .workers_max(config.workers)
             .batch_size(config.batch_size)
-            .event_cache(config.event_cache)
-            .build();
+            .event_cache(config.event_cache);
+        if let Some(ingress) = config.ingress.clone() {
+            builder = builder.ingress(ingress);
+        }
+        let engine = builder.build();
 
         // Stock Exchange: owns the integrity tag s and endorses with it.
         let exchange = engine.register_unit(
@@ -289,10 +317,19 @@ impl TradingPlatform {
 
         let generator = TickGenerator::new(universe, config.tick_config.clone());
         let handle = engine.start();
+        let (ingress_tier, feed_session) = if config.ingress.is_some() {
+            let tier = IngressTier::new(&engine);
+            let session = tier.session(exchange)?;
+            (Some(tier), Some(session))
+        } else {
+            (None, None)
+        };
         let exchange_label = StockExchange::endorsed_label(&exchange_tag);
         Ok(TradingPlatform {
             config,
             engine,
+            ingress_tier,
+            feed_session,
             handle,
             exchange_feed,
             exchange_label,
@@ -315,6 +352,12 @@ impl TradingPlatform {
         &self.handle
     }
 
+    /// Returns the credit-gated ingress tier feeding the exchange, if the
+    /// config enabled one ([`TradingPlatformConfig::ingress`]).
+    pub fn ingress_tier(&self) -> Option<&IngressTier> {
+        self.ingress_tier.as_ref()
+    }
+
     /// Returns the broker's shared state (order book, latency, trade counters).
     pub fn broker(&self) -> &Arc<BrokerShared> {
         &self.broker_shared
@@ -325,6 +368,27 @@ impl TradingPlatform {
         &self.regulator_shared
     }
 
+    /// Feeds `drafts` to the engine — through the credit-gated ingress
+    /// session when the config enables it, on the direct (unbounded,
+    /// blocking) publish path otherwise — returning how many events were
+    /// admitted. The ingress path waits for the session to drain, so on
+    /// return every admitted event has reached dispatch; anything a shed
+    /// policy dropped is on the engine's admission ledger.
+    fn feed_drafts(&self, drafts: Vec<defcon_core::EventDraft>) -> EngineResult<u64> {
+        match &self.feed_session {
+            Some(session) => {
+                let admission = session.submit(drafts);
+                if !session.wait_drained(Duration::from_secs(30)) {
+                    return Err(defcon_core::EngineError::InvalidOperation(
+                        "the ingress feed session did not drain within 30s".into(),
+                    ));
+                }
+                Ok(admission.accepted() as u64)
+            }
+            None => Ok(self.exchange_feed.publish_batch(drafts)?.accepted() as u64),
+        }
+    }
+
     /// Publishes the next synthetic tick as the Stock Exchange and fully processes
     /// the cascade it triggers (monitors, traders, broker, regulator): inline when
     /// the platform runs without workers, or by waiting for the dispatcher workers
@@ -332,8 +396,13 @@ impl TradingPlatform {
     pub fn publish_tick(&mut self) -> EngineResult<()> {
         let tick = self.generator.next_tick();
         let before = self.engine.stats().dispatched();
-        self.exchange_feed
-            .publish(StockExchange::tick_draft_at(&self.exchange_label, &tick))?;
+        let draft = StockExchange::tick_draft_at(&self.exchange_label, &tick);
+        let admitted = if self.feed_session.is_some() {
+            self.feed_drafts(vec![draft])?
+        } else {
+            self.exchange_feed.publish(draft)?;
+            1
+        };
         let dispatched = if self.handle.worker_count() == 0 {
             self.handle.pump_until_idle()? as u64
         } else {
@@ -344,10 +413,10 @@ impl TradingPlatform {
             }
             self.engine.stats().dispatched() - before
         };
-        self.ticks_published += 1;
+        self.ticks_published += admitted;
         // Figure 5 counts processed events; every dispatched event (ticks plus the
         // derived matches, orders, trades, ...) contributes to the supported rate.
-        self.throughput.record(dispatched.max(1));
+        self.throughput.record(dispatched.max(admitted));
         Ok(())
     }
 
@@ -366,7 +435,7 @@ impl TradingPlatform {
             .iter()
             .map(|tick| StockExchange::tick_draft_at(&self.exchange_label, tick))
             .collect();
-        self.exchange_feed.publish_batch(drafts)?;
+        let admitted = self.feed_drafts(drafts)?;
         let dispatched = if self.handle.worker_count() == 0 {
             self.handle.pump_until_idle()? as u64
         } else {
@@ -377,8 +446,10 @@ impl TradingPlatform {
             }
             self.engine.stats().dispatched() - before
         };
-        self.ticks_published += count as u64;
-        self.throughput.record(dispatched.max(count as u64));
+        // Under a shedding ingress policy the admitted count can run below
+        // `count`; only ticks that actually entered the engine are reported.
+        self.ticks_published += admitted;
+        self.throughput.record(dispatched.max(admitted));
         Ok(())
     }
 
@@ -401,23 +472,27 @@ impl TradingPlatform {
         use defcon_workload::scenario::ScenarioOutcome;
 
         let trades_before = self.broker_shared.trades.load(Ordering::Relaxed);
+        let ledger_before = self.engine.queue_stats();
+        let ticks_before = self.ticks_published;
         let start = std::time::Instant::now();
         let mut bursts = 0u64;
-        let mut published = 0u64;
         while let Some(burst) = scenario.next_burst() {
             if !burst.pause.is_zero() {
                 std::thread::sleep(burst.pause);
             }
             bursts += 1;
-            let count = burst.drafts.len();
-            self.publish_tick_batch(count)?;
-            published += count as u64;
+            self.publish_tick_batch(burst.drafts.len())?;
         }
+        let ledger = self.engine.queue_stats();
         let outcome = ScenarioOutcome {
             scenario: scenario.name().to_string(),
             bursts,
-            published,
+            // Only ticks the admission layer actually accepted count as
+            // published; under a shedding feed the difference lands on `shed`.
+            published: self.ticks_published - ticks_before,
             rejected: 0,
+            shed: ledger.ingress_shed - ledger_before.ingress_shed,
+            credit_waits: ledger.ingress_credit_stalls - ledger_before.ingress_credit_stalls,
             completed: true,
             // publish_tick_batch waits out each burst's cascade, so the
             // replay ends drained by construction — and for the same reason

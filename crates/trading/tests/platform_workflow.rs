@@ -253,3 +253,49 @@ fn managed_instances_stay_bounded_over_long_runs() {
         platform.engine().unit_count()
     );
 }
+
+#[test]
+fn ingress_fed_platform_runs_the_workflow_with_a_bounded_queue() {
+    // The exchange feed routed through a credit-gated ingress session: the
+    // full Figure 4 cascade still runs, every tick is admitted under the
+    // Block policy, and the engine's admission ledger accounts for them.
+    let config = TradingPlatformConfig {
+        workers: 2,
+        batch_size: 8,
+        ingress: Some(
+            defcon_core::IngressConfig::new(64)
+                .credit_window(32)
+                .policy(defcon_core::FullQueuePolicy::Block),
+        ),
+        ..small_config(SecurityMode::LabelsFreeze, 10)
+    };
+    let mut platform = TradingPlatform::build(config).unwrap();
+    assert!(platform.ingress_tier().is_some());
+    let report = platform.run_ticks(600).unwrap();
+    assert_eq!(report.ticks, 600, "Block admits every tick");
+    assert!(report.orders > 0, "no orders through the ingress feed");
+    assert!(report.trades > 0, "no trades through the ingress feed");
+    let stats = platform.engine().queue_stats();
+    assert_eq!(stats.ingress_admitted, 600);
+    assert_eq!(stats.ingress_shed, 0, "Block never sheds");
+}
+
+#[test]
+fn ingress_without_workers_is_rejected_loudly() {
+    // With workers=0 nothing drains the queue except explicit pumping, so a
+    // credit-gated feed session could never earn its credits back: the build
+    // must refuse the combination instead of deadlocking the first tick.
+    let config = TradingPlatformConfig {
+        workers: 0,
+        ingress: Some(defcon_core::IngressConfig::new(64)),
+        ..small_config(SecurityMode::LabelsFreeze, 4)
+    };
+    let err = match TradingPlatform::build(config) {
+        Ok(_) => panic!("workers=0 + ingress must be rejected at build time"),
+        Err(err) => err,
+    };
+    assert!(
+        matches!(err, defcon_core::EngineError::InvalidOperation(_)),
+        "expected a loud InvalidOperation, got {err:?}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Scenario replay through the credit-gated ingress tier.
+//!
+//! The direct [`ScenarioDriver`](crate::ScenarioDriver) publishes each burst
+//! on the unbounded blocking path — which is exactly how the SlowConsumerFlood
+//! baseline drives the run queue to multi-thousand-event depths. This driver
+//! replays the *same* scenarios through an [`IngressTier`]: bursts are
+//! distributed round-robin over N logical publisher sessions, each paced by
+//! its credit window, so the run queue holds the configured bound and the
+//! full-queue policy (block / shed-newest / shed-oldest) decides what happens
+//! to the overflow. The outcome carries the admission ledger — accepted,
+//! shed, credit stalls — alongside the usual replay measurements.
+
+use std::time::{Duration, Instant};
+
+use defcon_core::{Engine, EngineResult, UnitId};
+use defcon_ingress::{IngressTier, SessionHandle};
+
+use crate::scenario::{Scenario, ScenarioOutcome};
+
+/// Replays [`Scenario`]s through an ingress tier's credit-gated sessions.
+///
+/// The driver owns its sessions but *borrows* the tier: the harness decides
+/// when to close the tier and collect the final
+/// [`IngressReport`](defcon_ingress::IngressReport).
+pub struct IngressScenarioDriver<'a> {
+    tier: &'a IngressTier,
+    engine: Engine,
+    sessions: Vec<SessionHandle>,
+}
+
+impl<'a> IngressScenarioDriver<'a> {
+    /// Opens `sessions` sessions (at least one) on `tier`, all publishing as
+    /// `source`.
+    pub fn new(
+        tier: &'a IngressTier,
+        engine: &Engine,
+        source: UnitId,
+        sessions: usize,
+    ) -> EngineResult<Self> {
+        let sessions = (0..sessions.max(1))
+            .map(|_| tier.session(source))
+            .collect::<EngineResult<Vec<_>>>()?;
+        Ok(IngressScenarioDriver {
+            tier,
+            engine: engine.clone(),
+            sessions,
+        })
+    }
+
+    /// How many sessions the driver spreads bursts over.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Replays `scenario` to exhaustion, each burst submitted to the next
+    /// session round-robin, then waits for every session to drain (buffered
+    /// and published events observed through dispatch).
+    ///
+    /// In the outcome, `published` counts events *accepted into session
+    /// windows*: under `Block` every one of them reaches the engine exactly
+    /// once (the replay drains before returning); the shed policies may later
+    /// evict accepted events, which then count in `shed` instead — so
+    /// `submitted == engine-admitted + shed` always balances. `shed` and
+    /// `credit_waits` aggregate the per-burst
+    /// [`Admission`](defcon_core::Admission) results, and
+    /// `peak_queue_depth` is sampled after every burst — under a configured
+    /// queue bound it must never exceed that bound.
+    pub fn run(&self, scenario: &mut dyn Scenario) -> ScenarioOutcome {
+        let start = Instant::now();
+        let mut outcome = ScenarioOutcome {
+            scenario: scenario.name().to_string(),
+            bursts: 0,
+            published: 0,
+            rejected: 0,
+            shed: 0,
+            credit_waits: 0,
+            completed: false,
+            drained: false,
+            peak_queue_depth: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut cursor = 0usize;
+        loop {
+            let Some(burst) = scenario.next_burst() else {
+                outcome.completed = outcome.rejected == 0;
+                break;
+            };
+            if !burst.pause.is_zero() {
+                std::thread::sleep(burst.pause);
+            }
+            outcome.bursts += 1;
+            let session = &self.sessions[cursor % self.sessions.len()];
+            cursor += 1;
+            let admission = session.submit(burst.drafts);
+            outcome.published += admission.accepted() as u64;
+            outcome.shed += admission.shed() as u64;
+            outcome.credit_waits += admission.credit_waits() as u64;
+            outcome.peak_queue_depth = outcome.peak_queue_depth.max(self.engine.queue_depth());
+        }
+        outcome.drained = self.tier.drain(Duration::from_secs(120));
+        outcome.elapsed = start.elapsed();
+        outcome
+    }
+}
+
+impl std::fmt::Debug for IngressScenarioDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngressScenarioDriver")
+            .field("sessions", &self.sessions.len())
+            .field("config", self.tier.config())
+            .finish()
+    }
+}

@@ -299,6 +299,64 @@ impl Scenario for SlowConsumerFlood {
     }
 }
 
+/// An admission-tier stressor: every burst is larger than any sensible
+/// per-session credit window, aimed at slow lanes, with no pauses — so a
+/// credit-gated ingress tier is forced to stall (Block) or shed (ShedNewest /
+/// ShedOldest) on nearly every submission while the windows refill. Bursts
+/// cycle round-robin over the lanes, which the ingress scenario driver maps
+/// onto distinct publisher sessions; a direct [`ScenarioDriver`] replay
+/// degenerates into a plain multi-lane flood.
+#[derive(Debug)]
+pub struct CreditStorm {
+    lanes: usize,
+    burst: usize,
+    total: u64,
+    emitted: u64,
+    cursor: u64,
+}
+
+impl CreditStorm {
+    /// `events` events in bursts of `burst` (clamped to at least 1), each
+    /// burst wholly on one of `lanes` lanes, cycling.
+    pub fn new(lanes: usize, burst: usize, events: u64) -> Self {
+        CreditStorm {
+            lanes: lanes.max(1),
+            burst: burst.max(1),
+            total: events,
+            emitted: 0,
+            cursor: 0,
+        }
+    }
+}
+
+impl Scenario for CreditStorm {
+    fn name(&self) -> &'static str {
+        "credit-storm"
+    }
+
+    fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let lane = (self.cursor as usize) % self.lanes;
+        self.cursor += 1;
+        Some(Burst::immediate(chunk_drafts(
+            &mut self.emitted,
+            self.total,
+            self.burst,
+            |_| lane,
+        )))
+    }
+}
+
 /// Cycles through a set of burst sizes (1, 8, 64 by default): single events
 /// interleaved with medium and large batches, round-robin over the lanes.
 /// Exercises the queue's mixed single/batched enqueue paths and dispatchers
@@ -429,6 +487,12 @@ pub struct ScenarioOutcome {
     /// Events rejected because the runtime had shut down. Rejections are loud
     /// (`publish_batch` errors); the driver records them and stops replaying.
     pub rejected: u64,
+    /// Events shed by an admission policy (always 0 for the direct driver:
+    /// only the credit-gated ingress driver publishes under a shed policy).
+    pub shed: u64,
+    /// Credit-window stalls the replay absorbed (always 0 for the direct
+    /// driver, which publishes on the unbounded blocking path).
+    pub credit_waits: u64,
     /// `true` when the scenario ran to exhaustion without any rejection.
     pub completed: bool,
     /// `true` when the engine reached idle after the replay (always `false`
@@ -528,6 +592,8 @@ impl<'a> ScenarioDriver<'a> {
             bursts: 0,
             published: 0,
             rejected: 0,
+            shed: 0,
+            credit_waits: 0,
             completed: false,
             drained: false,
             peak_queue_depth: 0,
@@ -545,13 +611,12 @@ impl<'a> ScenarioDriver<'a> {
             let attempted = burst.drafts.len() as u64;
             outcome.bursts += 1;
             match self.publisher.publish_batch(burst.drafts) {
-                Ok(accepted) => {
-                    outcome.published += accepted as u64;
+                Ok(admission) => {
+                    outcome.published += admission.accepted() as u64;
                     // A batch racing shutdown may be partially accepted; the
                     // rejected remainder ends the replay like a full error.
-                    let shortfall = attempted - accepted as u64;
-                    if shortfall > 0 {
-                        outcome.rejected += shortfall;
+                    if admission.shed() > 0 {
+                        outcome.rejected += admission.shed() as u64;
                         break;
                     }
                 }
@@ -810,5 +875,19 @@ mod tests {
         let (events, bursts, _) = drain(&mut scenario);
         assert_eq!(events, 100);
         assert_eq!(bursts, 4);
+    }
+
+    #[test]
+    fn credit_storm_cycles_whole_bursts_over_lanes() {
+        let mut scenario = CreditStorm::new(3, 40, 210);
+        assert_eq!(scenario.lane_count(), 3);
+        let (events, bursts, sizes) = drain(&mut scenario);
+        assert_eq!(events, 210);
+        assert_eq!(bursts, 6);
+        assert!(
+            sizes[..5].iter().all(|&s| s == 40),
+            "whole bursts: {sizes:?}"
+        );
+        assert_eq!(sizes[5], 10, "the tail burst carries the remainder");
     }
 }

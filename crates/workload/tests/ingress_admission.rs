@@ -1,0 +1,167 @@
+//! Admission-law tests for scenario replay through the credit-gated ingress
+//! tier: a property sweep over random `(sessions, credit_window, policy,
+//! batch)` tuples, and the deterministic SlowConsumerFlood-under-credits
+//! acceptance shape pinning the bounded queue depth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use defcon_core::unit::NullUnit;
+use defcon_core::{Engine, FullQueuePolicy, IngressConfig, SecurityMode, UnitSpec};
+use defcon_ingress::IngressTier;
+use defcon_workload::scenario::{lane_name, CountingSink};
+use defcon_workload::{CreditStorm, IngressScenarioDriver, SlowConsumerFlood};
+use proptest::prelude::*;
+
+struct Harness {
+    engine: Engine,
+    source: defcon_core::UnitId,
+    received: Vec<Arc<AtomicU64>>,
+}
+
+/// An engine with one counting sink per lane (optionally slowed) and a
+/// feed unit, ready to start.
+fn harness(config: IngressConfig, workers: usize, lanes: usize, sink_delay: Duration) -> Harness {
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers(workers)
+        .batch_size(8)
+        .ingress(config)
+        .build();
+    let received = (0..lanes)
+        .map(|lane| {
+            let (sink, received) = CountingSink::new(lane_name(lane));
+            let sink = sink.with_delay(sink_delay);
+            engine
+                .register_unit(UnitSpec::new(format!("sink-{lane}")), Box::new(sink))
+                .unwrap();
+            received
+        })
+        .collect();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+    Harness {
+        engine,
+        source,
+        received,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Over random admission configurations, three laws hold:
+    ///
+    /// 1. **exactly-once for admitted** — every event the engine admitted is
+    ///    delivered to its lane sink exactly once (no loss, no duplication);
+    /// 2. **loud accounting for shed** — every submitted event is accounted
+    ///    for: engine-admitted + ledger-shed == submitted;
+    /// 3. **the bound holds** — sampled run-queue depth never exceeds the
+    ///    configured queue bound.
+    #[test]
+    fn admission_laws_hold_over_random_tuples(
+        sessions in 1usize..5,
+        credit_window in 4usize..40,
+        policy_index in 0usize..3,
+        batch in 1usize..50,
+        queue_bound in 8usize..64,
+    ) {
+        let policy = FullQueuePolicy::all()[policy_index];
+        const TOTAL: u64 = 600;
+        let lanes = 2;
+        let h = harness(
+            IngressConfig::new(queue_bound)
+                .credit_window(credit_window)
+                .policy(policy),
+            1,
+            lanes,
+            Duration::ZERO,
+        );
+        let handle = h.engine.start();
+        let tier = IngressTier::new(&h.engine);
+        let driver = IngressScenarioDriver::new(&tier, &h.engine, h.source, sessions).unwrap();
+
+        let mut scenario = CreditStorm::new(lanes, batch, TOTAL);
+        let outcome = driver.run(&mut scenario);
+
+        prop_assert!(outcome.drained, "replay must drain: {outcome:?}");
+        prop_assert!(
+            outcome.peak_queue_depth <= queue_bound,
+            "sampled depth {} exceeded bound {queue_bound}",
+            outcome.peak_queue_depth
+        );
+        if policy == FullQueuePolicy::Block {
+            prop_assert_eq!(outcome.shed, 0, "Block never sheds");
+            prop_assert_eq!(outcome.published, TOTAL);
+        }
+
+        tier.shutdown();
+        handle.shutdown().unwrap();
+
+        // Loud accounting: every submitted event either reached the run
+        // queue (admitted) or is on the shed ledger — nothing vanishes.
+        let stats = h.engine.queue_stats();
+        prop_assert_eq!(
+            stats.ingress_admitted + stats.ingress_shed,
+            TOTAL,
+            "admitted {} + shed {} must cover all {} submitted",
+            stats.ingress_admitted,
+            stats.ingress_shed,
+            TOTAL
+        );
+
+        // Exactly-once: per-lane deliveries sum to exactly the admitted count.
+        let delivered: u64 = h.received.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        prop_assert_eq!(delivered, stats.ingress_admitted, "admitted events deliver exactly once");
+    }
+}
+
+/// The acceptance shape: the same SlowConsumerFlood that drives the direct
+/// publish path to multi-thousand-event queue depths holds a two-digit bound
+/// when replayed through credit-gated sessions — and still delivers every
+/// event exactly once under the Block policy.
+#[test]
+fn slow_consumer_flood_under_credits_pins_a_bounded_depth() {
+    const BOUND: usize = 64;
+    const TOTAL: u64 = 2_000;
+    let h = harness(
+        IngressConfig::new(BOUND)
+            .credit_window(32)
+            .policy(FullQueuePolicy::Block),
+        2,
+        1,
+        Duration::from_micros(20), // the deliberately slow consumer
+    );
+    let handle = h.engine.start();
+    let tier = IngressTier::new(&h.engine);
+    let driver = IngressScenarioDriver::new(&tier, &h.engine, h.source, 4).unwrap();
+
+    let mut scenario = SlowConsumerFlood::new(128, TOTAL);
+    let outcome = driver.run(&mut scenario);
+
+    assert!(outcome.completed && outcome.drained, "{outcome:?}");
+    assert_eq!(outcome.published, TOTAL, "Block admits everything");
+    assert_eq!(outcome.shed, 0);
+    assert!(
+        outcome.peak_queue_depth <= BOUND,
+        "peak depth {} must hold the configured bound {BOUND} \
+         (the unbounded baseline peaks in the thousands)",
+        outcome.peak_queue_depth
+    );
+    assert!(
+        outcome.credit_waits > 0,
+        "128-event bursts against 32-credit windows must stall"
+    );
+
+    let report = tier.shutdown();
+    assert_eq!(report.admitted, TOTAL);
+    assert_eq!(report.shed, 0);
+    handle.shutdown().unwrap();
+    assert_eq!(
+        h.received[0].load(Ordering::Relaxed),
+        TOTAL,
+        "exactly-once delivery through the ingress tier"
+    );
+}

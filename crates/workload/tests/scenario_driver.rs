@@ -138,8 +138,11 @@ fn slow_consumer_flood_scales_an_elastic_band_to_max_and_back() {
         .workers_min(BAND_MIN)
         .workers_max(BAND_MAX)
         .batch_size(8)
-        .elastic_scale_up_depth(8)
-        .elastic_idle_grace(Duration::from_millis(2))
+        .elastic(
+            defcon_core::ElasticConfig::new()
+                .scale_up_depth(8)
+                .idle_grace(Duration::from_millis(2)),
+        )
         .build();
     let (sink, received) = CountingSink::new(ZipfLanes::lane_name(0));
     let sink = sink.with_delay(Duration::from_micros(100));

@@ -13,6 +13,8 @@
 //!   arrival traces for crash recovery and deterministic replay;
 //! * [`isolation`] — the isolation substrate modelling §4's methodology;
 //! * [`core`] — the DEFCon engine: dispatcher, subscriptions, the Table 1 API;
+//! * [`ingress`] — the credit-gated async ingress tier funnelling many logical
+//!   publisher sessions onto the bounded batched publish path;
 //! * [`metrics`] — throughput, latency and memory instrumentation (§6.2);
 //! * [`workload`] — the synthetic LSE-style workload (§6.2);
 //! * [`trading`] — the Figure 4 trading platform;
@@ -29,6 +31,7 @@ pub use defcon_core as core;
 pub use defcon_defc as defc;
 pub use defcon_durability as durability;
 pub use defcon_events as events;
+pub use defcon_ingress as ingress;
 pub use defcon_isolation as isolation;
 pub use defcon_metrics as metrics;
 pub use defcon_trading as trading;
@@ -37,10 +40,11 @@ pub use defcon_workload as workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use defcon_core::{
-        auto_worker_count, Engine, EngineBuilder, EngineConfig, EngineError, EngineHandle,
-        EngineResult, EventDraft, Publisher, QueueStats, SecurityMode, Unit, UnitContext, UnitId,
-        UnitSpec,
+        auto_worker_count, Admission, Engine, EngineBuilder, EngineConfig, EngineError,
+        EngineHandle, EngineResult, EventDraft, FullQueuePolicy, IngressConfig, Publisher,
+        QueueStats, SecurityMode, TryPublish, Unit, UnitContext, UnitId, UnitSpec,
     };
     pub use defcon_defc::{Component, Label, Privilege, PrivilegeKind, Tag, TagSet};
     pub use defcon_events::{Event, EventBuilder, Filter, Predicate, Value, ValueList, ValueMap};
+    pub use defcon_ingress::{IngressTier, SessionHandle};
 }
