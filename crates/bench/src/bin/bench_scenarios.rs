@@ -29,13 +29,13 @@ use defcon_bench::report::arg_value;
 use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
 use defcon_core::{
-    auto_worker_count, Engine, FullQueuePolicy, IngressConfig, SecurityMode, UnitSpec,
+    auto_worker_count, Engine, FaultPolicy, FullQueuePolicy, IngressConfig, SecurityMode, UnitSpec,
 };
 use defcon_ingress::IngressTier;
 use defcon_metrics::LatencyHistogram;
 use defcon_trading::{PlatformReport, TradingPlatform, TradingPlatformConfig};
 use defcon_workload::scenario::{
-    BurstyOpenClose, CountingSink, CreditStorm, MixedBatches, ReplayTrace, Scenario,
+    BurstyOpenClose, CountingSink, CreditStorm, FaultSwap, MixedBatches, ReplayTrace, Scenario,
     ScenarioDriver, SlowConsumerFlood, ZipfLanes,
 };
 use defcon_workload::IngressScenarioDriver;
@@ -131,6 +131,112 @@ fn run_scenario(
     ScenarioRun {
         record: BenchRecord::from_platform(&outcome.scenario, &row),
         peak_queue_depth: outcome.peak_queue_depth,
+    }
+}
+
+/// One hot-replacement replay: the bench record plus the fault ledger —
+/// whether every admitted event was accounted for across the swap.
+struct FaultSwapRun {
+    record: BenchRecord,
+    exactly_once_holds: bool,
+    panics: u64,
+    fault_swaps: u64,
+}
+
+/// Replays the [`FaultSwap`] flood against a sink that panics every
+/// `fault_every`-th delivery under `FaultPolicy::AutoSwap` with a healthy
+/// standby registered: mid-replay the policy trips and hot-swaps the sink
+/// while bursts keep arriving. The row's acceptance ledger: every admitted
+/// event is either delivered (by the flaky incarnation or its replacement) or
+/// was one of the counted panicking deliveries — zero admitted events lost,
+/// exactly one fault-triggered swap, nothing quarantined.
+fn run_fault_swap_scenario(events: u64, fault_every: u64, batch_size: usize) -> FaultSwapRun {
+    let (workers_min, workers_max) = worker_band();
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers_min(workers_min)
+        .workers_max(workers_max)
+        .batch_size(batch_size)
+        .event_cache(0)
+        // Three panics in any window trip the policy; the default action is
+        // auto-swap to the registered standby.
+        .fault(FaultPolicy::new(3))
+        .build();
+
+    let histogram = Arc::new(LatencyHistogram::new());
+    let (sink, flaky_received) = CountingSink::new(ZipfLanes::lane_name(0));
+    let sink = sink
+        .with_latency(Arc::clone(&histogram))
+        .with_fault_every(fault_every);
+    let target = engine
+        .register_unit(UnitSpec::new("sink-0"), Box::new(sink))
+        .expect("flaky sink registers");
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+
+    // The standby is built up front (so its delivery counter is observable)
+    // and handed out by the factory exactly once, at the fault-triggered swap.
+    let (standby, standby_received) = CountingSink::new(ZipfLanes::lane_name(0));
+    let standby = standby.with_latency(Arc::clone(&histogram));
+    let standby_cell = std::sync::Mutex::new(Some(standby));
+    engine
+        .set_standby(
+            target,
+            Box::new(move || {
+                Box::new(
+                    standby_cell
+                        .lock()
+                        .expect("standby cell")
+                        .take()
+                        .expect("the standby is consumed by at most one swap"),
+                )
+            }),
+        )
+        .expect("standby registers");
+
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).expect("driver");
+    let mut scenario = FaultSwap::new(64, events);
+    let outcome = driver.run(&mut scenario);
+    handle.shutdown().expect("shutdown");
+
+    assert!(
+        outcome.completed && outcome.drained,
+        "fault-swap: a bench replay must complete and drain"
+    );
+    let stats = engine.queue_stats();
+    let delivered =
+        flaky_received.load(Ordering::Relaxed) + standby_received.load(Ordering::Relaxed);
+    let exactly_once_holds = delivered + stats.unit_panics == outcome.published
+        && stats.fault_swaps == 1
+        && stats.unit_swaps == 1
+        && stats.units_quarantined == 0
+        && stats.quarantine_shed == 0;
+    assert!(
+        exactly_once_holds,
+        "fault-swap: hot replacement must lose no admitted event \
+         (delivered={delivered} panics={} published={} swaps={} quarantined={})",
+        stats.unit_panics, outcome.published, stats.fault_swaps, stats.units_quarantined
+    );
+
+    let pool = engine.queue_stats();
+    let row = PlatformReport::from_scenario(
+        &outcome,
+        SecurityMode::LabelsFreeze,
+        pool.workers_min,
+        engine.configured_workers(),
+        pool.workers_high_water,
+        batch_size,
+        1,
+        &histogram.summary(),
+    );
+    println!("  {}", row.as_row());
+    FaultSwapRun {
+        record: BenchRecord::from_platform(&outcome.scenario, &row),
+        exactly_once_holds,
+        panics: stats.unit_panics,
+        fault_swaps: stats.fault_swaps,
     }
 }
 
@@ -350,6 +456,27 @@ fn main() {
                 run.record.workers_high_water as f64,
             );
         }
+        report.push(run.record);
+    }
+
+    // Hot replacement under load: a flaky sink trips the engine's fault
+    // policy mid-flood and is auto-swapped to its standby while bursts keep
+    // arriving. The committed acceptance metric is `swap_exactly_once_holds`:
+    // 1 iff every admitted event was delivered or counted as a panic — zero
+    // lost — with exactly one fault-triggered swap.
+    println!("== fault-swap hot replacement ({slow_events} events) ==");
+    {
+        let run = run_fault_swap_scenario(slow_events, 500, batch_size);
+        println!(
+            "{:<16} panics={} fault-swaps={} exactly-once={}",
+            run.record.name, run.panics, run.fault_swaps, run.exactly_once_holds,
+        );
+        report.metric(
+            "swap_exactly_once_holds",
+            if run.exactly_once_holds { 1.0 } else { 0.0 },
+        );
+        report.metric("fault_swap_panics", run.panics as f64);
+        report.metric("fault_swap_swaps", run.fault_swaps as f64);
         report.push(run.record);
     }
 

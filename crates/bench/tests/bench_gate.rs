@@ -327,6 +327,31 @@ fn gate_skips_unmatched_cells_instead_of_comparing_apples_to_oranges() {
 }
 
 #[test]
+fn gate_matches_fault_swap_cells_like_any_other_scenario_row() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("faultswap");
+    // The hot-replacement scenario emits an elastic-band `fault-swap` row;
+    // its cell key must behave like every other scenario cell: same name and
+    // band match across runs (the observed high-water mark is irrelevant),
+    // and a 30% throughput drop fails the gate with the cell named.
+    let fault_row = |eps: f64, high_water: usize| {
+        elastic_report(eps, "1..4", high_water)
+            .replace("\"name\":\"dispatch\"", "\"name\":\"fault-swap\"")
+    };
+    gate.write_prev("BENCH_scenarios.json", &fault_row(100_000.0, 4));
+    gate.write_current("BENCH_scenarios.json", &fault_row(70_000.0, 2));
+    let (code, out) = gate.run("BENCH_scenarios.json");
+    assert_eq!(code, 1, "a 30% fault-swap drop must fail the gate: {out}");
+    assert!(
+        out.contains("fault-swap|labels+freeze|w[1..4]|b8|r0|p"),
+        "the key names the fault-swap cell: {out}"
+    );
+}
+
+#[test]
 fn gate_never_matches_an_admission_policy_cell_against_the_direct_path() {
     if !tools_available() {
         eprintln!("skipping: bash/jq unavailable");

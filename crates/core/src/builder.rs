@@ -13,6 +13,7 @@
 
 use crate::admission::{ElasticConfig, IngressConfig};
 use crate::engine::{Engine, EngineConfig, SecurityMode};
+use crate::fault::FaultPolicy;
 use crate::handle::EngineHandle;
 
 /// The worker count [`EngineBuilder::workers_auto`] resolves to on this host:
@@ -134,6 +135,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables fault handling, grouped like [`EngineBuilder::ingress`] and
+    /// [`EngineBuilder::wal`]: the engine counts panicking deliveries per unit
+    /// and, when a unit exceeds the policy's panic budget within its delivery
+    /// window, auto-swaps it to its registered standby
+    /// ([`Engine::set_standby`](crate::Engine::set_standby)) or quarantines
+    /// it — see [`FaultPolicy`].
+    pub fn fault(mut self, policy: FaultPolicy) -> Self {
+        self.config.fault = Some(policy);
+        self
+    }
+
     /// Enables or disables per-unit grouped delivery of popped batches (on by
     /// default; see [`EngineConfig::grouped_delivery`](crate::EngineConfig)
     /// for the exact semantics). Disable to recover strict event-by-event
@@ -205,6 +217,7 @@ mod tests {
     #[test]
     fn builder_applies_every_knob() {
         use crate::admission::FullQueuePolicy;
+        use crate::fault::FaultAction;
         let engine = Engine::builder()
             .mode(SecurityMode::LabelsClone)
             .workers(3)
@@ -222,6 +235,11 @@ mod tests {
                     .credit_window(32)
                     .policy(FullQueuePolicy::ShedNewest),
             )
+            .fault(
+                FaultPolicy::new(2)
+                    .window(50)
+                    .action(FaultAction::Quarantine),
+            )
             .build();
         assert_eq!(engine.mode(), SecurityMode::LabelsClone);
         assert_eq!(engine.configured_workers(), 3);
@@ -236,6 +254,10 @@ mod tests {
         assert_eq!(ingress.queue_bound, 256);
         assert_eq!(ingress.credit_window, 32);
         assert_eq!(ingress.policy, FullQueuePolicy::ShedNewest);
+        let fault = engine.fault_policy().expect("fault policy set");
+        assert_eq!(fault.max_panics, 2);
+        assert_eq!(fault.window, 50);
+        assert_eq!(fault.action, FaultAction::Quarantine);
     }
 
     #[test]

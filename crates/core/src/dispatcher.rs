@@ -722,28 +722,55 @@ impl Dispatcher {
         // group; one cascade enqueue transaction per group.
         let mut delivered_count = 0u64;
         let mut unit_errors = 0u64;
-        for (group, (_, slot)) in targets.iter().enumerate() {
+        for (group, (key, slot)) in targets.iter().enumerate() {
             let start = if group == 0 { 0 } else { offsets[group - 1] };
             let end = offsets[group];
             let mut outputs = Vec::new();
-            {
-                let mut cell = slot.cell.lock();
+            let mut faulted_unit = None;
+            // Chase the live slot for this group: a swap racing the plan
+            // retires the planned slot only after installing its replacement,
+            // so the whole slice forwards — in order, exactly once.
+            let mut live = Arc::clone(slot);
+            loop {
+                let mut cell = live.cell.lock();
                 if cell.retired {
-                    // Evicted between resolution and delivery; its isolate is
-                    // gone — skip, exactly like the per-delivery path does.
-                    continue;
+                    drop(cell);
+                    let owner = match key {
+                        // Direct groups are keyed by the stable owner id.
+                        TargetKey::Direct(unit) => *unit,
+                        // Evicted managed handler: its isolate is gone — skip
+                        // the slice, exactly like the per-delivery path does.
+                        TargetKey::Managed(_) => break,
+                    };
+                    match self.forwarded_slot(&live, owner, false) {
+                        Some(fresh) => {
+                            live = fresh;
+                            continue;
+                        }
+                        None => break,
+                    }
                 }
+                if cell.quarantined {
+                    // Shed the whole slice loudly, one count per delivery.
+                    self.core
+                        .faults
+                        .quarantine_shed
+                        .fetch_add((end - start) as u64, Ordering::Relaxed);
+                    break;
+                }
+                let mut faulted = false;
                 for &(event_index, sub_index) in &ordered[start..end] {
                     let event_index = event_index as usize;
                     let subscription = &batch.subscriptions[sub_index as usize];
                     delivered_count += 1;
                     let additions = self.deliver_into_cell(
-                        slot,
+                        &live,
                         &mut cell,
                         &current[event_index],
                         subscription,
                         &mut outputs,
                         &mut unit_errors,
+                        &mut faulted,
                     );
                     // Main-path augmentation: parts released by this delivery
                     // reach every delivery executed after it — later events in
@@ -753,10 +780,18 @@ impl Dispatcher {
                         current[event_index] = current[event_index].with_part(part);
                     }
                 }
+                if faulted {
+                    faulted_unit = Some(cell.state.id);
+                }
+                break;
             }
             // One group's cascade publications enter the queue as a single
             // batch: one shard lock, one accounting update, one wakeup check.
             self.core.enqueue_batch(outputs);
+            if let Some(unit) = faulted_unit {
+                // Group lock released: the fault action may swap or re-lock.
+                self.core.handle_unit_fault(unit);
+            }
         }
         if delivered_count > 0 {
             self.core
@@ -782,6 +817,7 @@ impl Dispatcher {
     /// error/panic isolation. Returns the parts the unit added to the event;
     /// callback failures are tallied into `unit_errors` (callers fold them
     /// into the engine stats at their own granularity).
+    #[allow(clippy::too_many_arguments)]
     fn deliver_into_cell(
         &self,
         slot: &Arc<UnitSlot>,
@@ -790,9 +826,22 @@ impl Dispatcher {
         subscription: &Subscription,
         outputs: &mut Vec<Event>,
         unit_errors: &mut u64,
+        faulted: &mut bool,
     ) -> Vec<Part> {
         let mode = self.core.config.mode;
         cell.state.delivered += 1;
+        // Fault-window bookkeeping happens under the cell lock the delivery
+        // already holds, so it is exact even under concurrent workers. The
+        // window is counted in deliveries (not time), which is what makes
+        // fault handling deterministic under test and replay.
+        let fault_policy = self.core.config.fault;
+        if let Some(policy) = &fault_policy {
+            if policy.window > 0 && cell.window_deliveries >= policy.window {
+                cell.window_deliveries = 0;
+                cell.window_panics = 0;
+            }
+            cell.window_deliveries += 1;
+        }
 
         if cell.pull_mode {
             let delivered = if mode.clones_events() {
@@ -829,7 +878,45 @@ impl Dispatcher {
         if !matches!(outcome, Ok(Ok(()))) {
             *unit_errors += 1;
         }
+        if outcome.is_err() {
+            // A panic (not a mere `Err` return) counts against the fault
+            // budget. The caller trips the policy *after* releasing the cell
+            // lock: the auto-swap path re-acquires it.
+            self.core.faults.unit_panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(policy) = &fault_policy {
+                cell.window_panics += 1;
+                if cell.window_panics >= policy.max_panics {
+                    cell.window_panics = 0;
+                    cell.window_deliveries = 0;
+                    *faulted = true;
+                }
+            }
+        }
         ctx.finish()
+    }
+
+    /// Resolves where a delivery that found its planned slot retired should
+    /// go instead. A *swap* installs the replacement slot in the registry
+    /// before retiring the old cell, so a direct subscription forwards to the
+    /// live slot under the owner's stable unit id — that forwarding is what
+    /// keeps exactly-once across a swap racing a dispatch that cached the old
+    /// slot Arc (epoch-keyed batch contexts hold slots across batches).
+    /// Returns `None` when the delivery should be skipped: managed handlers
+    /// (eviction legitimately destroys them; the next event re-resolves a
+    /// fresh instance) and truly removed units.
+    fn forwarded_slot(
+        &self,
+        stale: &Arc<UnitSlot>,
+        owner: crate::unit::UnitId,
+        managed: bool,
+    ) -> Option<Arc<UnitSlot>> {
+        if managed {
+            return None;
+        }
+        let fresh = self.core.slot(owner).ok()?;
+        // Defensive: a registry still mapping to the retired slot means the
+        // unit is being removed, not swapped — skip rather than spin.
+        (!Arc::ptr_eq(&fresh, stale)).then_some(fresh)
     }
 
     /// Delivers an event to one unit slot, returning the parts the unit added to the
@@ -840,33 +927,59 @@ impl Dispatcher {
         event: &Event,
         subscription: &Subscription,
     ) -> Vec<Part> {
-        let mut cell = slot.cell.lock();
-        if cell.retired {
-            // Evicted between resolution and delivery; its isolate is gone.
-            return Vec::new();
+        let mut slot = Arc::clone(slot);
+        loop {
+            let mut cell = slot.cell.lock();
+            if cell.retired {
+                drop(cell);
+                match self.forwarded_slot(&slot, subscription.owner, subscription.is_managed()) {
+                    Some(fresh) => {
+                        slot = fresh;
+                        continue;
+                    }
+                    None => return Vec::new(),
+                }
+            }
+            if cell.quarantined {
+                // Shed loudly: the unit exists but the fault policy took it
+                // out of service.
+                self.core
+                    .faults
+                    .quarantine_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                return Vec::new();
+            }
+            self.core.stats.deliveries.fetch_add(1, Ordering::Relaxed);
+            let mut outputs = Vec::new();
+            let mut unit_errors = 0u64;
+            let mut faulted = false;
+            let unit = cell.state.id;
+            let additions = self.deliver_into_cell(
+                &slot,
+                &mut cell,
+                event,
+                subscription,
+                &mut outputs,
+                &mut unit_errors,
+                &mut faulted,
+            );
+            drop(cell);
+            if unit_errors > 0 {
+                self.core
+                    .stats
+                    .unit_errors
+                    .fetch_add(unit_errors, Ordering::Relaxed);
+            }
+            // One delivery's cascade publications enter the queue as a single
+            // batch: one shard lock, one accounting update, one wakeup check.
+            self.core.enqueue_batch(outputs);
+            if faulted {
+                // Cell lock released above: the fault action may swap (cell →
+                // units.write) or quarantine (re-lock the cell).
+                self.core.handle_unit_fault(unit);
+            }
+            return additions;
         }
-        self.core.stats.deliveries.fetch_add(1, Ordering::Relaxed);
-        let mut outputs = Vec::new();
-        let mut unit_errors = 0u64;
-        let additions = self.deliver_into_cell(
-            slot,
-            &mut cell,
-            event,
-            subscription,
-            &mut outputs,
-            &mut unit_errors,
-        );
-        drop(cell);
-        if unit_errors > 0 {
-            self.core
-                .stats
-                .unit_errors
-                .fetch_add(unit_errors, Ordering::Relaxed);
-        }
-        // One delivery's cascade publications enter the queue as a single
-        // batch: one shard lock, one accounting update, one wakeup check.
-        self.core.enqueue_batch(outputs);
-        additions
     }
 
     /// Returns (creating on demand) the managed handler instance for a subscription
@@ -910,13 +1023,7 @@ impl Dispatcher {
             .memory
             .charge(MemoryCategory::UnitState, state.estimated_size());
         let slot = Arc::new(UnitSlot {
-            cell: Mutex::new(UnitCell {
-                state,
-                instance,
-                mailbox: Default::default(),
-                pull_mode: false,
-                retired: false,
-            }),
+            cell: Mutex::new(UnitCell::new(state, instance)),
             mailbox_signal: parking_lot::Condvar::new(),
         });
         self.core.units.write().insert(id, Arc::clone(&slot));

@@ -24,12 +24,13 @@ use crate::builder::EngineBuilder;
 use crate::context::UnitContext;
 use crate::dispatcher::Dispatcher;
 use crate::error::{EngineError, EngineResult};
+use crate::fault::{FaultAction, FaultCounters, FaultPolicy};
 use crate::handle::{EngineHandle, Publisher};
 use crate::pool::WorkerPool;
 use crate::run_queue::RunQueue;
 use crate::subscription::{Subscription, SubscriptionId};
 use crate::tag_store::TagStore;
-use crate::unit::{Unit, UnitId, UnitSpec, UnitState};
+use crate::unit::{Unit, UnitFactory, UnitId, UnitSpec, UnitState};
 
 /// The four security configurations evaluated in Figures 5–7 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -171,6 +172,12 @@ pub struct EngineConfig {
     /// under the configured full-queue policy. `None` (the default) keeps the
     /// classic unbounded publish path.
     pub ingress: Option<IngressConfig>,
+    /// Fault policy. When set, the dispatcher counts panicking deliveries per
+    /// unit and trips the configured [`FaultAction`] (auto-swap to a standby,
+    /// or quarantine-and-shed) once a unit exceeds the panic budget within its
+    /// delivery window. `None` (the default) keeps the classic behaviour:
+    /// panics are counted in `unit_errors` and otherwise tolerated forever.
+    pub fault: Option<FaultPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -186,6 +193,7 @@ impl Default for EngineConfig {
             managed_instance_cap: 1024,
             wal: None,
             ingress: None,
+            fault: None,
         }
     }
 }
@@ -220,6 +228,18 @@ pub struct QueueStats {
     /// Times a submitter stalled on an exhausted credit window or a full
     /// queue before making progress.
     pub ingress_credit_stalls: u64,
+    /// Successful unit swaps ([`Engine::swap_unit`]), manual and
+    /// fault-triggered.
+    pub unit_swaps: u64,
+    /// The subset of `unit_swaps` tripped by the configured
+    /// [`FaultPolicy`](crate::FaultPolicy).
+    pub fault_swaps: u64,
+    /// Panicking deliveries (a subset of `EngineStats::unit_errors`).
+    pub unit_panics: u64,
+    /// Units put into quarantine by the fault policy.
+    pub units_quarantined: u64,
+    /// Deliveries shed because their target unit was quarantined.
+    pub quarantine_shed: u64,
 }
 
 /// Counters describing engine activity.
@@ -290,10 +310,37 @@ pub(crate) struct UnitCell {
     /// When `true`, deliveries are queued in the mailbox instead of invoking
     /// `on_event`.
     pub(crate) pull_mode: bool,
-    /// Set under the cell lock when the unit is evicted/removed and its isolate
-    /// destroyed; a dispatch that resolved this slot concurrently must not
-    /// deliver into the dead isolate.
+    /// Set under the cell lock when the unit is evicted/removed/swapped and
+    /// its isolate destroyed; a dispatch that resolved this slot concurrently
+    /// must not deliver into the dead isolate. For a *swap* the registry holds
+    /// the replacement slot (installed before this flag is set), so delivery
+    /// paths forward to it instead of skipping.
     pub(crate) retired: bool,
+    /// Set by the fault policy: deliveries are shed loudly instead of invoking
+    /// a unit that repeatedly panicked, until a swap replaces it.
+    pub(crate) quarantined: bool,
+    /// Deliveries counted in the current fault window (see
+    /// [`FaultPolicy::window`](crate::FaultPolicy)). Mutated under the cell
+    /// lock on the delivery path, only when a fault policy is configured.
+    pub(crate) window_deliveries: u32,
+    /// Panicking deliveries in the current fault window.
+    pub(crate) window_panics: u32,
+}
+
+impl UnitCell {
+    /// A fresh, live cell for a (newly registered or just swapped-in) unit.
+    pub(crate) fn new(state: UnitState, instance: Box<dyn Unit>) -> Self {
+        UnitCell {
+            state,
+            instance,
+            mailbox: VecDeque::new(),
+            pull_mode: false,
+            retired: false,
+            quarantined: false,
+            window_deliveries: 0,
+            window_panics: 0,
+        }
+    }
 }
 
 pub(crate) struct UnitSlot {
@@ -329,6 +376,14 @@ pub(crate) struct EngineCore {
     /// set. The mutex serialises appends from concurrent publishers, which
     /// also makes log order a linearisation of the publish calls.
     pub(crate) wal: Option<Mutex<WalWriter>>,
+    /// Swap and fault telemetry (see [`FaultCounters`]); always present so
+    /// `queue_stats()` reads one shape whether or not a fault policy is
+    /// configured.
+    pub(crate) faults: FaultCounters,
+    /// Standby factories for fault-triggered auto-swap, keyed by the unit id
+    /// they stand in for ([`Engine::set_standby`]). Keyed by id — not slot —
+    /// so a standby keeps covering its unit across repeated swaps.
+    pub(crate) standbys: Mutex<HashMap<UnitId, UnitFactory>>,
     /// Per-engine unit identifier sequence: two engines in one process (or in
     /// parallel tests) each number their units 1, 2, 3, ... independently.
     unit_sequence: AtomicU64,
@@ -615,13 +670,7 @@ impl EngineCore {
 
         let output_label = state.output_label.clone();
         let slot = Arc::new(UnitSlot {
-            cell: Mutex::new(UnitCell {
-                state,
-                instance,
-                mailbox: VecDeque::new(),
-                pull_mode: false,
-                retired: false,
-            }),
+            cell: Mutex::new(UnitCell::new(state, instance)),
             mailbox_signal: Condvar::new(),
         });
         self.units.write().insert(id, slot);
@@ -639,6 +688,141 @@ impl EngineCore {
             }
         }
         Ok(id)
+    }
+
+    /// Drain-and-swap: replaces the unit instance serving `unit` with
+    /// `replacement`, preserving the id, name, labels, privilege set,
+    /// delivered count, mailbox and pull mode, under a bumped version and a
+    /// fresh isolate. Returns the new version.
+    ///
+    /// The quiesce point is the unit's cell lock: deliveries hold it for the
+    /// whole `on_event` call, so acquiring it here means any in-flight
+    /// delivery has *drained* to a clean boundary — never aborted. The
+    /// replacement slot is installed in the registry *before* the old cell is
+    /// retired and its isolate destroyed (legal lock direction: cell →
+    /// `units.write()`, the same order unit callbacks use), so a concurrent
+    /// dispatch holding the old slot observes either a live old cell (and
+    /// delivers under the lock we are waiting for) or a retired one with the
+    /// replacement already resolvable — its delivery forwards, exactly once,
+    /// in order.
+    ///
+    /// The replacement's `init` is **not** run: it inherits the predecessor's
+    /// subscriptions (owned by the stable unit id), which is what preserves
+    /// exactly-once across the boundary — an init-time re-subscribe would
+    /// double-deliver or drop events raced across the swap.
+    pub(crate) fn swap_unit(
+        self: &Arc<Self>,
+        unit: UnitId,
+        replacement: Box<dyn Unit>,
+    ) -> EngineResult<u64> {
+        let mut slot = self.slot(unit)?;
+        let mut replacement = Some(replacement);
+        loop {
+            let mut old = slot.cell.lock();
+            if old.retired {
+                // Raced another swap (or a removal): chase the live slot. The
+                // registry holds the replacement before a slot retires, so a
+                // re-resolve that returns the same retired slot (or nothing)
+                // means the unit is truly gone.
+                drop(old);
+                let fresh = self.slot(unit)?;
+                if Arc::ptr_eq(&fresh, &slot) {
+                    return Err(EngineError::UnknownUnit(format!("{unit}")));
+                }
+                slot = fresh;
+                continue;
+            }
+
+            // Quiesced: we hold the cell lock, nothing is mid-delivery.
+            let version = old.state.version + 1;
+            let state = UnitState {
+                id: unit,
+                name: old.state.name.clone(),
+                input_label: old.state.input_label.clone(),
+                output_label: old.state.output_label.clone(),
+                privileges: old.state.privileges.clone(),
+                isolate: self.isolation.create_isolate(),
+                delivered: old.state.delivered,
+                version,
+            };
+            let state_size = state.estimated_size();
+            let mut cell = UnitCell::new(state, replacement.take().expect("one swap per loop"));
+            // Pending pull-mode deliveries migrate: they were accepted for
+            // this unit id and must not be lost to the swap.
+            cell.mailbox = std::mem::take(&mut old.mailbox);
+            cell.pull_mode = old.pull_mode;
+            let new_slot = Arc::new(UnitSlot {
+                cell: Mutex::new(cell),
+                mailbox_signal: Condvar::new(),
+            });
+            self.memory.charge(MemoryCategory::UnitState, state_size);
+
+            // Install the replacement while still holding the old cell lock,
+            // then retire the old cell — the order every forwarding delivery
+            // path relies on.
+            self.units.write().insert(unit, new_slot);
+            old.retired = true;
+            self.isolation.destroy_isolate(old.state.isolate);
+            self.memory
+                .release(MemoryCategory::UnitState, old.state.estimated_size());
+            drop(old);
+            // Pull-mode waiters parked on the old slot re-resolve on wake.
+            slot.mailbox_signal.notify_all();
+            self.faults.unit_swaps.fetch_add(1, Ordering::Relaxed);
+            self.bump_security_epoch();
+            return Ok(version);
+        }
+    }
+
+    /// Quarantines `unit`: subsequent deliveries to it are shed loudly and
+    /// publishing as it fails with
+    /// [`EngineError::UnitQuarantined`](crate::EngineError). Idempotent; a
+    /// later [`EngineCore::swap_unit`] lifts the quarantine by replacing the
+    /// instance.
+    pub(crate) fn quarantine_unit(&self, unit: UnitId) -> EngineResult<()> {
+        let slot = self.slot(unit)?;
+        let mut cell = slot.cell.lock();
+        if !cell.retired && !cell.quarantined {
+            cell.quarantined = true;
+            self.faults
+                .units_quarantined
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Trips the configured fault action for a unit whose panic window just
+    /// overflowed. Called by the dispatcher *after* releasing the unit's cell
+    /// lock (the swap path re-acquires it, and `AutoSwap` takes
+    /// `units.write()` — both forbidden while a delivery holds the cell).
+    pub(crate) fn handle_unit_fault(self: &Arc<Self>, unit: UnitId) {
+        let Some(policy) = self.config.fault else {
+            return;
+        };
+        match policy.action {
+            FaultAction::AutoSwap => {
+                // The factory runs under the standby lock; standby factories
+                // are plain constructors, and nothing on this path re-enters
+                // the map.
+                let replacement = self.standbys.lock().get(&unit).map(|factory| factory());
+                let swapped = match replacement {
+                    Some(instance) => self.swap_unit(unit, instance).is_ok(),
+                    // Tripped with no standby registered.
+                    None => false,
+                };
+                if swapped {
+                    self.faults.fault_swaps.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // No standby (or the swap itself failed): quarantine
+                    // rather than keep feeding a unit that panics on
+                    // everything.
+                    let _ = self.quarantine_unit(unit);
+                }
+            }
+            FaultAction::Quarantine => {
+                let _ = self.quarantine_unit(unit);
+            }
+        }
     }
 }
 
@@ -733,6 +917,8 @@ impl Engine {
                 admission: AdmissionCounters::default(),
                 pool,
                 wal,
+                faults: FaultCounters::default(),
+                standbys: Mutex::new(HashMap::new()),
                 security_epoch: AtomicU64::new(0),
                 unit_sequence: AtomicU64::new(1),
                 started: std::sync::atomic::AtomicBool::new(false),
@@ -866,6 +1052,11 @@ impl Engine {
             ingress_admitted: self.core.admission.admitted(),
             ingress_shed: self.core.admission.shed(),
             ingress_credit_stalls: self.core.admission.credit_stalls(),
+            unit_swaps: self.core.faults.unit_swaps(),
+            fault_swaps: self.core.faults.fault_swaps(),
+            unit_panics: self.core.faults.unit_panics(),
+            units_quarantined: self.core.faults.units_quarantined(),
+            quarantine_shed: self.core.faults.quarantine_shed(),
         }
     }
 
@@ -911,8 +1102,57 @@ impl Engine {
         self.core.register_unit(spec, instance, false)
     }
 
+    /// Hot-replaces the unit instance serving `unit` with `replacement`,
+    /// without stopping the engine: a **drain-and-swap**. The swap waits for
+    /// any in-flight delivery to the unit to complete (deliveries hold the
+    /// unit's cell lock; the swap acquires it), then migrates the unit's
+    /// identity — id, name, input/output labels, privilege set, delivered
+    /// count, pull-mode mailbox — onto the replacement under a bumped version
+    /// and a fresh isolate, retires the old instance and destroys its isolate.
+    /// Returns the new version (`unit_state(unit).version`).
+    ///
+    /// Exactly-once and per-unit delivery order are preserved across the
+    /// boundary: every admitted event is delivered to the old instance or the
+    /// new one, never both, never neither. Subscriptions are owned by the
+    /// stable unit id and carry over; the replacement's `init` is **not** run
+    /// (an init-time re-subscribe would break exactly-once). Publishers and
+    /// ingress sessions holding the unit keep publishing — they rebind to the
+    /// replacement transparently. A quarantined unit is revived by swapping in
+    /// a healthy replacement.
+    pub fn swap_unit(&self, unit: UnitId, replacement: Box<dyn Unit>) -> EngineResult<u64> {
+        self.core.swap_unit(unit, replacement)
+    }
+
+    /// Registers a standby factory for `unit`: when the configured
+    /// [`FaultPolicy`](crate::FaultPolicy) trips the unit with
+    /// [`FaultAction::AutoSwap`](crate::FaultAction), the engine builds a
+    /// replacement from this factory and swaps it in ([`Engine::swap_unit`]
+    /// semantics). Keyed by unit id, so one standby covers its unit across
+    /// repeated swaps. Replaces any previous standby for the same unit.
+    pub fn set_standby(&self, unit: UnitId, factory: UnitFactory) -> EngineResult<()> {
+        // Fail fast on unknown units, like `publisher` does.
+        self.core.slot(unit)?;
+        self.core.standbys.lock().insert(unit, factory);
+        Ok(())
+    }
+
+    /// Quarantines a unit by hand: its deliveries are shed loudly (counted in
+    /// [`QueueStats::quarantine_shed`]) and publishing as it fails with
+    /// [`EngineError::UnitQuarantined`](crate::EngineError), until
+    /// [`Engine::swap_unit`] installs a replacement.
+    pub fn quarantine_unit(&self, unit: UnitId) -> EngineResult<()> {
+        self.core.quarantine_unit(unit)
+    }
+
+    /// The configured fault policy, when fault handling is enabled (see
+    /// [`EngineBuilder::fault`](crate::EngineBuilder::fault)).
+    pub fn fault_policy(&self) -> Option<&FaultPolicy> {
+        self.core.config.fault.as_ref()
+    }
+
     /// Removes a unit, destroying its isolate and its subscriptions.
     pub fn remove_unit(&self, unit: UnitId) -> EngineResult<()> {
+        self.core.standbys.lock().remove(&unit);
         let slot = self
             .core
             .units

@@ -20,6 +20,11 @@ pub enum EngineError {
     Isolation(SecurityException),
     /// The referenced unit does not exist.
     UnknownUnit(String),
+    /// The referenced unit was quarantined by the engine's
+    /// [`FaultPolicy`](crate::FaultPolicy): it repeatedly panicked and no
+    /// standby was available (or the policy demands quarantine). Publishing as
+    /// it fails loudly instead of feeding events that would be shed.
+    UnitQuarantined(String),
     /// The referenced subscription does not exist or belongs to another unit.
     UnknownSubscription(u64),
     /// The referenced draft event does not exist (already published or dropped).
@@ -41,6 +46,7 @@ impl fmt::Display for EngineError {
             EngineError::Event(e) => write!(f, "event error: {e}"),
             EngineError::Isolation(e) => write!(f, "isolation violation: {e}"),
             EngineError::UnknownUnit(name) => write!(f, "unknown unit: {name}"),
+            EngineError::UnitQuarantined(name) => write!(f, "unit quarantined: {name}"),
             EngineError::UnknownSubscription(id) => write!(f, "unknown subscription: {id}"),
             EngineError::UnknownDraft(id) => write!(f, "unknown draft event: {id}"),
             EngineError::EmptyFilter => {
@@ -92,6 +98,9 @@ mod tests {
         assert!(EngineError::UnknownUnit("x".into())
             .to_string()
             .contains('x'));
+        assert!(EngineError::UnitQuarantined("unit#7".into())
+            .to_string()
+            .contains("quarantined"));
         assert!(EngineError::UnknownSubscription(3)
             .to_string()
             .contains('3'));

@@ -86,6 +86,25 @@ impl EngineHandle {
         self.engine.publisher(unit)
     }
 
+    /// Hot-replaces a live unit without stopping the engine — the runtime-side
+    /// entry point of [`Engine::swap_unit`]: drains in-flight deliveries to
+    /// the unit, migrates its state/labels/privileges onto `replacement` under
+    /// a bumped version, and resumes with exactly-once and per-unit order
+    /// preserved. Returns the new version.
+    pub fn swap_unit(
+        &self,
+        unit: UnitId,
+        replacement: Box<dyn crate::unit::Unit>,
+    ) -> EngineResult<u64> {
+        self.engine.swap_unit(unit, replacement)
+    }
+
+    /// Registers a standby factory for fault-triggered auto-swap — see
+    /// [`Engine::set_standby`].
+    pub fn set_standby(&self, unit: UnitId, factory: crate::unit::UnitFactory) -> EngineResult<()> {
+        self.engine.set_standby(unit, factory)
+    }
+
     /// Publishes a batch of drafts *as* `unit` in one run-queue transaction —
     /// shorthand for [`Publisher::publish_batch`] when a driver does not keep a
     /// long-lived publisher around. Returns the typed [`Admission`] result.
@@ -262,15 +281,28 @@ impl EventDraft {
 /// whole closure body. For operations beyond publishing (creating tags,
 /// changing labels), [`Publisher::with_context`] still exposes the full
 /// Table 1 API.
-#[derive(Clone)]
 pub struct Publisher {
     core: Arc<EngineCore>,
     unit: UnitId,
     /// The publishing unit's slot, resolved once at construction so the hot
     /// publish path reads the output label without a registry lookup. A
-    /// removed unit's slot is retired, which the label read checks — removal
-    /// still fails publishes loudly.
-    slot: std::sync::Arc<crate::engine::UnitSlot>,
+    /// *swapped* unit retires its old slot after installing the replacement
+    /// under the same id — the label read detects the retirement and rebinds
+    /// here transparently, so long-lived publishers (and the ingress sessions
+    /// holding them) keep admitting to the replacement instead of silently
+    /// going stale. A *removed* unit has no live slot, and a *quarantined*
+    /// one refuses publishes — both fail loudly.
+    slot: parking_lot::RwLock<Arc<crate::engine::UnitSlot>>,
+}
+
+impl Clone for Publisher {
+    fn clone(&self) -> Self {
+        Publisher {
+            core: Arc::clone(&self.core),
+            unit: self.unit,
+            slot: parking_lot::RwLock::new(Arc::clone(&self.slot.read())),
+        }
+    }
 }
 
 impl Publisher {
@@ -279,7 +311,11 @@ impl Publisher {
         unit: UnitId,
         slot: Arc<crate::engine::UnitSlot>,
     ) -> Self {
-        Publisher { core, unit, slot }
+        Publisher {
+            core,
+            unit,
+            slot: parking_lot::RwLock::new(slot),
+        }
     }
 
     /// The unit this publisher publishes as.
@@ -389,15 +425,29 @@ impl Publisher {
         Ok(TryPublish::Admitted(admission))
     }
 
-    /// Snapshot of the publishing unit's output label (from the cached slot;
-    /// a retired slot means the unit was removed and the publish fails loudly,
-    /// exactly like the registry lookup used to).
+    /// Snapshot of the publishing unit's output label from the cached slot.
+    /// A retired slot means the unit was swapped (rebind to the replacement
+    /// and retry) or removed (fail loudly, exactly like the registry lookup
+    /// used to); a quarantined unit refuses publishes with a typed error.
     fn output_label(&self) -> EngineResult<Label> {
-        let guard = self.slot.cell.lock();
-        if guard.retired {
-            return Err(EngineError::UnknownUnit(format!("{}", self.unit)));
+        loop {
+            let slot = Arc::clone(&self.slot.read());
+            let guard = slot.cell.lock();
+            if guard.retired {
+                drop(guard);
+                let fresh = self.core.slot(self.unit)?;
+                if Arc::ptr_eq(&fresh, &slot) {
+                    // Registry still maps to the retired slot: mid-removal.
+                    return Err(EngineError::UnknownUnit(format!("{}", self.unit)));
+                }
+                *self.slot.write() = fresh;
+                continue;
+            }
+            if guard.quarantined {
+                return Err(EngineError::UnitQuarantined(format!("{}", self.unit)));
+            }
+            return Ok(guard.state.output_label.clone());
         }
-        Ok(guard.state.output_label.clone())
     }
 
     /// Builds one event from a draft, raising part labels to the unit's output

@@ -76,6 +76,7 @@ pub mod context;
 pub mod dispatcher;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod handle;
 mod pool;
 mod run_queue;
@@ -91,6 +92,7 @@ pub use context::{DraftEvent, UnitContext};
 pub use dispatcher::Dispatcher;
 pub use engine::{Engine, EngineConfig, EngineStats, QueueStats, RecoveryReport, SecurityMode};
 pub use error::{EngineError, EngineResult};
+pub use fault::{FaultAction, FaultCounters, FaultPolicy};
 pub use handle::{EngineHandle, EventDraft, Publisher};
 pub use subscription::{Subscription, SubscriptionId, SubscriptionKind};
 pub use tag_store::TagStore;

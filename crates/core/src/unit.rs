@@ -153,6 +153,11 @@ pub struct UnitState {
     pub isolate: IsolateId,
     /// Number of events delivered to this unit (diagnostics / Figure 7 accounting).
     pub delivered: u64,
+    /// Incarnation of this unit id: 1 at registration, incremented by every
+    /// [`Engine::swap_unit`](crate::Engine::swap_unit). The id is stable across
+    /// swaps (subscriptions and publishers keep working); the version tells
+    /// observers *which* instance is currently serving it.
+    pub version: u64,
 }
 
 impl UnitState {
@@ -166,6 +171,7 @@ impl UnitState {
             privileges: spec.privileges,
             isolate,
             delivered: 0,
+            version: 1,
         }
     }
 

@@ -43,6 +43,7 @@ impl Unit for Recorder {
 struct Fixture {
     engine: Engine,
     source: defcon_core::UnitId,
+    alpha_id: defcon_core::UnitId,
     alpha: Arc<Mutex<Vec<i64>>>,
     beta: Arc<Mutex<Vec<i64>>>,
 }
@@ -59,7 +60,7 @@ fn build_engine(wal: Option<WalConfig>) -> Fixture {
     let engine = builder.build();
     let alpha = Arc::new(Mutex::new(Vec::new()));
     let beta = Arc::new(Mutex::new(Vec::new()));
-    engine
+    let alpha_id = engine
         .register_unit(
             UnitSpec::new("alpha-recorder"),
             Box::new(Recorder {
@@ -86,6 +87,7 @@ fn build_engine(wal: Option<WalConfig>) -> Fixture {
     Fixture {
         engine,
         source,
+        alpha_id,
         alpha,
         beta,
     }
@@ -225,4 +227,73 @@ fn recovery_into_an_engine_with_its_own_wal_does_not_relog() {
     let again = build_engine(None);
     let report = again.engine.recover_from(&dir).unwrap();
     assert_eq!(report.events, 80);
+}
+
+/// Crash recovery after a mid-log `swap_unit`: the swap itself is a runtime
+/// reconfiguration, not a durable event — it is never logged. Recovering the
+/// log into a fresh engine with the replacement unit registered must replay
+/// every accepted event exactly once, matching a never-crashed run, with no
+/// phantom swap resurfacing in the recovered engine's stats.
+#[test]
+fn recovery_after_a_mid_log_swap_matches_a_never_crashed_run() {
+    let (clean_alpha, clean_beta) = clean_run();
+
+    // Record run: accept the first half durably, dispatch it on incarnation 1,
+    // hot-swap the alpha recorder, accept the second half durably — then
+    // "crash" with the second half still undispatched.
+    let dir = temp_dir("swap");
+    let crashed = build_engine(Some(WalConfig::new(&dir).fsync(FsyncPolicy::EveryBatch)));
+    let handle = crashed.engine.start();
+    let publisher = crashed.engine.publisher(crashed.source).unwrap();
+    let mut batches = workload().into_iter();
+    for batch in batches.by_ref().take(5) {
+        assert_eq!(publisher.publish_batch(batch).unwrap().accepted(), 8);
+    }
+    handle.pump_until_idle().unwrap();
+    assert_eq!(crashed.engine.stats().dispatched(), 40);
+    let version = crashed
+        .engine
+        .swap_unit(
+            crashed.alpha_id,
+            Box::new(Recorder {
+                lane: "alpha",
+                log: Arc::clone(&crashed.alpha),
+            }),
+        )
+        .unwrap();
+    assert_eq!(version, 2);
+    assert_eq!(crashed.engine.queue_stats().unit_swaps, 1);
+    for batch in batches {
+        assert_eq!(publisher.publish_batch(batch).unwrap().accepted(), 8);
+    }
+    drop(handle);
+    drop(crashed);
+
+    // Recover into a fresh engine whose alpha unit IS the replacement (a
+    // fresh registration at version 1). All 80 events replay — recovery does
+    // not know or care which incarnation served them before the crash.
+    let recovered = build_engine(None);
+    let report = recovered.engine.recover_from(&dir).unwrap();
+    assert_eq!(report.batches, 10);
+    assert_eq!(report.events, 80);
+    assert!(!report.torn_tail_truncated);
+
+    let handle = recovered.engine.start();
+    handle.pump_until_idle().unwrap();
+    handle.shutdown().unwrap();
+
+    assert_eq!(*recovered.alpha.lock(), clean_alpha);
+    assert_eq!(*recovered.beta.lock(), clean_beta);
+    assert_eq!(recovered.engine.stats().dispatched(), 80);
+    let stats = recovered.engine.queue_stats();
+    assert_eq!(stats.unit_swaps, 0, "swaps are not logged, so none replay");
+    assert_eq!(
+        recovered
+            .engine
+            .unit_state(recovered.alpha_id)
+            .unwrap()
+            .version,
+        1,
+        "the recovered replacement is a fresh version-1 registration"
+    );
 }

@@ -167,6 +167,88 @@ fn queue_bound_holds_under_many_flooding_sessions() {
     handle.shutdown().unwrap();
 }
 
+/// A live session holds a `Publisher` whose cached slot goes stale when its
+/// unit is hot-swapped. The publisher rebinds transparently, so the session
+/// must keep admitting to the replacement — no silent drops, no shed.
+#[test]
+fn sessions_keep_admitting_across_a_swap_of_their_unit() {
+    let (engine, source) = engine_with(
+        IngressConfig::new(64)
+            .credit_window(16)
+            .policy(FullQueuePolicy::Block),
+        1,
+    );
+    let handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let session = tier.session(source).unwrap();
+
+    for burst in 0..3 {
+        assert_eq!(
+            session
+                .submit((0..50).map(|i| draft(burst * 50 + i)).collect())
+                .accepted(),
+            50
+        );
+    }
+    // Hot-swap the session's unit mid-stream; the session is never told.
+    assert_eq!(engine.swap_unit(source, Box::new(NullUnit)).unwrap(), 2);
+    for burst in 3..6 {
+        assert_eq!(
+            session
+                .submit((0..50).map(|i| draft(burst * 50 + i)).collect())
+                .accepted(),
+            50
+        );
+    }
+    assert!(tier.drain(Duration::from_secs(30)), "session must drain");
+
+    let stats = engine.queue_stats();
+    assert_eq!(
+        stats.ingress_admitted, 300,
+        "every event admits, before and after the swap"
+    );
+    assert_eq!(stats.ingress_shed, 0);
+    assert_eq!(stats.unit_swaps, 1);
+    let report = tier.shutdown();
+    assert_eq!(report.admitted, 300);
+    assert_eq!(report.shed, 0);
+    assert_eq!(handle.shutdown().unwrap(), 300);
+}
+
+/// A session bound to a *quarantined* unit must not silently drop events: the
+/// publisher refuses with a typed error and the session records every refused
+/// event as shed, visible in the tier report.
+#[test]
+fn sessions_bound_to_a_quarantined_unit_shed_loudly() {
+    let (engine, source) = engine_with(IngressConfig::new(64).credit_window(16), 1);
+    let handle = engine.start();
+    let tier = IngressTier::new(&engine);
+    let session = tier.session(source).unwrap();
+    assert_eq!(session.submit((0..10).map(draft).collect()).accepted(), 10);
+    assert!(tier.drain(Duration::from_secs(30)));
+
+    engine.quarantine_unit(source).unwrap();
+    // The chunk enters the session window, then every publish is refused with
+    // `UnitQuarantined` — the session counts the loss instead of hiding it.
+    let _ = session.submit((10..30).map(draft).collect());
+    assert!(
+        tier.drain(Duration::from_secs(30)),
+        "refused chunks still resolve"
+    );
+
+    let report = tier.shutdown();
+    assert_eq!(
+        report.admitted, 10,
+        "only the pre-quarantine burst admitted"
+    );
+    assert_eq!(
+        report.shed, 20,
+        "every refused event is counted, none vanish"
+    );
+    assert_eq!(engine.queue_stats().ingress_admitted, 10);
+    assert_eq!(handle.shutdown().unwrap(), 10);
+}
+
 #[test]
 fn closed_sessions_shed_further_submits_loudly() {
     let (engine, source) = engine_with(IngressConfig::new(64), 1);

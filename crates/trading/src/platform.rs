@@ -219,6 +219,10 @@ pub struct TradingPlatform {
     /// The interned `(∅, {s})` endorsement label, computed once and cloned per
     /// tick draft instead of re-interned per tick.
     exchange_label: defcon_defc::Label,
+    /// What a broker replacement needs: the unit id to swap and the
+    /// Regulator's tag `r` a fresh [`Broker`] labels its trade reports with.
+    broker: defcon_core::UnitId,
+    regulator_tag: defcon_defc::Tag,
     broker_shared: Arc<BrokerShared>,
     regulator_shared: Arc<RegulatorShared>,
     orders_placed: Arc<AtomicU64>,
@@ -291,7 +295,10 @@ impl TradingPlatform {
         let broker_shared = BrokerShared::new();
         let broker = engine.register_unit(
             UnitSpec::new("local-broker"),
-            Box::new(Broker::new(regulator_tag, Arc::clone(&broker_shared))),
+            Box::new(Broker::new(
+                regulator_tag.clone(),
+                Arc::clone(&broker_shared),
+            )),
         )?;
         let broker_tag = engine.with_unit(broker, |_, ctx| Ok(ctx.create_owned_tag("b-broker")))?;
 
@@ -333,6 +340,8 @@ impl TradingPlatform {
             handle,
             exchange_feed,
             exchange_label,
+            broker,
+            regulator_tag,
             broker_shared,
             regulator_shared,
             orders_placed,
@@ -366,6 +375,24 @@ impl TradingPlatform {
     /// Returns the regulator's shared state (audits, warnings, republished ticks).
     pub fn regulator(&self) -> &Arc<RegulatorShared> {
         &self.regulator_shared
+    }
+
+    /// Hot-replaces the Local Broker mid-session with a fresh [`Broker`]
+    /// instance wired to the same shared order book and the same Regulator
+    /// tag — a live upgrade of the matching engine while the market is open.
+    /// The engine quiesces the broker's cell, migrates its labels and the `b+`
+    /// privilege onto the replacement under a bumped version, and resumes:
+    /// traders keep confining orders to the broker's tag and the managed
+    /// matching subscription keeps firing, so no admitted order is lost
+    /// across the replacement. Returns the broker's new version.
+    pub fn swap_broker(&self) -> EngineResult<u64> {
+        self.engine.swap_unit(
+            self.broker,
+            Box::new(Broker::new(
+                self.regulator_tag.clone(),
+                Arc::clone(&self.broker_shared),
+            )),
+        )
     }
 
     /// Feeds `drafts` to the engine — through the credit-gated ingress

@@ -59,6 +59,34 @@ fn full_workflow_produces_matches_orders_trades_and_audits() {
 }
 
 #[test]
+fn broker_swaps_live_mid_session_without_losing_the_order_flow() {
+    let mut platform = TradingPlatform::build(small_config(SecurityMode::LabelsFreeze, 8)).unwrap();
+
+    // First half of the session on broker v1.
+    let report = platform.run_ticks(1_000).unwrap();
+    let trades_before = report.trades;
+    assert!(trades_before > 0, "the first half must have matched trades");
+
+    // Live upgrade of the matching engine while the market is open.
+    assert_eq!(platform.swap_broker().unwrap(), 2);
+    assert_eq!(platform.engine().queue_stats().unit_swaps, 1);
+
+    // Second half on broker v2: the replacement inherits the broker's labels,
+    // privileges and shared order book, so trading continues seamlessly.
+    let report = platform.run_ticks(1_000).unwrap();
+    assert_eq!(report.ticks, 2_000);
+    assert!(
+        report.trades > trades_before,
+        "the replacement broker must keep matching: {} then {}",
+        trades_before,
+        report.trades
+    );
+
+    // A second swap bumps the version again — the path is repeatable.
+    assert_eq!(platform.swap_broker().unwrap(), 3);
+}
+
+#[test]
 fn workflow_works_in_every_security_mode() {
     for mode in SecurityMode::all() {
         let mut platform = TradingPlatform::build(small_config(mode, 10)).unwrap();

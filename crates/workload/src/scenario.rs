@@ -357,6 +357,58 @@ impl Scenario for CreditStorm {
     }
 }
 
+/// The hot-replacement stressor: a steady single-lane flood aimed at a
+/// subscriber that is *expected to fail* — the harness registers a
+/// [`CountingSink`] with [`CountingSink::with_fault_every`] under an engine
+/// [`FaultPolicy`](defcon_core::FaultPolicy), so mid-replay the policy trips
+/// and hot-swaps the sink to its standby while bursts keep arriving. The
+/// arrival shape itself is deliberately plain (the adversarial part is the
+/// panicking consumer, not the arrival process): what the bench row measures
+/// is that replacement under load loses no admitted event.
+#[derive(Debug)]
+pub struct FaultSwap {
+    burst: usize,
+    total: u64,
+    emitted: u64,
+}
+
+impl FaultSwap {
+    /// Floods lane 0 with `events` events in bursts of `burst`.
+    pub fn new(burst: usize, events: u64) -> Self {
+        FaultSwap {
+            burst: burst.max(1),
+            total: events,
+            emitted: 0,
+        }
+    }
+}
+
+impl Scenario for FaultSwap {
+    fn name(&self) -> &'static str {
+        "fault-swap"
+    }
+
+    fn lane_count(&self) -> usize {
+        1
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        Some(Burst::immediate(chunk_drafts(
+            &mut self.emitted,
+            self.total,
+            self.burst,
+            |_| 0,
+        )))
+    }
+}
+
 /// Cycles through a set of burst sizes (1, 8, 64 by default): single events
 /// interleaved with medium and large batches, round-robin over the lanes.
 /// Exercises the queue's mixed single/batched enqueue paths and dispatchers
@@ -426,6 +478,8 @@ pub struct CountingSink {
     received: Arc<AtomicU64>,
     latency: Option<Arc<LatencyHistogram>>,
     delay: Duration,
+    fault_every: u64,
+    deliveries: u64,
 }
 
 impl CountingSink {
@@ -438,6 +492,8 @@ impl CountingSink {
                 received: Arc::clone(&received),
                 latency: None,
                 delay: Duration::ZERO,
+                fault_every: 0,
+                deliveries: 0,
             },
             received,
         )
@@ -454,6 +510,14 @@ impl CountingSink {
         self.delay = delay;
         self
     }
+
+    /// Panics on every `every`-th delivery (`0` = never, the default) —
+    /// deterministic fault injection for the [`FaultSwap`] harness. Panicked
+    /// deliveries count nothing: no latency sample, no received increment.
+    pub fn with_fault_every(mut self, every: u64) -> Self {
+        self.fault_every = every;
+        self
+    }
 }
 
 impl Unit for CountingSink {
@@ -463,6 +527,10 @@ impl Unit for CountingSink {
     }
 
     fn on_event(&mut self, _ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+        self.deliveries += 1;
+        if self.fault_every > 0 && self.deliveries.is_multiple_of(self.fault_every) {
+            panic!("injected sink fault on delivery {}", self.deliveries);
+        }
         if let Some(latency) = &self.latency {
             latency.record(now_ns().saturating_sub(event.origin_ns()));
         }
@@ -875,6 +943,17 @@ mod tests {
         let (events, bursts, _) = drain(&mut scenario);
         assert_eq!(events, 100);
         assert_eq!(bursts, 4);
+    }
+
+    #[test]
+    fn fault_swap_floods_one_lane_in_whole_bursts() {
+        let mut scenario = FaultSwap::new(32, 100);
+        assert_eq!(scenario.lane_count(), 1);
+        assert_eq!(scenario.total_events(), 100);
+        let (events, bursts, sizes) = drain(&mut scenario);
+        assert_eq!(events, 100);
+        assert_eq!(bursts, 4);
+        assert_eq!(sizes, vec![32, 32, 32, 4]);
     }
 
     #[test]
