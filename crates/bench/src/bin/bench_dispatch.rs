@@ -27,6 +27,17 @@
 //! `replay`-flagged records plus `replay_events_dispatched` /
 //! `replay_deliveries` metrics, which are identical across replays of one
 //! trace (the determinism CI asserts).
+//!
+//! Scheduler A/B: the full sweep also records one trace of its own, holds it
+//! fixed, and replays it under the v2 (shared queue only) and v3 (local
+//! deques, whole-run stealing, shared snapshots) schedulers — the only
+//! variable between the two legs is the scheduler, so the
+//! `speedup_sched_v3_w1_b8` metric (and a `_w{N}_` variant on multi-core
+//! hosts) is a clean like-for-like ratio. A dedicated `dispatch-elastic-v3`
+//! cell floods a 1..2 elastic band with deliberately slow deliveries until
+//! the v3 telemetry counters — `sched_v3_steals`, `sched_v3_wakes`,
+//! `sched_v3_snapshot_hits` — are all nonzero, proving the stealing, wake
+//! placement and snapshot sharing paths actually ran.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,8 +48,8 @@ use defcon_bench::report::arg_value;
 use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
 use defcon_core::{
-    auto_worker_count, Engine, EngineResult, EventDraft, FsyncPolicy, SecurityMode, Unit,
-    UnitContext, UnitId, UnitSpec, WalConfig,
+    auto_worker_count, ElasticConfig, Engine, EngineResult, EventDraft, FsyncPolicy, SecurityMode,
+    Unit, UnitContext, UnitId, UnitSpec, WalConfig,
 };
 use defcon_events::{now_ns, Event, Filter, Value};
 use defcon_metrics::{LatencyHistogram, LatencySummary};
@@ -223,15 +234,21 @@ fn run_cell(
 }
 
 /// The pinned trace-cell topology: `lanes` counting subscriber units (sharing
-/// one delivery counter and one latency histogram — workers(1), so the shared
-/// instruments see no contention) plus a feed source, on the `dispatch-grouped`
-/// headline configuration: `labels+freeze`, workers(1), batch(8), grouped.
-fn replay_engine(lanes: usize) -> (Engine, Arc<AtomicU64>, Arc<LatencyHistogram>, UnitId) {
+/// one delivery counter and one latency histogram) plus a feed source, on the
+/// `dispatch-grouped` headline configuration: `labels+freeze`, batch(8),
+/// grouped. The worker count and scheduler are parameters so the scheduler
+/// A/B can replay one trace through otherwise-identical engines.
+fn replay_engine(
+    lanes: usize,
+    workers: usize,
+    scheduler_v3: bool,
+) -> (Engine, Arc<AtomicU64>, Arc<LatencyHistogram>, UnitId) {
     let engine = Engine::builder()
         .mode(SecurityMode::LabelsFreeze)
-        .workers(1)
+        .workers(workers)
         .batch_size(8)
         .grouped_delivery(true)
+        .scheduler_v3(scheduler_v3)
         .event_cache(0)
         .build();
     let received = Arc::new(AtomicU64::new(0));
@@ -258,7 +275,7 @@ fn replay_engine(lanes: usize) -> (Engine, Arc<AtomicU64>, Arc<LatencyHistogram>
 /// mixed-batch sweep over two lanes — while running it, then exits.
 fn record_trace(path: &Path) {
     let mut scenario = MixedBatches::new(2, vec![1, 8, 64], 30_000);
-    let (engine, received, _, source) = replay_engine(scenario.lane_count());
+    let (engine, received, _, source) = replay_engine(scenario.lane_count(), 1, true);
     let handle = engine.start();
     let driver = ScenarioDriver::new(&handle, source).expect("driver");
     let outcome = driver.record(&mut scenario, path).expect("record trace");
@@ -280,7 +297,7 @@ fn record_trace(path: &Path) {
 fn run_replay(path: &Path, out: &str, quick: bool) {
     let mut replay = ReplayTrace::load(path).expect("load trace");
     let lanes = replay.lane_count();
-    let (engine, received, latency, source) = replay_engine(lanes);
+    let (engine, received, latency, source) = replay_engine(lanes, 1, true);
     let handle = engine.start();
     let driver = ScenarioDriver::new(&handle, source).expect("driver");
     let outcome = driver.run(&mut replay);
@@ -301,7 +318,8 @@ fn run_replay(path: &Path, out: &str, quick: bool) {
             outcome.throughput_eps(),
             &latency.summary(),
         )
-        .as_replay(),
+        .as_replay()
+        .with_scheduler("v3"),
     );
     report.metric("replay_events_dispatched", dispatched as f64);
     report.metric("replay_deliveries", deliveries as f64);
@@ -314,6 +332,155 @@ fn run_replay(path: &Path, out: &str, quick: bool) {
     );
     report.write(Path::new(out)).expect("write replay report");
     println!("wrote {out}");
+}
+
+/// One leg of the scheduler A/B: replays the recorded trace through the pinned
+/// cell at the given worker count under the given scheduler, returning the
+/// run's end-to-end throughput. Everything else — arrivals, batch boundaries,
+/// inter-burst schedule, security mode, batch size — is held fixed by the
+/// trace, so v3-over-v2 ratios from this are like-for-like.
+fn replay_leg(path: &Path, workers: usize, scheduler_v3: bool) -> f64 {
+    let mut replay = ReplayTrace::load(path).expect("load scheduler A/B trace");
+    let lanes = replay.lane_count();
+    let (engine, received, _, source) = replay_engine(lanes, workers, scheduler_v3);
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).expect("driver");
+    let outcome = driver.run(&mut replay);
+    assert!(
+        outcome.completed && outcome.drained,
+        "A/B replay run failed"
+    );
+    handle.shutdown().expect("shutdown");
+    assert!(
+        received.load(Ordering::Relaxed) > 0,
+        "A/B replay delivered nothing"
+    );
+    outcome.throughput_eps()
+}
+
+/// A subscriber that holds each delivery just long enough that prefetched
+/// runs sit stealable in the owner's local deque while a sibling runs dry —
+/// the workload shape the `dispatch-elastic-v3` counters cell needs.
+struct SlowLaneCounter {
+    lane: String,
+    received: Arc<AtomicU64>,
+    latency: Arc<LatencyHistogram>,
+}
+
+impl Unit for SlowLaneCounter {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(Filter::for_type(&self.lane))?;
+        Ok(())
+    }
+
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, event: &Event) -> EngineResult<()> {
+        std::thread::sleep(Duration::from_micros(200));
+        self.latency
+            .record(now_ns().saturating_sub(event.origin_ns()));
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The scheduler-v3 telemetry cell: an elastic `1..2` band under v3, fed
+/// bursts of deliberately slow deliveries until the steal, depth-aware-wake
+/// and shared-snapshot counters are all nonzero. The burst shape forces each
+/// path: deep shards recruit the parked worker (a depth-aware wake), the
+/// recruit's first batch reuses the sibling-built security snapshot (a
+/// snapshot hit), and whichever worker drains its own deque first steals a
+/// whole run from the other (a steal). Emits the counters as metrics and the
+/// cell itself as a `dispatch-elastic-v3` record.
+fn run_sched_counters_cell(lanes: usize, report: &mut BenchReport) {
+    // 104 = 3 prefetches of 32 (batch 8 × 4 runs) + one 8-event tail: the two
+    // workers' final global pops are *unequal*, so whichever worker draws the
+    // tail finishes ~3 runs early while its sibling still holds parked runs —
+    // the asymmetry that forces a steal. A symmetric burst leaves the workers
+    // in lockstep with equal local work and nobody ever needs to steal.
+    const BURST: usize = 104;
+    const MAX_BURSTS: usize = 50;
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers_min(1)
+        .workers_max(2)
+        .batch_size(8)
+        .grouped_delivery(true)
+        .elastic(
+            ElasticConfig::new()
+                .scale_up_depth(8)
+                .idle_grace(Duration::from_millis(1)),
+        )
+        .event_cache(0)
+        .build();
+    let received = Arc::new(AtomicU64::new(0));
+    let latency = Arc::new(LatencyHistogram::new());
+    let lane_names: Vec<String> = (0..lanes).map(|i| format!("lane-{i}")).collect();
+    for lane in &lane_names {
+        engine
+            .register_unit(
+                UnitSpec::new(format!("slow-counter-{lane}")),
+                Box::new(SlowLaneCounter {
+                    lane: lane.clone(),
+                    received: Arc::clone(&received),
+                    latency: Arc::clone(&latency),
+                }),
+            )
+            .expect("unit registers");
+    }
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+
+    let handle = engine.start();
+    let publisher = handle.publisher(source).expect("publisher");
+    let start = Instant::now();
+    let mut published = 0u64;
+    for _ in 0..MAX_BURSTS {
+        let drafts = (0..BURST)
+            .map(|i| EventDraft::new().public_part("type", Value::str(&lane_names[i % lanes])))
+            .collect();
+        assert_eq!(
+            publisher
+                .publish_batch(drafts)
+                .expect("publish burst")
+                .accepted(),
+            BURST
+        );
+        published += BURST as u64;
+        assert!(
+            handle.wait_idle(Duration::from_secs(30)),
+            "counters cell burst must drain"
+        );
+        let stats = handle.queue_stats();
+        if stats.sched_steals > 0 && stats.sched_wakes > 0 && stats.sched_snapshot_hits > 0 {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = handle.queue_stats();
+    handle.shutdown().expect("shutdown");
+    assert_eq!(received.load(Ordering::Relaxed), published);
+
+    println!(
+        "dispatch-elastic-v3        workers=1..2 batch=8  grouped   steals={} wakes={} snapshot_hits={} high_water={}",
+        stats.sched_steals, stats.sched_wakes, stats.sched_snapshot_hits, stats.workers_high_water,
+    );
+    report.metric("sched_v3_steals", stats.sched_steals as f64);
+    report.metric("sched_v3_wakes", stats.sched_wakes as f64);
+    report.metric("sched_v3_snapshot_hits", stats.sched_snapshot_hits as f64);
+    let mut record = BenchRecord::from_summary(
+        "dispatch-elastic-v3",
+        SecurityMode::LabelsFreeze.figure_label(),
+        2,
+        8,
+        lanes,
+        published,
+        published as f64 / elapsed.as_secs_f64(),
+        &latency.summary(),
+    )
+    .with_scheduler("v3");
+    record.workers_band = "1..2".to_string();
+    record.workers_high_water = stats.workers_high_water;
+    report.push(record);
 }
 
 fn main() {
@@ -406,16 +573,19 @@ fn main() {
         if mode == SecurityMode::LabelsFreeze {
             grid.push(((workers, batch_size, grouped), outcome.throughput_eps));
         }
-        report.push(BenchRecord::from_summary(
-            name,
-            mode.figure_label(),
-            workers,
-            batch_size,
-            lanes,
-            events,
-            outcome.throughput_eps,
-            &outcome.latency,
-        ));
+        report.push(
+            BenchRecord::from_summary(
+                name,
+                mode.figure_label(),
+                workers,
+                batch_size,
+                lanes,
+                events,
+                outcome.throughput_eps,
+                &outcome.latency,
+            )
+            .with_scheduler("v3"),
+        );
     }
     let at_grouping = |workers: usize, batch_size: usize, grouped: bool| -> Option<f64> {
         grid.iter()
@@ -451,16 +621,19 @@ fn main() {
         if name == "wal-everybatch" {
             wal_everybatch_eps = Some(outcome.throughput_eps);
         }
-        report.push(BenchRecord::from_summary(
-            name,
-            SecurityMode::LabelsFreeze.figure_label(),
-            1,
-            8,
-            lanes,
-            events,
-            outcome.throughput_eps,
-            &outcome.latency,
-        ));
+        report.push(
+            BenchRecord::from_summary(
+                name,
+                SecurityMode::LabelsFreeze.figure_label(),
+                1,
+                8,
+                lanes,
+                events,
+                outcome.throughput_eps,
+                &outcome.latency,
+            )
+            .with_scheduler("v3"),
+        );
     }
     if let (Some(off), Some(on)) = (at_grouping(1, 8, true), wal_everybatch_eps) {
         let overhead = off / on;
@@ -505,6 +678,39 @@ fn main() {
             report.metric("workers_auto_vs_best_manual_b8", ratio);
         }
     }
+
+    // Scheduler A/B: record one arrival trace, hold it fixed, and replay it
+    // under the v2 and v3 schedulers — the only variable between the legs is
+    // the scheduler, so the ratio is a clean like-for-like comparison. The
+    // legs are metrics, not records: replay-flagged records belong to the
+    // dedicated `--replay` determinism run.
+    let trace = std::env::temp_dir().join(format!("defcon-sched-ab-{}.trace", std::process::id()));
+    record_trace(&trace);
+    let mut ab_points = vec![(1usize, "speedup_sched_v3_w1_b8".to_string())];
+    if auto > 1 {
+        ab_points.push((auto, format!("speedup_sched_v3_w{auto}_b8")));
+    }
+    for (workers, metric) in ab_points {
+        let best_of = |scheduler_v3: bool| {
+            (0..reps)
+                .map(|_| replay_leg(&trace, workers, scheduler_v3))
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let v2 = best_of(false);
+        let v3 = best_of(true);
+        if v2 > 0.0 {
+            let speedup = v3 / v2;
+            println!(
+                "scheduler v3 vs v2 (one replayed trace) at workers={workers} batch 8: {speedup:.2}x"
+            );
+            report.metric(&metric, speedup);
+        }
+    }
+    let _ = std::fs::remove_file(&trace);
+
+    // The v3 telemetry cell: proves stealing, depth-aware wakes and snapshot
+    // sharing all actually ran on this host, and exports the counters.
+    run_sched_counters_cell(lanes, &mut report);
 
     assert!(
         !report.records.is_empty(),

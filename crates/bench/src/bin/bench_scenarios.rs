@@ -129,7 +129,7 @@ fn run_scenario(
     );
     println!("  {}", row.as_row());
     ScenarioRun {
-        record: BenchRecord::from_platform(&outcome.scenario, &row),
+        record: BenchRecord::from_platform(&outcome.scenario, &row).with_scheduler("v3"),
         peak_queue_depth: outcome.peak_queue_depth,
     }
 }
@@ -233,7 +233,7 @@ fn run_fault_swap_scenario(events: u64, fault_every: u64, batch_size: usize) -> 
     );
     println!("  {}", row.as_row());
     FaultSwapRun {
-        record: BenchRecord::from_platform(&outcome.scenario, &row),
+        record: BenchRecord::from_platform(&outcome.scenario, &row).with_scheduler("v3"),
         exactly_once_holds,
         panics: stats.unit_panics,
         fault_swaps: stats.fault_swaps,
@@ -342,7 +342,9 @@ fn run_ingress_scenario(
     );
     println!("  [{}] {}", policy.as_str(), row.as_row());
     IngressRun {
-        record: BenchRecord::from_platform(&outcome.scenario, &row).with_policy(policy.as_str()),
+        record: BenchRecord::from_platform(&outcome.scenario, &row)
+            .with_policy(policy.as_str())
+            .with_scheduler("v3"),
         peak_queue_depth: outcome.peak_queue_depth,
         bound_held: outcome.peak_queue_depth <= queue_bound,
         shed: stats.ingress_shed,
@@ -377,7 +379,11 @@ fn run_replay(path: &Path, out: &str, quick: bool) {
         .replay_trace(path)
         .expect("platform replay completes");
     println!("  platform-replay: {}", row.as_row());
-    report.push(BenchRecord::from_platform("platform-replay", &row).as_replay());
+    report.push(
+        BenchRecord::from_platform("platform-replay", &row)
+            .as_replay()
+            .with_scheduler("v3"),
+    );
     report.write(Path::new(out)).expect("write replay report");
     println!("wrote {out}");
 }
@@ -571,7 +577,7 @@ fn main() {
             .replay_scenario(shape.as_mut())
             .expect("platform replay completes");
         println!("  {name}: {}", row.as_row());
-        report.push(BenchRecord::from_platform(name, &row));
+        report.push(BenchRecord::from_platform(name, &row).with_scheduler("v3"));
     }
 
     assert!(

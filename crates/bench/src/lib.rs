@@ -62,12 +62,19 @@ impl SweepScale {
 }
 
 /// Runs one DEFCon platform configuration and returns its report.
+///
+/// The worker band is elastic (`1..auto_worker_count()`): the figure rows
+/// report the *observed* worker high-water mark next to the band, so the
+/// fig5–fig7 sweeps exercise the elastic scale-up/park-down path — including
+/// scheduler v3's depth-aware wake placement — instead of pinning a fixed
+/// pool.
 pub fn run_defcon(mode: SecurityMode, traders: usize, ticks: usize) -> PlatformReport {
     let config = TradingPlatformConfig {
         mode,
         traders,
         symbols: 64,
         event_cache: 5_000,
+        workers_min: 1,
         ..TradingPlatformConfig::default()
     };
     let mut platform = TradingPlatform::build(config).expect("platform builds");
@@ -216,17 +223,20 @@ impl Figure {
     /// its machine-readable records.
     pub fn run(&self, scale: &SweepScale) -> Vec<BenchRecord> {
         match self {
+            // The platform figures run on the engine's default scheduler;
+            // stamping the records keeps the regression gate from comparing
+            // them against rows a different scheduler produced.
             Figure::Fig5 => figure5(scale)
                 .iter()
-                .map(|row| BenchRecord::from_platform(self.name(), row))
+                .map(|row| BenchRecord::from_platform(self.name(), row).with_scheduler("v3"))
                 .collect(),
             Figure::Fig6 => figure6(scale)
                 .iter()
-                .map(|row| BenchRecord::from_platform(self.name(), row))
+                .map(|row| BenchRecord::from_platform(self.name(), row).with_scheduler("v3"))
                 .collect(),
             Figure::Fig7 => figure7(scale)
                 .iter()
-                .map(|row| BenchRecord::from_platform(self.name(), row))
+                .map(|row| BenchRecord::from_platform(self.name(), row).with_scheduler("v3"))
                 .collect(),
             Figure::Fig8 => figure8(scale)
                 .iter()

@@ -70,6 +70,13 @@ pub struct BenchRecord {
     /// the direct unbounded path. The regression gate keys on this too:
     /// a shedding cell's throughput is not comparable with a blocking one's.
     pub policy: String,
+    /// The dispatcher scheduler the cell ran under (`"v3"` for the stealing
+    /// scheduler, `"v2"` for the shared-queue baseline), or empty for legacy
+    /// records and cells where the scheduler cannot matter (manual pumping,
+    /// baselines). The regression gate keys on this as well: the two
+    /// schedulers are deliberately different dispatch strategies, so their
+    /// cells must never cross-match.
+    pub scheduler: String,
 }
 
 impl BenchRecord {
@@ -97,6 +104,7 @@ impl BenchRecord {
             memory_mib: report.memory_mib,
             replay: false,
             policy: String::new(),
+            scheduler: String::new(),
         }
     }
 
@@ -110,6 +118,13 @@ impl BenchRecord {
     /// [`BenchRecord::policy`]).
     pub fn with_policy(mut self, policy: &str) -> Self {
         self.policy = policy.to_string();
+        self
+    }
+
+    /// Stamps the dispatcher scheduler the cell ran under (see
+    /// [`BenchRecord::scheduler`]).
+    pub fn with_scheduler(mut self, scheduler: &str) -> Self {
+        self.scheduler = scheduler.to_string();
         self
     }
 
@@ -133,6 +148,7 @@ impl BenchRecord {
             memory_mib: report.memory_mib,
             replay: false,
             policy: String::new(),
+            scheduler: String::new(),
         }
     }
 
@@ -165,12 +181,13 @@ impl BenchRecord {
             memory_mib: 0.0,
             replay: false,
             policy: String::new(),
+            scheduler: String::new(),
         }
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{},\"policy\":{}}}",
+            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{},\"policy\":{},\"scheduler\":{}}}",
             json_string(&self.name),
             json_string(&self.mode),
             self.workers,
@@ -186,6 +203,7 @@ impl BenchRecord {
             json_number(self.memory_mib),
             self.replay,
             json_string(&self.policy),
+            json_string(&self.scheduler),
         )
     }
 }
@@ -506,6 +524,7 @@ mod tests {
             memory_mib: 10.25,
             replay: false,
             policy: String::new(),
+            scheduler: String::new(),
         }
     }
 
@@ -536,6 +555,21 @@ mod tests {
             json.contains("\"policy\":\"\""),
             "direct-path cells carry an empty policy key"
         );
+        assert!(
+            json.contains("\"scheduler\":\"\""),
+            "unstamped cells carry an empty scheduler key"
+        );
+    }
+
+    #[test]
+    fn scheduler_stamped_records_carry_the_stamp_in_the_json() {
+        let mut report = BenchReport::new("dispatch", true);
+        report.push(sample_record().with_scheduler("v3"));
+        report.push(sample_record().with_scheduler("v2").as_replay());
+        let json = report.to_json();
+        json::validate(&json).unwrap();
+        assert!(json.contains("\"scheduler\":\"v3\""));
+        assert!(json.contains("\"scheduler\":\"v2\""));
     }
 
     #[test]

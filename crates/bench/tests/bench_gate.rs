@@ -1,6 +1,6 @@
 //! Tests of `scripts/bench_gate.sh`, the CI bench regression gate: it must
 //! fail on a >20% throughput drop at a matched `(name, mode, workers,
-//! batch_size, replay, policy)` cell, pass within the threshold, and skip (with a warning,
+//! batch_size, replay, policy, scheduler)` cell, pass within the threshold, and skip (with a warning,
 //! not a failure) when there is no previous report to compare against.
 //!
 //! The script is plain bash + jq; when either tool is unavailable the tests
@@ -70,6 +70,19 @@ fn policy_report(throughput_eps: f64, workers: usize, batch_size: usize, policy:
     report(throughput_eps, workers, batch_size).replace(
         "\"memory_mib\":0}",
         &format!("\"memory_mib\":0,\"policy\":\"{policy}\"}}"),
+    )
+}
+
+/// A fixed-pool record stamped with a scheduler ("v3"/"v2").
+fn scheduler_report(
+    throughput_eps: f64,
+    workers: usize,
+    batch_size: usize,
+    scheduler: &str,
+) -> String {
+    report(throughput_eps, workers, batch_size).replace(
+        "\"memory_mib\":0}",
+        &format!("\"memory_mib\":0,\"scheduler\":\"{scheduler}\"}}"),
     )
 }
 
@@ -244,7 +257,7 @@ fn gate_never_matches_an_elastic_band_against_a_fixed_pool() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "band vs fixed must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
         "{out}"
     );
 }
@@ -263,7 +276,7 @@ fn gate_never_matches_a_replay_cell_against_a_generated_baseline() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "replay vs generated must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
         "{out}"
     );
 }
@@ -321,7 +334,7 @@ fn gate_skips_unmatched_cells_instead_of_comparing_apples_to_oranges() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "unmatched cells must be skipped: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
         "{out}"
     );
 }
@@ -346,7 +359,7 @@ fn gate_matches_fault_swap_cells_like_any_other_scenario_row() {
     let (code, out) = gate.run("BENCH_scenarios.json");
     assert_eq!(code, 1, "a 30% fault-swap drop must fail the gate: {out}");
     assert!(
-        out.contains("fault-swap|labels+freeze|w[1..4]|b8|r0|p"),
+        out.contains("fault-swap|labels+freeze|w[1..4]|b8|r0|p|s"),
         "the key names the fault-swap cell: {out}"
     );
 }
@@ -369,7 +382,7 @@ fn gate_never_matches_an_admission_policy_cell_against_the_direct_path() {
     let (code, out) = gate.run("BENCH_scenarios.json");
     assert_eq!(code, 0, "policy vs direct must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy) cells"),
+        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
         "{out}"
     );
 }
@@ -394,6 +407,53 @@ fn gate_matches_admission_policy_cells_against_same_policy_baselines() {
     assert!(
         out.contains("|pblock"),
         "the key carries the policy marker: {out}"
+    );
+}
+
+#[test]
+fn gate_never_matches_a_scheduler_stamped_cell_against_a_legacy_baseline() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("schedlegacy");
+    // The archived baseline predates the scheduler stamp (it was measured on
+    // the old scheduler); a v3-stamped current cell is a different
+    // measurement, so the huge "drop" must be skipped as unmatched — the
+    // scheduler change re-baselines instead of flagging a false regression.
+    gate.write_prev("BENCH_dispatch.json", &report(500_000.0, 4, 8));
+    gate.write_current(
+        "BENCH_dispatch.json",
+        &scheduler_report(100_000.0, 4, 8, "v3"),
+    );
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 0, "v3 vs unstamped must be unmatched: {out}");
+    assert!(
+        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
+        "{out}"
+    );
+}
+
+#[test]
+fn gate_matches_scheduler_stamped_cells_against_same_scheduler_baselines() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("schedpair");
+    gate.write_prev(
+        "BENCH_dispatch.json",
+        &scheduler_report(100_000.0, 4, 8, "v3"),
+    );
+    gate.write_current(
+        "BENCH_dispatch.json",
+        &scheduler_report(70_000.0, 4, 8, "v3"),
+    );
+    let (code, out) = gate.run("BENCH_dispatch.json");
+    assert_eq!(code, 1, "a 30% same-scheduler drop must fail: {out}");
+    assert!(
+        out.contains("|sv3"),
+        "the key carries the scheduler marker: {out}"
     );
 }
 

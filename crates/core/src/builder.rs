@@ -155,6 +155,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the dispatcher scheduler (v3, the default, when `true`): local
+    /// run deques with shard-affine prefetch, whole-run stealing from the
+    /// deepest sibling, depth-aware wake placement for elastic scale-up, and
+    /// a process-shared epoch-validated security snapshot. `false` runs the
+    /// v2 scheduler — the shared sharded queue only — which is the baseline
+    /// the scheduler A/B bench replays against (see
+    /// [`EngineConfig::scheduler_v3`](crate::EngineConfig)).
+    pub fn scheduler_v3(mut self, scheduler_v3: bool) -> Self {
+        self.config.scheduler_v3 = scheduler_v3;
+        self
+    }
+
     /// Sets the dispatch batch size: how many events a dispatcher pops (and
     /// accounts for) per run-queue lock round-trip, and the chunk size batched
     /// publishers enqueue with. The default of 1 preserves classic
@@ -223,6 +235,7 @@ mod tests {
             .workers(3)
             .batch_size(16)
             .grouped_delivery(false)
+            .scheduler_v3(false)
             .event_cache(7)
             .managed_instance_cap(9)
             .elastic(
@@ -250,6 +263,7 @@ mod tests {
         );
         assert_eq!(engine.configured_batch_size(), 16);
         assert!(!engine.grouped_delivery());
+        assert!(!engine.scheduler_v3());
         let ingress = engine.ingress_config().expect("ingress config set");
         assert_eq!(ingress.queue_bound, 256);
         assert_eq!(ingress.credit_window, 32);
@@ -308,6 +322,7 @@ mod tests {
         assert_eq!(engine.mode(), SecurityMode::LabelsFreeze);
         assert_eq!(engine.configured_workers(), 0);
         assert_eq!(engine.configured_batch_size(), 1);
+        assert!(engine.scheduler_v3(), "v3 is the default scheduler");
     }
 
     #[test]

@@ -37,7 +37,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +49,7 @@ use parking_lot::Mutex;
 use crate::context::UnitContext;
 use crate::engine::{EngineCore, UnitCell, UnitSlot};
 use crate::error::EngineResult;
+use crate::steal::{LocalRuns, StealGrid};
 use crate::subscription::{Subscription, SubscriptionKind};
 use crate::unit::{UnitSpec, UnitState};
 
@@ -150,6 +151,68 @@ struct CachedContext {
     /// The engine's security epoch at build time.
     epoch: u64,
     context: Arc<BatchContext>,
+}
+
+/// The process-shared batch-context slot of scheduler v3: an RCU-flavoured
+/// publication point for the per-epoch security snapshot. The first worker to
+/// miss its private cache for an epoch rebuilds the snapshot *while holding
+/// the slot lock* — serialising concurrent rebuilders so one epoch bump costs
+/// one rebuild process-wide — and publishes it; every other worker validates
+/// the epoch under the (briefly held) lock, bumps the hit counter and walks
+/// away with a cloned `Arc`. Readers then run lock-free off their private
+/// per-worker copy until the next epoch bump retires it.
+pub(crate) struct SharedContextSlot {
+    slot: Mutex<Option<CachedContext>>,
+    hits: AtomicU64,
+}
+
+impl SharedContextSlot {
+    pub(crate) fn new() -> Self {
+        SharedContextSlot {
+            slot: Mutex::new(None),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Times a worker skipped a snapshot rebuild because the published
+    /// snapshot was still valid for its epoch (`queue_stats()`'s
+    /// `sched_snapshot_hits`).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Returns the published snapshot for `epoch`, building and publishing it
+    /// via `build` on a miss. The snapshot is tagged with the epoch observed
+    /// *before* the build, so a security mutation racing the build leaves a
+    /// stale tag (forcing the next caller to rebuild), never a snapshot
+    /// staler than its tag.
+    fn get_or_build(
+        &self,
+        epoch: u64,
+        build: impl FnOnce() -> Arc<BatchContext>,
+    ) -> Arc<BatchContext> {
+        let mut slot = self.slot.lock();
+        if let Some(cached) = slot.as_ref() {
+            if cached.epoch == epoch {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&cached.context);
+            }
+        }
+        let context = build();
+        *slot = Some(CachedContext {
+            epoch,
+            context: Arc::clone(&context),
+        });
+        context
+    }
+}
+
+impl std::fmt::Debug for SharedContextSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedContextSlot")
+            .field("hits", &self.hits())
+            .finish()
+    }
 }
 
 impl BatchContext {
@@ -339,20 +402,33 @@ impl Dispatcher {
     /// run queue is stopped *and* fully drained. Returns the number of events
     /// this worker dispatched.
     ///
-    /// This is the hot path of the multi-core deployment: each iteration drains
-    /// a whole batch from one shard under a single lock round-trip, settles the
-    /// batch's in-flight accounting with one update and one wakeup check, and —
-    /// with grouped delivery — pays one cell-lock acquisition per target unit
-    /// instead of per delivery.
+    /// This is the hot path of the multi-core deployment. Under scheduler v3
+    /// (the default) the worker owns a local deque of prefetched runs, refills
+    /// it shard-affinely from the global queue, and steals whole runs from the
+    /// deepest sibling when both run dry; under v2 every iteration pops
+    /// straight off the shared sharded queue. Either way each dispatched batch
+    /// costs a single lock round-trip on the pop side, settles its in-flight
+    /// accounting with one update and one wakeup check, and — with grouped
+    /// delivery — pays one cell-lock acquisition per target unit instead of
+    /// per delivery.
     ///
     /// In an elastic pool this worker also carries its share of the pool
-    /// protocol: it parks while its index is outside the activation target,
-    /// and (when above `workers_min`) trades the untimed idle wait for a
-    /// bounded grace after which it volunteers to park back down.
+    /// protocol: it parks while it is outside the activation set, and (when
+    /// above `workers_min`) trades the untimed idle wait for a bounded grace
+    /// after which it volunteers to park back down.
     pub(crate) fn run_worker(self) -> u64 {
+        match self.core.steal_grid.as_ref() {
+            Some(grid) => self.run_worker_v3(grid),
+            None => self.run_worker_v2(),
+        }
+    }
+
+    /// The v2 worker loop: the shared sharded queue is the only work source;
+    /// elastic workers park down in LIFO order (highest active index first)
+    /// after an idle grace.
+    fn run_worker_v2(&self) -> u64 {
         let batch_size = self.batch_size();
         let index = self.preferred_shard;
-        let grouped = self.core.config.grouped_delivery;
         let pool = self.core.pool.as_ref().filter(|pool| pool.is_elastic());
         let queue = &self.core.run_queue;
         let mut dispatched = 0;
@@ -364,13 +440,12 @@ impl Dispatcher {
             if let Some(pool) = pool {
                 pool.wait_active(index, queue);
             }
-            let popped = match pool {
+            match pool {
                 // Elastic workers above the minimum never park untimed while
                 // active: they wait with a bounded grace so an idle engine
                 // deterministically drains the band back to `workers_min`.
                 Some(pool) if index >= pool.min() => {
-                    let popped = queue.pop_batch_into(index, batch_size, &mut batch);
-                    if popped == 0 {
+                    if queue.pop_batch_into(index, batch_size, &mut batch) == 0 {
                         if queue.is_stopping() && queue.is_idle() {
                             return dispatched;
                         }
@@ -386,63 +461,156 @@ impl Dispatcher {
                         }
                         continue;
                     }
-                    popped
                 }
                 _ => {
-                    let popped = queue.next_batch_into(index, batch_size, &mut batch);
-                    if popped == 0 {
+                    if queue.next_batch_into(index, batch_size, &mut batch) == 0 {
                         return dispatched;
-                    }
-                    popped
-                }
-            };
-            // The guard keeps the in-flight count balanced for the whole batch
-            // even if the per-event catch itself were to unwind: a dead worker
-            // would leak its in-flight count and deadlock shutdown for the
-            // whole runtime.
-            let guard = self.core.run_queue.batch_guard(popped);
-            let context = self.batch_context();
-            dispatched += popped as u64;
-            if grouped && popped > 1 {
-                // Unit misbehaviour is caught and counted per delivery inside
-                // the group execution; anything that unwinds past it is an
-                // engine fault and must not take the worker down.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.dispatch_batch_grouped(&context, &mut batch)
-                }));
-                if !matches!(outcome, Ok(Ok(()))) {
-                    self.core
-                        .stats
-                        .engine_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-            } else {
-                for event in batch.drain(..) {
-                    // Neither an `Err` (engine-level inconsistency) nor a panic
-                    // in a unit callback may take the worker down — or abandon
-                    // the rest of the already-popped batch.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.dispatch_in(&context, event)
-                    }));
-                    match outcome {
-                        Ok(Ok(())) => {}
-                        // Unit misbehaviour is already caught and counted per
-                        // delivery inside `deliver`; anything that reaches here
-                        // is an engine fault and gets its own counter so it
-                        // cannot hide among expected unit errors. (In
-                        // `workers(0)` mode the same error propagates to the
-                        // pump caller instead.)
-                        Ok(Err(_)) | Err(_) => {
-                            self.core
-                                .stats
-                                .engine_errors
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
                     }
                 }
             }
-            drop(guard);
+            dispatched += self.dispatch_popped(&mut batch);
         }
+    }
+
+    /// The v3 worker loop: local run deque first, shard-affine prefetch from
+    /// the global queue second, whole-run stealing from the deepest sibling
+    /// third. Stolen runs are dispatched intact by one worker, so the order
+    /// within a run — the order its publish transaction landed on its shard
+    /// in — is preserved no matter who ends up delivering it.
+    fn run_worker_v3(&self, grid: &StealGrid) -> u64 {
+        /// Runs fetched per global-queue lock round-trip: one dispatched now,
+        /// the rest parked locally where siblings can steal them.
+        const PREFETCH_RUNS: usize = 4;
+        /// Bounded park for workers with no elastic grace of their own:
+        /// stealable runs appear in sibling deques *without* a global enqueue
+        /// (so no wakeup), which is why a v3 worker never waits untimed.
+        const STEAL_POLL: Duration = Duration::from_millis(1);
+        let batch_size = self.batch_size();
+        let index = self.preferred_shard;
+        let pool = self.core.pool.as_ref().filter(|pool| pool.is_elastic());
+        let queue = &self.core.run_queue;
+        // The guard flushes still-parked runs back to the global queue if this
+        // worker exits (or unwinds) with work left over: events in a local
+        // deque have left the global `len` but still count as `pending`, and
+        // stranding them would deadlock shutdown.
+        let local = LocalRuns::new(queue, grid.claim_worker(index));
+        let mut dispatched = 0;
+        let mut fetched: Vec<Event> = Vec::new();
+        loop {
+            if let Some(pool) = pool {
+                pool.wait_active(index, queue);
+            }
+            // 1. Own deque first: runs prefetched earlier, oldest first.
+            if let Some(mut run) = local.pop() {
+                dispatched += self.dispatch_popped(&mut run);
+                continue;
+            }
+            // 2. Refill from the global queue: drain up to PREFETCH_RUNS runs
+            // from the preferred shard in one lock round-trip, dispatch the
+            // first now and park the rest locally.
+            fetched.clear();
+            let popped = queue.pop_batch_into(index, batch_size * PREFETCH_RUNS, &mut fetched);
+            if popped > 0 {
+                if popped > batch_size {
+                    let mut rest = fetched.split_off(batch_size);
+                    while !rest.is_empty() {
+                        let tail = if rest.len() > batch_size {
+                            rest.split_off(batch_size)
+                        } else {
+                            Vec::new()
+                        };
+                        // Oldest chunk pushed first: the owner pops the front,
+                        // thieves steal the newest run off the back.
+                        local.push(std::mem::replace(&mut rest, tail));
+                    }
+                }
+                dispatched += self.dispatch_popped(&mut fetched);
+                continue;
+            }
+            // 3. Globally dry: steal one whole run from the deepest sibling.
+            if let Some(mut run) = grid.steal_for(index) {
+                dispatched += self.dispatch_popped(&mut run);
+                continue;
+            }
+            // 4. Nothing anywhere. Stop once the runtime is stopping and fully
+            // drained (pending covers sibling deques, so no run is abandoned);
+            // otherwise park bounded and re-probe.
+            if queue.is_stopping() && queue.is_idle() {
+                return dispatched;
+            }
+            match pool {
+                Some(pool) if index >= pool.min() => {
+                    queue.park_for_work(pool.idle_grace());
+                    // Park down only with the local deque confirmed empty: a
+                    // parked worker cannot dispatch the runs it still owns,
+                    // and thieves only visit when *they* run dry.
+                    if queue.len() == 0 && !queue.is_stopping() && local.is_empty() {
+                        pool.try_park_down(index);
+                    }
+                }
+                _ => {
+                    queue.park_for_work(STEAL_POLL);
+                }
+            }
+        }
+    }
+
+    /// Dispatches one already-popped batch inside a worker loop: settles the
+    /// batch's in-flight accounting with a RAII guard, shares one epoch-cached
+    /// context across the batch, and isolates engine faults so a misbehaving
+    /// delivery can never take the worker thread down. Returns the number of
+    /// events the batch held.
+    fn dispatch_popped(&self, batch: &mut Vec<Event>) -> u64 {
+        let popped = batch.len();
+        if popped == 0 {
+            return 0;
+        }
+        // The guard keeps the in-flight count balanced for the whole batch
+        // even if the per-event catch itself were to unwind: a dead worker
+        // would leak its in-flight count and deadlock shutdown for the
+        // whole runtime.
+        let guard = self.core.run_queue.batch_guard(popped);
+        let context = self.batch_context();
+        if self.core.config.grouped_delivery && popped > 1 {
+            // Unit misbehaviour is caught and counted per delivery inside
+            // the group execution; anything that unwinds past it is an
+            // engine fault and must not take the worker down.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.dispatch_batch_grouped(&context, batch)
+            }));
+            if !matches!(outcome, Ok(Ok(()))) {
+                self.core
+                    .stats
+                    .engine_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            for event in batch.drain(..) {
+                // Neither an `Err` (engine-level inconsistency) nor a panic
+                // in a unit callback may take the worker down — or abandon
+                // the rest of the already-popped batch.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.dispatch_in(&context, event)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    // Unit misbehaviour is already caught and counted per
+                    // delivery inside `deliver`; anything that reaches here
+                    // is an engine fault and gets its own counter so it
+                    // cannot hide among expected unit errors. (In
+                    // `workers(0)` mode the same error propagates to the
+                    // pump caller instead.)
+                    Ok(Err(_)) | Err(_) => {
+                        self.core
+                            .stats
+                            .engine_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        drop(guard);
+        popped as u64
     }
 
     /// Returns the dispatch context for the current batch: the subscription
@@ -469,6 +637,23 @@ impl Dispatcher {
                 return Arc::clone(&cached.context);
             }
         }
+        // Private miss: under scheduler v3 consult the process-shared slot —
+        // a sibling worker may already have rebuilt for this epoch — before
+        // paying for a rebuild; under v2 every worker rebuilds privately.
+        let context = match self.core.shared_context.as_ref() {
+            Some(shared) => shared.get_or_build(epoch, || self.build_context()),
+            None => self.build_context(),
+        };
+        *self.context_cache.borrow_mut() = Some(CachedContext {
+            epoch,
+            context: Arc::clone(&context),
+        });
+        context
+    }
+
+    /// Builds a fresh batch context from the live subscription list and unit
+    /// registry (the slow path behind both context caches).
+    fn build_context(&self) -> Arc<BatchContext> {
         let subscriptions: Arc<Vec<Subscription>> = Arc::clone(&self.core.subscriptions.read());
         let owners = subscriptions
             .iter()
@@ -489,16 +674,11 @@ impl Dispatcher {
                 Some((slot, snapshot))
             })
             .collect();
-        let context = Arc::new(BatchContext {
+        Arc::new(BatchContext {
             subscriptions,
             owners,
             flow_memo: Mutex::new(HashMap::new()),
-        });
-        *self.context_cache.borrow_mut() = Some(CachedContext {
-            epoch,
-            context: Arc::clone(&context),
-        });
-        context
+        })
     }
 
     /// Dispatches a single event to every matching subscription (sharing the

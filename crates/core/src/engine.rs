@@ -147,6 +147,17 @@ pub struct EngineConfig {
     /// therefore any engine at the default `batch_size` of 1 — degenerates to
     /// the classic per-event path, exactly like the owner-state snapshot does.
     pub grouped_delivery: bool,
+    /// Selects the v3 scheduler (the default): dispatcher workers own local
+    /// run deques fed by shard-affine prefetch from the global queue, idle
+    /// workers steal *whole runs* from the deepest sibling deque (runs never
+    /// split, so within-run FIFO is preserved no matter who dispatches),
+    /// elastic scale-up recruits the parked worker whose preferred shard is
+    /// deepest instead of waking in LIFO order, and the per-batch security
+    /// snapshot is published through a process-shared, epoch-validated slot so
+    /// concurrent workers rebuild it once per security epoch instead of once
+    /// per worker. `false` runs the v2 scheduler — the shared sharded queue
+    /// only — which is the baseline the scheduler A/B bench replays against.
+    pub scheduler_v3: bool,
     /// Number of recently dispatched events retained in the cache. The paper's
     /// deployment caches tick events (~300 MiB); the cache exists so that the
     /// memory experiment (Figure 7) sees the same population of live objects.
@@ -189,6 +200,7 @@ impl Default for EngineConfig {
             elastic: ElasticConfig::default(),
             batch_size: 1,
             grouped_delivery: true,
+            scheduler_v3: true,
             event_cache_capacity: 10_000,
             managed_instance_cap: 1024,
             wal: None,
@@ -240,6 +252,17 @@ pub struct QueueStats {
     pub units_quarantined: u64,
     /// Deliveries shed because their target unit was quarantined.
     pub quarantine_shed: u64,
+    /// Whole runs stolen by dry workers from sibling local deques (scheduler
+    /// v3; always zero under the v2 scheduler and for manual engines).
+    pub sched_steals: u64,
+    /// Depth-aware scale-up wakes: parked workers recruited because their
+    /// preferred shard was the deepest (scheduler v3; zero under v2's LIFO
+    /// wake order).
+    pub sched_wakes: u64,
+    /// Batch-context rebuilds a worker skipped because the process-shared
+    /// security snapshot was still valid for the current epoch (scheduler v3;
+    /// zero under v2, where each worker rebuilds privately).
+    pub sched_snapshot_hits: u64,
 }
 
 /// Counters describing engine activity.
@@ -367,6 +390,14 @@ pub(crate) struct EngineCore {
     /// Activation state of the dispatcher worker band (`None` for manual,
     /// `workers_max == 0` engines).
     pub(crate) pool: Option<WorkerPool>,
+    /// Per-worker local run deques plus their stealer grid (scheduler v3 with
+    /// a live worker pool; `None` under v2 and for manual engines, whose
+    /// dispatchers run the classic shared-queue loop).
+    pub(crate) steal_grid: Option<crate::steal::StealGrid>,
+    /// Process-shared, epoch-validated batch-context slot (scheduler v3): the
+    /// first worker to need a snapshot for an epoch builds and publishes it;
+    /// every other worker validates the epoch and clones the `Arc`.
+    pub(crate) shared_context: Option<crate::dispatcher::SharedContextSlot>,
     /// Bumped by every security-relevant mutation (label/privilege changes,
     /// unit registration/removal); dispatchers key their cached batch context
     /// on it, so an unchanged epoch lets consecutive batches reuse one
@@ -407,7 +438,7 @@ impl EngineCore {
     /// (no-op for fixed pools and manual engines).
     pub(crate) fn observe_queue_depth(&self) {
         if let Some(pool) = &self.pool {
-            pool.observe_depth(self.run_queue.len());
+            pool.observe_depth(self.run_queue.len(), &self.run_queue);
         }
     }
 
@@ -900,8 +931,14 @@ impl Engine {
                 config.workers_max,
                 scale_up_depth,
                 config.elastic.idle_grace,
+                config.scheduler_v3,
             )
         });
+        let steal_grid = (config.scheduler_v3 && config.workers_max > 0)
+            .then(|| crate::steal::StealGrid::new(config.workers_max));
+        let shared_context = config
+            .scheduler_v3
+            .then(crate::dispatcher::SharedContextSlot::new);
         Engine {
             core: Arc::new(EngineCore {
                 config,
@@ -916,6 +953,8 @@ impl Engine {
                 stats: EngineStats::default(),
                 admission: AdmissionCounters::default(),
                 pool,
+                steal_grid,
+                shared_context,
                 wal,
                 faults: FaultCounters::default(),
                 standbys: Mutex::new(HashMap::new()),
@@ -1025,6 +1064,13 @@ impl Engine {
         self.core.config.grouped_delivery
     }
 
+    /// Returns `true` when the engine runs the v3 scheduler — local run
+    /// deques, whole-run stealing, depth-aware wake placement and the shared
+    /// security snapshot (see [`EngineConfig::scheduler_v3`]).
+    pub fn scheduler_v3(&self) -> bool {
+        self.core.config.scheduler_v3
+    }
+
     /// Samples the run queue's and worker pool's telemetry counters: total and
     /// per-shard queue depth, in-flight dispatches, and the worker band's
     /// configured edges, current activation and high-water mark.
@@ -1057,6 +1103,17 @@ impl Engine {
             unit_panics: self.core.faults.unit_panics(),
             units_quarantined: self.core.faults.units_quarantined(),
             quarantine_shed: self.core.faults.quarantine_shed(),
+            sched_steals: self
+                .core
+                .steal_grid
+                .as_ref()
+                .map_or(0, crate::steal::StealGrid::steals),
+            sched_wakes: self.core.pool.as_ref().map_or(0, WorkerPool::depth_wakes),
+            sched_snapshot_hits: self
+                .core
+                .shared_context
+                .as_ref()
+                .map_or(0, crate::dispatcher::SharedContextSlot::hits),
         }
     }
 

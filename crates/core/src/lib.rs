@@ -80,6 +80,7 @@ pub mod fault;
 pub mod handle;
 mod pool;
 mod run_queue;
+mod steal;
 pub mod subscription;
 pub mod tag_store;
 pub mod unit;

@@ -223,6 +223,27 @@ impl RunQueue {
         })
     }
 
+    /// Returns a run of already-popped events to the queue *without* touching
+    /// the pending count — the flush path for a dispatcher's local run deque
+    /// (scheduler v3). Events parked in a local deque were popped from a shard
+    /// (`len` dropped) but never completed (`pending` still counts them);
+    /// putting them back must restore `len` and wake consumers, but bumping
+    /// `pending` again would double-count them and idleness would never be
+    /// reached. The run stays contiguous and in order on its new shard.
+    pub(crate) fn requeue_batch(&self, events: Vec<Event>) {
+        let n = events.len();
+        if n == 0 {
+            return;
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        {
+            let mut queue = self.shards[shard].lock();
+            queue.extend(events);
+            self.len.fetch_add(n, Ordering::SeqCst);
+        }
+        self.wake_consumers(n);
+    }
+
     fn insert(&self, event: Event) -> usize {
         let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut queue = self.shards[shard].lock();
@@ -590,6 +611,27 @@ mod tests {
         queue.push(event(1)); // lands on shard 0 (round-robin from 0)
         assert!(queue.pop(3).is_some(), "worker 3 must steal from shard 0");
         queue.complete();
+    }
+
+    #[test]
+    fn requeue_batch_restores_len_without_double_counting_pending() {
+        let queue = RunQueue::new(2);
+        queue.push_batch((0..4).map(event).collect());
+        let run = queue.pop_batch(0, 4);
+        assert_eq!(run.len(), 4);
+        assert_eq!(queue.len(), 0);
+        assert_eq!(queue.pending(), 4, "popped events stay pending");
+
+        // A worker flushing its local deque puts the run back whole: `len`
+        // recovers, `pending` stays flat, and order within the run holds.
+        queue.requeue_batch(run);
+        assert_eq!(queue.len(), 4);
+        assert_eq!(queue.pending(), 4, "requeue must not double-count");
+        let again = queue.pop_batch(0, 4);
+        let values: Vec<i64> = again.iter().map(event_value).collect();
+        assert_eq!(values, vec![0, 1, 2, 3], "the run stays in order");
+        queue.complete_many(4);
+        assert!(queue.is_idle(), "accounting balances after one completion");
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Per-worker local run deques with whole-run stealing (scheduler v3).
+//!
+//! Each dispatcher worker owns a local deque of *runs* — contiguous slices of
+//! one shard's FIFO, popped from the global [`RunQueue`](crate::run_queue::RunQueue)
+//! in one lock acquisition. The owner works its deque front-to-back with no
+//! synchronisation against producers; when a sibling runs dry (its own deque
+//! empty, global queue empty) it steals a **whole run** from the deepest
+//! sibling's deque instead of individual events. Runs never split across
+//! workers, so the FIFO order within a run — the order a publish batch landed
+//! on its shard in — is preserved no matter who ends up dispatching it; the
+//! engine has never promised a global order across independent runs (see the
+//! run-queue module docs), and stealing does not change that.
+//!
+//! This is the crossbeam-deque idiom (owner-pops-front, thief-steals-back)
+//! over the vendored `crossbeam::deque` shim, with the grid itself holding the
+//! stealer handles plus a parked copy of each worker's [`Worker`] end that the
+//! worker thread claims at startup.
+//!
+//! Accounting invariant: every event inside a local deque has already left the
+//! global queue's `len` but still counts in its `pending` — exactly like an
+//! in-flight batch. A worker that exits (or panics) with runs still parked
+//! locally must flush them back via `RunQueue::requeue_batch`, which restores
+//! `len` without double-counting `pending`; [`LocalRuns`] is the RAII guard
+//! that makes the flush unconditional.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Stealer, Worker};
+use defcon_events::Event;
+use parking_lot::Mutex;
+
+use crate::run_queue::RunQueue;
+
+/// One contiguous slice of a shard's FIFO — the unit of stealing.
+pub(crate) type Run = Vec<Event>;
+
+/// The shared side of the per-worker deques: stealer handles for every worker
+/// slot, plus the steal counter `queue_stats()` exports.
+pub(crate) struct StealGrid {
+    slots: Vec<GridSlot>,
+    steals: AtomicU64,
+}
+
+struct GridSlot {
+    /// The owner end, parked here until the worker thread claims it. A `None`
+    /// slot means the worker is live (or the slot was never claimed back).
+    worker: Mutex<Option<Worker<Run>>>,
+    stealer: Stealer<Run>,
+}
+
+impl StealGrid {
+    /// Creates a grid with one deque per worker slot.
+    pub(crate) fn new(workers: usize) -> Self {
+        let slots = (0..workers)
+            .map(|_| {
+                let worker = Worker::new_fifo();
+                let stealer = worker.stealer();
+                GridSlot {
+                    worker: Mutex::new(Some(worker)),
+                    stealer,
+                }
+            })
+            .collect();
+        StealGrid {
+            slots,
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the owner end of slot `index` for its worker thread. Panics if
+    /// the slot was already claimed — each worker index runs exactly once.
+    pub(crate) fn claim_worker(&self, index: usize) -> Worker<Run> {
+        self.slots[index]
+            .worker
+            .lock()
+            .take()
+            .expect("each worker slot is claimed exactly once")
+    }
+
+    /// Current depth (in runs) of slot `index`'s deque — a lock-free probe.
+    #[cfg(test)]
+    pub(crate) fn depth(&self, index: usize) -> usize {
+        self.slots[index].stealer.len()
+    }
+
+    /// Steals one whole run from the deepest sibling of `thief`, or `None`
+    /// when every sibling deque is empty. Depths are probed lock-free first so
+    /// an idle grid costs N atomic loads, not N lock acquisitions; the steal
+    /// itself re-races (the probe is advisory), falling through to the next
+    /// deepest candidate if the victim drained in between.
+    pub(crate) fn steal_for(&self, thief: usize) -> Option<Run> {
+        loop {
+            let mut victim = None;
+            let mut deepest = 0;
+            for (index, slot) in self.slots.iter().enumerate() {
+                if index == thief {
+                    continue;
+                }
+                let depth = slot.stealer.len();
+                if depth > deepest {
+                    deepest = depth;
+                    victim = Some(index);
+                }
+            }
+            let victim = victim?;
+            if let Some(run) = self.slots[victim].stealer.steal().success() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(run);
+            }
+            // The probed victim drained before we got there; re-probe. The
+            // loop terminates because each iteration observes strictly less
+            // total work or succeeds.
+        }
+    }
+
+    /// Total successful whole-run steals since engine start.
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for StealGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealGrid")
+            .field("slots", &self.slots.len())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+/// RAII owner of one worker's local deque: pops runs for the worker loop and
+/// flushes any leftover runs back to the global queue on drop, so a panicking
+/// (or exiting) worker can never strand events that are still `pending`.
+pub(crate) struct LocalRuns<'a> {
+    queue: &'a RunQueue,
+    worker: Worker<Run>,
+}
+
+impl<'a> LocalRuns<'a> {
+    pub(crate) fn new(queue: &'a RunQueue, worker: Worker<Run>) -> Self {
+        LocalRuns { queue, worker }
+    }
+
+    /// Parks a run on the local deque (newest at the back, where thieves look).
+    pub(crate) fn push(&self, run: Run) {
+        self.worker.push(run);
+    }
+
+    /// Pops the oldest local run, preserving the order runs were prefetched in.
+    pub(crate) fn pop(&self) -> Option<Run> {
+        self.worker.pop()
+    }
+
+    /// Whether the local deque is empty — the park-down grace check consults
+    /// this so a worker never parks while it still owns undispatched runs.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.worker.is_empty()
+    }
+}
+
+impl Drop for LocalRuns<'_> {
+    fn drop(&mut self) {
+        while let Some(run) = self.worker.pop() {
+            self.queue.requeue_batch(run);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_defc::Label;
+    use defcon_events::{EventBuilder, Value};
+
+    fn event(n: i64) -> Event {
+        EventBuilder::new()
+            .part("n", Label::public(), Value::Int(n))
+            .build()
+            .unwrap()
+    }
+
+    fn values(run: &[Event]) -> Vec<i64> {
+        run.iter()
+            .map(
+                |event| match event.first_part("n").map(|part| part.data().clone()) {
+                    Some(Value::Int(n)) => n,
+                    other => panic!("unexpected part payload: {other:?}"),
+                },
+            )
+            .collect()
+    }
+
+    /// The deterministic mid-drain steal pin: worker 0 has prefetched two
+    /// runs; while it is busy dispatching the first, a thief steals — and must
+    /// get the *whole* second run, in order, with nothing lost or duplicated.
+    #[test]
+    fn a_mid_drain_steal_takes_a_whole_run_in_order_exactly_once() {
+        let grid = StealGrid::new(2);
+        let owner = grid.claim_worker(0);
+        owner.push((0..4).map(event).collect::<Run>());
+        owner.push((4..8).map(event).collect::<Run>());
+
+        // Owner starts draining: takes its oldest run off the deque (it is now
+        // "mid-drain" — dispatching run 1 outside any lock).
+        let first = owner.pop().expect("owner takes the oldest run");
+        assert_eq!(values(&first), vec![0, 1, 2, 3]);
+
+        // Thief (worker 1) steals while the owner is busy: it must take the
+        // remaining run whole — never a prefix or suffix of it.
+        let stolen = grid.steal_for(1).expect("sibling deque has a run");
+        assert_eq!(
+            values(&stolen),
+            vec![4, 5, 6, 7],
+            "the stolen run is intact and in per-run FIFO order"
+        );
+        assert_eq!(grid.steals(), 1);
+
+        // Nothing left: exactly-once across owner and thief.
+        assert!(owner.pop().is_none());
+        assert!(grid.steal_for(1).is_none());
+    }
+
+    #[test]
+    fn steal_prefers_the_deepest_sibling_and_skips_the_thief_itself() {
+        let grid = StealGrid::new(3);
+        let shallow = grid.claim_worker(0);
+        let deep = grid.claim_worker(1);
+        let thief = grid.claim_worker(2);
+        shallow.push(vec![event(0)]);
+        deep.push(vec![event(10)]);
+        deep.push(vec![event(11)]);
+        thief.push(vec![event(99)]); // the thief's own work must never be "stolen"
+
+        let run = grid.steal_for(2).expect("siblings have work");
+        assert_eq!(values(&run), vec![11], "newest run of the deepest sibling");
+        assert_eq!(grid.depth(1), 1);
+        assert_eq!(grid.depth(2), 1, "the thief's own deque is untouched");
+    }
+
+    #[test]
+    fn dropping_local_runs_flushes_leftovers_back_to_the_global_queue() {
+        let queue = RunQueue::new(1);
+        queue.push_batch((0..6).map(event).collect());
+        let run_a = queue.pop_batch(0, 3);
+        let run_b = queue.pop_batch(0, 3);
+        assert_eq!(queue.len(), 0);
+        assert_eq!(queue.pending(), 6);
+
+        let grid = StealGrid::new(1);
+        {
+            let local = LocalRuns::new(&queue, grid.claim_worker(0));
+            local.push(run_a);
+            local.push(run_b);
+            assert!(!local.is_empty());
+            // Simulated worker death: the guard drops with runs still parked.
+        }
+        assert_eq!(
+            queue.len(),
+            6,
+            "flushed runs are visible to other consumers again"
+        );
+        assert_eq!(queue.pending(), 6, "pending is not double-counted");
+        let drained = queue.pop_batch(0, 6);
+        assert_eq!(values(&drained), vec![0, 1, 2, 3, 4, 5]);
+        queue.complete_many(6);
+        assert!(queue.is_idle());
+    }
+}

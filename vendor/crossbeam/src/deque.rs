@@ -1,0 +1,218 @@
+//! Work-stealing deque subset of `crossbeam-deque`.
+//!
+//! A [`Worker`] owns the deque: it pushes to the back and pops from the front
+//! (FIFO), so the owner drains items in arrival order. Each [`Stealer`] handle
+//! steals one item at a time from the *back* — the opposite end from the
+//! owner's pops — so an owner and a thief contend on different items whenever
+//! the deque holds more than one.
+//!
+//! Like the rest of this crate, the implementation is an offline stand-in: a
+//! mutex around a `VecDeque` instead of the real crate's lock-free ring. The
+//! API surface (and the [`Steal`] result enum) match `crossbeam-deque` so the
+//! callers read like the real thing; the performance contract here is only
+//! that the owner's push/pop path takes an uncontended lock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Mirror of the queue length, readable without the lock — depth probes
+    /// (picking the deepest victim) must not serialise against the owner.
+    len: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The owning side of a work-stealing deque.
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A handle for stealing items from another worker's deque.
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried. This shim's locking
+    /// implementation never loses races, so it never returns this variant;
+    /// it exists for API fidelity with the real crate.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(item) => Some(item),
+            _ => None,
+        }
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates a new FIFO deque (owner pops oldest-first).
+    pub fn new_fifo() -> Self {
+        Worker {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Creates a stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Pushes an item onto the back of the deque.
+    pub fn push(&self, item: T) {
+        let mut queue = self.shared.lock();
+        queue.push_back(item);
+        self.shared.len.store(queue.len(), Ordering::Release);
+    }
+
+    /// Pops the oldest item (front of the deque).
+    pub fn pop(&self) -> Option<T> {
+        let mut queue = self.shared.lock();
+        let item = queue.pop_front();
+        self.shared.len.store(queue.len(), Ordering::Release);
+        item
+    }
+
+    /// Number of items currently in the deque.
+    pub fn len(&self) -> usize {
+        self.shared.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the newest item (back of the deque), leaving the older items to
+    /// the owner.
+    pub fn steal(&self) -> Steal<T> {
+        let mut queue = self.shared.lock();
+        let item = queue.pop_back();
+        self.shared.len.store(queue.len(), Ordering::Release);
+        match item {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of items currently in the deque — the depth probe victim
+    /// selection uses; lock-free so probing N siblings costs N atomic loads.
+    pub fn len(&self) -> usize {
+        self.shared.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_in_fifo_order() {
+        let worker = Worker::new_fifo();
+        for i in 0..4 {
+            worker.push(i);
+        }
+        assert_eq!(worker.len(), 4);
+        assert_eq!(worker.pop(), Some(0));
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(worker.len(), 2);
+    }
+
+    #[test]
+    fn stealer_takes_from_the_back() {
+        let worker = Worker::new_fifo();
+        let stealer = worker.stealer();
+        worker.push("old");
+        worker.push("new");
+        assert_eq!(stealer.steal().success(), Some("new"));
+        assert_eq!(worker.pop(), Some("old"));
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn owner_and_thief_split_the_items_exactly_once() {
+        let worker = Arc::new(Worker::new_fifo());
+        let stealer = worker.stealer();
+        for i in 0..1000u32 {
+            worker.push(i);
+        }
+        let thief = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(item) = stealer.steal().success() {
+                got.push(item);
+            }
+            got
+        });
+        let mut owned = Vec::new();
+        while let Some(item) = worker.pop() {
+            owned.push(item);
+        }
+        let stolen = thief.join().unwrap();
+        let mut all: Vec<u32> = owned.into_iter().chain(stolen).collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..1000).collect();
+        assert_eq!(all, expected, "no item may be lost or duplicated");
+    }
+
+    #[test]
+    fn depth_probe_tracks_pushes_and_steals() {
+        let worker = Worker::new_fifo();
+        let probe = worker.stealer();
+        assert!(probe.is_empty());
+        worker.push(1);
+        worker.push(2);
+        assert_eq!(probe.len(), 2);
+        probe.steal();
+        assert_eq!(probe.len(), 1);
+        assert!(!worker.is_empty());
+    }
+}

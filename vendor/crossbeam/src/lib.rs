@@ -3,9 +3,13 @@
 //! Implements the bounded MPMC channel subset of `crossbeam::channel` used by the
 //! baseline platform: cloneable senders *and* receivers, blocking sends with
 //! backpressure, and timed receives. Disconnection is reported when every handle
-//! on the other side has been dropped.
+//! on the other side has been dropped. The `deque` module adds the
+//! work-stealing `Worker`/`Stealer` subset of `crossbeam-deque` that the
+//! engine's per-worker local run queues build on.
 
 #![forbid(unsafe_code)]
+
+pub mod deque;
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
