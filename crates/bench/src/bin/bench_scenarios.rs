@@ -29,14 +29,16 @@ use defcon_bench::report::arg_value;
 use defcon_bench::{BenchRecord, BenchReport};
 use defcon_core::unit::NullUnit;
 use defcon_core::{
-    auto_worker_count, Engine, FaultPolicy, FullQueuePolicy, IngressConfig, SecurityMode, UnitSpec,
+    auto_worker_count, Engine, EngineResult, FaultPolicy, FullQueuePolicy, IngressConfig,
+    SecurityMode, Unit, UnitContext, UnitSpec,
 };
+use defcon_events::{Event, Filter, Predicate};
 use defcon_ingress::IngressTier;
 use defcon_metrics::LatencyHistogram;
 use defcon_trading::{PlatformReport, TradingPlatform, TradingPlatformConfig};
 use defcon_workload::scenario::{
-    BurstyOpenClose, CountingSink, CreditStorm, FaultSwap, MixedBatches, ReplayTrace, Scenario,
-    ScenarioDriver, SlowConsumerFlood, ZipfLanes,
+    lane_name, BurstyOpenClose, CountingSink, CreditStorm, FanOutBurst, FaultSwap, MixedBatches,
+    ReplayTrace, Scenario, ScenarioDriver, SlowConsumerFlood, ZipfLanes,
 };
 use defcon_workload::IngressScenarioDriver;
 
@@ -352,6 +354,104 @@ fn run_ingress_scenario(
     }
 }
 
+/// One lane's whole subscriber population for the fan-out cell: a single unit
+/// holding `matching` always-match subscriptions (`type == lane`) and
+/// `near_miss` near-misses that name the lane but fail a `seq < 0` second
+/// clause. The near-misses are what the exact filter must reject after the
+/// index shortlists them — the committed `index_exact_rejects` signal — while
+/// subscriptions of *other* lanes never even become candidates.
+struct FanOutLane {
+    lane: usize,
+    matching: usize,
+    near_miss: usize,
+    received: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Unit for FanOutLane {
+    fn init(&mut self, ctx: &mut UnitContext<'_>) -> EngineResult<()> {
+        let lane = lane_name(self.lane);
+        for _ in 0..self.matching {
+            ctx.subscribe(Filter::for_type(&lane))?;
+        }
+        for _ in 0..self.near_miss {
+            ctx.subscribe(Filter::for_type(&lane).where_part("seq", Predicate::LessThan(0.0)))?;
+        }
+        Ok(())
+    }
+
+    fn on_event(&mut self, _ctx: &mut UnitContext<'_>, _event: &Event) -> EngineResult<()> {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// What one fan-out replay leg measured.
+struct FanOutLeg {
+    throughput_eps: f64,
+    delivered: u64,
+    published: u64,
+    index_candidates: u64,
+    index_exact_rejects: u64,
+}
+
+/// Replays the recorded fan-out trace against `lanes × subs_per_lane`
+/// registered subscriptions with the subscription index on or off — the same
+/// trace, the same fixed worker pool, the same population; the only variable
+/// is the planner.
+fn run_fanout_leg(
+    trace: &Path,
+    indexed: bool,
+    lanes: usize,
+    subs_per_lane: usize,
+    matching_per_lane: usize,
+) -> FanOutLeg {
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers(auto_worker_count())
+        .batch_size(8)
+        .event_cache(0)
+        .subscription_index(indexed)
+        .build();
+    let mut counters = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        let received = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        engine
+            .register_unit(
+                UnitSpec::new(format!("fanout-lane-{lane}")),
+                Box::new(FanOutLane {
+                    lane,
+                    matching: matching_per_lane,
+                    near_miss: subs_per_lane - matching_per_lane,
+                    received: Arc::clone(&received),
+                }),
+            )
+            .expect("fan-out lane registers");
+        counters.push(received);
+    }
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .expect("feed registers");
+
+    let handle = engine.start();
+    let driver = ScenarioDriver::new(&handle, source).expect("driver");
+    let mut replay = ReplayTrace::load(trace).expect("load fan-out trace");
+    let outcome = driver.run(&mut replay);
+    handle.shutdown().expect("shutdown");
+    assert!(
+        outcome.completed && outcome.drained,
+        "fan-out: a bench replay must complete and drain"
+    );
+
+    let stats = engine.queue_stats();
+    FanOutLeg {
+        throughput_eps: outcome.throughput_eps(),
+        delivered: counters.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
+        published: outcome.published,
+        index_candidates: stats.index_candidates,
+        index_exact_rejects: stats.index_exact_rejects,
+    }
+}
+
 /// `--replay <trace>`: re-feeds a recorded arrival trace byte-for-byte through
 /// the elastic lane harness and (as an arrival shape) the trading platform,
 /// reporting `replay`-flagged rows that only ever gate against replay
@@ -579,6 +679,139 @@ fn main() {
         println!("  {name}: {}", row.as_row());
         report.push(BenchRecord::from_platform(name, &row).with_scheduler("v3"));
     }
+
+    // Indexed fan-out A/B: the same recorded burst trace replayed against
+    // 10^4 registered subscriptions (20 lanes x 500) with the subscription
+    // index on and off. Per lane ~10 subscriptions always match and ~490 are
+    // near-misses (they name the lane but fail a `seq < 0` clause), so
+    // delivery stays small and the measured difference is the planner: the
+    // linear scan evaluates all 10^4 filters per event, the index shortlists
+    // one lane's 500 and rejects the near-misses exactly.
+    let fanout_lanes = 20usize;
+    let fanout_subs_per_lane = 500usize;
+    let fanout_matching = 10usize;
+    let fanout_events: u64 = if quick { 2_000 } else { 10_000 };
+    let fanout_reps = if quick { 1 } else { 3 };
+    let fanout_population = fanout_lanes * fanout_subs_per_lane;
+    println!(
+        "== indexed fan-out A/B ({fanout_population} subscriptions, {fanout_events} events) =="
+    );
+    let trace_path =
+        std::env::temp_dir().join(format!("defcon-fanout-{}.trace", std::process::id()));
+    {
+        // Record the arrival trace once on a lightweight engine so both legs
+        // replay byte-identical arrivals.
+        let engine = Engine::builder()
+            .mode(SecurityMode::LabelsFreeze)
+            .workers(1)
+            .batch_size(8)
+            .event_cache(0)
+            .build();
+        let source = engine
+            .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+            .expect("feed registers");
+        let handle = engine.start();
+        let driver = ScenarioDriver::new(&handle, source).expect("driver");
+        let mut scenario = FanOutBurst::new(fanout_lanes, fanout_subs_per_lane, 64, fanout_events);
+        driver
+            .record(&mut scenario, &trace_path)
+            .expect("record fan-out trace");
+        handle.shutdown().expect("shutdown");
+    }
+
+    let mut best_linear: Option<FanOutLeg> = None;
+    let mut best_indexed: Option<FanOutLeg> = None;
+    for _ in 0..fanout_reps {
+        for indexed in [false, true] {
+            let leg = run_fanout_leg(
+                &trace_path,
+                indexed,
+                fanout_lanes,
+                fanout_subs_per_lane,
+                fanout_matching,
+            );
+            // Every event lands in exactly one lane and matches that lane's
+            // `matching` always-match subscriptions; the near-misses must all
+            // fall to the exact filter, whichever planner shortlisted them.
+            assert_eq!(
+                leg.delivered,
+                leg.published * fanout_matching as u64,
+                "fan-out(indexed={indexed}): exact delivery count"
+            );
+            if indexed {
+                assert!(
+                    leg.index_candidates > 0 && leg.index_exact_rejects > 0,
+                    "fan-out: the indexed leg must exercise the shortlist and \
+                     the exact filter (candidates={} rejects={})",
+                    leg.index_candidates,
+                    leg.index_exact_rejects
+                );
+                // Sublinear candidate sets: the shortlist for an event is one
+                // lane's population (500), never the full 10^4 — the whole
+                // point of the inverted index.
+                assert!(
+                    leg.index_candidates <= leg.published * fanout_subs_per_lane as u64,
+                    "fan-out: candidate sets must stay one lane wide \
+                     (candidates={} events={})",
+                    leg.index_candidates,
+                    leg.published
+                );
+            } else {
+                assert_eq!(
+                    (leg.index_candidates, leg.index_exact_rejects),
+                    (0, 0),
+                    "fan-out: the linear leg must not touch the index"
+                );
+            }
+            let slot = if indexed {
+                &mut best_indexed
+            } else {
+                &mut best_linear
+            };
+            if slot
+                .as_ref()
+                .map(|b| leg.throughput_eps > b.throughput_eps)
+                .unwrap_or(true)
+            {
+                *slot = Some(leg);
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&trace_path);
+    let best_linear = best_linear.expect("linear fan-out leg ran");
+    let best_indexed = best_indexed.expect("indexed fan-out leg ran");
+    let fanout_speedup = best_indexed.throughput_eps / best_linear.throughput_eps;
+    println!(
+        "  linear:  {:>10.0} events/s  indexed: {:>10.0} events/s  speedup {:.2}x \
+         (candidates/event {:.0} of {fanout_population})",
+        best_linear.throughput_eps,
+        best_indexed.throughput_eps,
+        fanout_speedup,
+        best_indexed.index_candidates as f64 / best_indexed.published.max(1) as f64,
+    );
+    let empty_latency = LatencyHistogram::new();
+    for (leg, stamp) in [(&best_linear, "off"), (&best_indexed, "on")] {
+        report.push(
+            BenchRecord::from_summary(
+                "fan-out",
+                SecurityMode::LabelsFreeze.figure_label(),
+                auto_worker_count(),
+                8,
+                fanout_population,
+                fanout_events,
+                leg.throughput_eps,
+                &empty_latency.summary(),
+            )
+            .with_scheduler("v3")
+            .with_index(stamp),
+        );
+    }
+    report.metric("speedup_indexed_fanout_s10k", fanout_speedup);
+    report.metric(
+        "fanout_candidates_per_event",
+        best_indexed.index_candidates as f64 / best_indexed.published.max(1) as f64,
+    );
+    report.metric("fanout_registered_subscriptions", fanout_population as f64);
 
     assert!(
         !report.records.is_empty(),

@@ -77,6 +77,12 @@ pub struct BenchRecord {
     /// schedulers are deliberately different dispatch strategies, so their
     /// cells must never cross-match.
     pub scheduler: String,
+    /// The subscription matcher the cell ran under (`"on"` for the inverted
+    /// subscription index, `"off"` for the linear scan), or empty for legacy
+    /// records and cells where planning cost cannot matter. Gate-keyed like
+    /// `scheduler`: the two matchers have deliberately different planning
+    /// complexity, so their cells must never cross-match.
+    pub index: String,
 }
 
 impl BenchRecord {
@@ -105,6 +111,7 @@ impl BenchRecord {
             replay: false,
             policy: String::new(),
             scheduler: String::new(),
+            index: String::new(),
         }
     }
 
@@ -125,6 +132,13 @@ impl BenchRecord {
     /// [`BenchRecord::scheduler`]).
     pub fn with_scheduler(mut self, scheduler: &str) -> Self {
         self.scheduler = scheduler.to_string();
+        self
+    }
+
+    /// Stamps the subscription matcher the cell ran under (see
+    /// [`BenchRecord::index`]).
+    pub fn with_index(mut self, index: &str) -> Self {
+        self.index = index.to_string();
         self
     }
 
@@ -149,6 +163,7 @@ impl BenchRecord {
             replay: false,
             policy: String::new(),
             scheduler: String::new(),
+            index: String::new(),
         }
     }
 
@@ -182,12 +197,13 @@ impl BenchRecord {
             replay: false,
             policy: String::new(),
             scheduler: String::new(),
+            index: String::new(),
         }
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{},\"policy\":{},\"scheduler\":{}}}",
+            "{{\"name\":{},\"mode\":{},\"workers\":{},\"workers_band\":{},\"workers_high_water\":{},\"batch_size\":{},\"traders\":{},\"events\":{},\"throughput_eps\":{},\"latency_p50_ms\":{},\"latency_p70_ms\":{},\"latency_p99_ms\":{},\"memory_mib\":{},\"replay\":{},\"policy\":{},\"scheduler\":{},\"index\":{}}}",
             json_string(&self.name),
             json_string(&self.mode),
             self.workers,
@@ -204,6 +220,7 @@ impl BenchRecord {
             self.replay,
             json_string(&self.policy),
             json_string(&self.scheduler),
+            json_string(&self.index),
         )
     }
 }
@@ -525,6 +542,7 @@ mod tests {
             replay: false,
             policy: String::new(),
             scheduler: String::new(),
+            index: String::new(),
         }
     }
 
@@ -559,6 +577,21 @@ mod tests {
             json.contains("\"scheduler\":\"\""),
             "unstamped cells carry an empty scheduler key"
         );
+        assert!(
+            json.contains("\"index\":\"\""),
+            "unstamped cells carry an empty index key"
+        );
+    }
+
+    #[test]
+    fn index_stamped_records_carry_the_stamp_in_the_json() {
+        let mut report = BenchReport::new("scenarios", true);
+        report.push(sample_record().with_index("on"));
+        report.push(sample_record().with_index("off").as_replay());
+        let json = report.to_json();
+        json::validate(&json).unwrap();
+        assert!(json.contains("\"index\":\"on\""));
+        assert!(json.contains("\"index\":\"off\""));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Tests of `scripts/bench_gate.sh`, the CI bench regression gate: it must
 //! fail on a >20% throughput drop at a matched `(name, mode, workers,
-//! batch_size, replay, policy, scheduler)` cell, pass within the threshold, and skip (with a warning,
-//! not a failure) when there is no previous report to compare against.
+//! batch_size, replay, policy, scheduler, index)` cell, pass within the
+//! threshold, and skip (with a warning, not a failure) when there is no
+//! previous report to compare against.
 //!
 //! The script is plain bash + jq; when either tool is unavailable the tests
 //! skip, so the workspace still builds in minimal environments. CI's
@@ -83,6 +84,14 @@ fn scheduler_report(
     report(throughput_eps, workers, batch_size).replace(
         "\"memory_mib\":0}",
         &format!("\"memory_mib\":0,\"scheduler\":\"{scheduler}\"}}"),
+    )
+}
+
+/// A fixed-pool record stamped with a subscription matcher ("on"/"off").
+fn index_report(throughput_eps: f64, workers: usize, batch_size: usize, index: &str) -> String {
+    report(throughput_eps, workers, batch_size).replace(
+        "\"memory_mib\":0}",
+        &format!("\"memory_mib\":0,\"index\":\"{index}\"}}"),
     )
 }
 
@@ -257,7 +266,9 @@ fn gate_never_matches_an_elastic_band_against_a_fixed_pool() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "band vs fixed must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
+        out.contains(
+            "no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells"
+        ),
         "{out}"
     );
 }
@@ -276,7 +287,9 @@ fn gate_never_matches_a_replay_cell_against_a_generated_baseline() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "replay vs generated must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
+        out.contains(
+            "no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells"
+        ),
         "{out}"
     );
 }
@@ -334,7 +347,9 @@ fn gate_skips_unmatched_cells_instead_of_comparing_apples_to_oranges() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "unmatched cells must be skipped: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
+        out.contains(
+            "no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells"
+        ),
         "{out}"
     );
 }
@@ -359,7 +374,7 @@ fn gate_matches_fault_swap_cells_like_any_other_scenario_row() {
     let (code, out) = gate.run("BENCH_scenarios.json");
     assert_eq!(code, 1, "a 30% fault-swap drop must fail the gate: {out}");
     assert!(
-        out.contains("fault-swap|labels+freeze|w[1..4]|b8|r0|p|s"),
+        out.contains("fault-swap|labels+freeze|w[1..4]|b8|r0|p|s|i"),
         "the key names the fault-swap cell: {out}"
     );
 }
@@ -382,7 +397,9 @@ fn gate_never_matches_an_admission_policy_cell_against_the_direct_path() {
     let (code, out) = gate.run("BENCH_scenarios.json");
     assert_eq!(code, 0, "policy vs direct must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
+        out.contains(
+            "no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells"
+        ),
         "{out}"
     );
 }
@@ -429,7 +446,9 @@ fn gate_never_matches_a_scheduler_stamped_cell_against_a_legacy_baseline() {
     let (code, out) = gate.run("BENCH_dispatch.json");
     assert_eq!(code, 0, "v3 vs unstamped must be unmatched: {out}");
     assert!(
-        out.contains("no (name, mode, workers, batch_size, replay, policy, scheduler) cells"),
+        out.contains(
+            "no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells"
+        ),
         "{out}"
     );
 }
@@ -475,5 +494,48 @@ fn gate_treats_records_predating_the_policy_field_as_direct_path() {
     assert_eq!(
         code, 1,
         "legacy baselines must match direct-path cells: {out}"
+    );
+}
+
+#[test]
+fn gate_never_matches_an_index_stamped_cell_against_a_legacy_baseline() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("indexlegacy");
+    // The archived baseline predates the index stamp (it was measured on the
+    // linear scan, unstamped); an "on"-stamped current cell is a different
+    // measurement, so the huge "drop" must be skipped as unmatched — flipping
+    // the matcher re-baselines instead of flagging a false regression.
+    gate.write_prev("BENCH_scenarios.json", &report(500_000.0, 4, 8));
+    gate.write_current("BENCH_scenarios.json", &index_report(100_000.0, 4, 8, "on"));
+    let (code, out) = gate.run("BENCH_scenarios.json");
+    assert_eq!(code, 0, "index-on vs unstamped must be unmatched: {out}");
+    assert!(
+        out.contains(
+            "no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells"
+        ),
+        "{out}"
+    );
+}
+
+#[test]
+fn gate_matches_index_stamped_cells_against_same_stamp_baselines() {
+    if !tools_available() {
+        eprintln!("skipping: bash/jq unavailable");
+        return;
+    }
+    let gate = Gate::new("indexpair");
+    gate.write_prev(
+        "BENCH_scenarios.json",
+        &index_report(100_000.0, 4, 8, "off"),
+    );
+    gate.write_current("BENCH_scenarios.json", &index_report(70_000.0, 4, 8, "off"));
+    let (code, out) = gate.run("BENCH_scenarios.json");
+    assert_eq!(code, 1, "a 30% same-stamp drop must fail: {out}");
+    assert!(
+        out.contains("|ioff"),
+        "the key carries the index marker: {out}"
     );
 }

@@ -167,6 +167,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the subscription matcher (the inverted index, the default, when
+    /// `true`): planning consults a part-name/value index for a candidate
+    /// superset per event and runs the exact filter only on candidates, so
+    /// matching cost scales with matching subscriptions instead of registered
+    /// ones. `false` keeps the linear scan over every subscription — the
+    /// baseline the fan-out A/B bench replays against (see
+    /// [`EngineConfig::subscription_index`](crate::EngineConfig)). Delivery
+    /// sets are identical under either matcher.
+    pub fn subscription_index(mut self, subscription_index: bool) -> Self {
+        self.config.subscription_index = subscription_index;
+        self
+    }
+
     /// Sets the dispatch batch size: how many events a dispatcher pops (and
     /// accounts for) per run-queue lock round-trip, and the chunk size batched
     /// publishers enqueue with. The default of 1 preserves classic
@@ -236,6 +249,7 @@ mod tests {
             .batch_size(16)
             .grouped_delivery(false)
             .scheduler_v3(false)
+            .subscription_index(false)
             .event_cache(7)
             .managed_instance_cap(9)
             .elastic(
@@ -264,6 +278,7 @@ mod tests {
         assert_eq!(engine.configured_batch_size(), 16);
         assert!(!engine.grouped_delivery());
         assert!(!engine.scheduler_v3());
+        assert!(!engine.subscription_index());
         let ingress = engine.ingress_config().expect("ingress config set");
         assert_eq!(ingress.queue_bound, 256);
         assert_eq!(ingress.credit_window, 32);
@@ -323,6 +338,10 @@ mod tests {
         assert_eq!(engine.configured_workers(), 0);
         assert_eq!(engine.configured_batch_size(), 1);
         assert!(engine.scheduler_v3(), "v3 is the default scheduler");
+        assert!(
+            engine.subscription_index(),
+            "the inverted index is the default matcher"
+        );
     }
 
     #[test]

@@ -34,9 +34,26 @@
 //! subscription/label population skip the rebuild entirely; any label,
 //! privilege or unit-set mutation bumps the epoch and the next batch starts
 //! from a fresh snapshot.
+//!
+//! # The subscription index
+//!
+//! With [`EngineConfig::subscription_index`](crate::EngineConfig) on (the
+//! default), the batch snapshot also carries an inverted
+//! [`SubscriptionIndex`](crate::sub_index) from part names — and, for string
+//! equality and `OneOf` clauses, part values — to the subscriptions whose
+//! filters could possibly match. Planning looks up each event's parts and
+//! runs the exact filter (and flow check) only over the returned candidate
+//! set, which is a provable superset of the matches: fan-out cost scales with
+//! candidates per event instead of total registered subscriptions. The index
+//! rides the same epoch-keyed snapshot cache, so subscribe/unsubscribe/swap
+//! invalidate it for free and an unchanged population never rebuilds it.
+//! Parts released by main-path augmentation are looked up incrementally —
+//! per delivery on the per-event path, per overflow wave on the grouped path
+//! — so filters naming augmentation-released parts match under either
+//! matcher, grouped or not.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,6 +67,7 @@ use crate::context::UnitContext;
 use crate::engine::{EngineCore, UnitCell, UnitSlot};
 use crate::error::EngineResult;
 use crate::steal::{LocalRuns, StealGrid};
+use crate::sub_index::SubscriptionIndex;
 use crate::subscription::{Subscription, SubscriptionKind};
 use crate::unit::{UnitSpec, UnitState};
 
@@ -133,6 +151,13 @@ const FLOW_MEMO_CAP: usize = 4096;
 struct BatchContext {
     subscriptions: Arc<Vec<Subscription>>,
     owners: Vec<Option<(Arc<UnitSlot>, OwnerSnapshot)>>,
+    /// The inverted subscription index over `subscriptions` (`None` with the
+    /// `subscription_index` knob off): part name/value → candidate
+    /// subscription indices, a provable superset of the true matches. Living
+    /// inside the epoch-cached context gives it incremental maintenance for
+    /// free — every subscribe/unsubscribe/swap bumps the security epoch,
+    /// retiring index and snapshot together, atomically.
+    index: Option<SubscriptionIndex>,
     /// Memo of flow decisions that needed the exact sorted-vector scan (the
     /// pointer/fingerprint fast paths answer without consulting it): repeated
     /// deliveries over the same handful of interned labels pay each lattice
@@ -278,6 +303,19 @@ struct GroupScratch {
     offsets: Vec<usize>,
     /// Deliveries regrouped per target (group-major, batch order within).
     ordered: Vec<(u32, u32)>,
+    /// Matched `(event index, sub index)` pairs of the wave being executed.
+    pairs: Vec<(u32, u32)>,
+    /// Pairs matched by the augmentation overflow re-match (the next wave).
+    overflow: Vec<(u32, u32)>,
+    /// Per-event candidate set produced by the subscription index.
+    candidates: Vec<u32>,
+    /// Per-event flags: did a delivery this wave augment the event?
+    augmented: Vec<bool>,
+    /// Per-event-path candidate worklist (ascending sub indices; grows as
+    /// augmentation releases parts that index to further candidates).
+    worklist: Vec<u32>,
+    /// Candidates indexed by one augmentation-released part, before merging.
+    extra: Vec<u32>,
 }
 
 impl Dispatcher {
@@ -674,9 +712,21 @@ impl Dispatcher {
                 Some((slot, snapshot))
             })
             .collect();
+        let index = self.core.config.subscription_index.then(|| {
+            self.core
+                .index_stats
+                .rebuilds
+                .fetch_add(1, Ordering::Relaxed);
+            SubscriptionIndex::build(
+                subscriptions
+                    .iter()
+                    .map(|subscription| &subscription.filter),
+            )
+        });
         Arc::new(BatchContext {
             subscriptions,
             owners,
+            index,
             flow_memo: Mutex::new(HashMap::new()),
         })
     }
@@ -772,6 +822,13 @@ impl Dispatcher {
     /// Dispatches a single event using a prepared batch context — the classic
     /// per-event path: deliveries happen in strict subscription order and each
     /// pays its own cell-lock round-trip.
+    ///
+    /// With the subscription index on, the walk covers only the index's
+    /// candidate set instead of every subscription; turn order among
+    /// candidates is still ascending subscription order, and a delivery's
+    /// main-path part additions extend the remaining worklist with whatever
+    /// later-positioned subscriptions the new parts index to — so the
+    /// delivery set is exactly the linear scan's.
     fn dispatch_in(&self, batch: &BatchContext, event: Event) -> EngineResult<()> {
         self.core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
         self.core.cache_event(&event);
@@ -779,12 +836,53 @@ impl Dispatcher {
         // The event as augmented so far along the main dataflow path.
         let mut current = event;
 
-        for (subscription, owner) in batch.subscriptions.iter().zip(&batch.owners) {
-            let Some((owner_slot, owner)) = owner else {
+        let Some(index) = batch.index.as_ref() else {
+            for (subscription, owner) in batch.subscriptions.iter().zip(&batch.owners) {
+                let Some((owner_slot, owner)) = owner else {
+                    continue;
+                };
+                let managed = subscription.is_managed();
+                if !self.subscription_matches(batch, subscription, &owner.input, managed, &current)
+                {
+                    continue;
+                }
+                let Some(target_slot) =
+                    self.resolve_target(subscription, owner_slot, owner, &current, managed)
+                else {
+                    continue;
+                };
+                let additions = self.deliver(&target_slot, &current, subscription);
+                for part in additions {
+                    current = current.with_part(part);
+                }
+            }
+            return Ok(());
+        };
+
+        // The worklist buffers are taken out of the scratch (not borrowed
+        // across delivery calls) so unit callbacks can never observe a held
+        // RefCell borrow.
+        let (mut worklist, mut extra) = {
+            let mut scratch = self.scratch.borrow_mut();
+            (
+                std::mem::take(&mut scratch.worklist),
+                std::mem::take(&mut scratch.extra),
+            )
+        };
+        index.candidates_into(&current, &mut worklist);
+        let mut candidate_total = worklist.len() as u64;
+        let mut exact_rejects = 0u64;
+        let mut position = 0;
+        while position < worklist.len() {
+            let sub_index = worklist[position] as usize;
+            position += 1;
+            let subscription = &batch.subscriptions[sub_index];
+            let Some((owner_slot, owner)) = &batch.owners[sub_index] else {
                 continue;
             };
             let managed = subscription.is_managed();
             if !self.subscription_matches(batch, subscription, &owner.input, managed, &current) {
+                exact_rejects += 1;
                 continue;
             }
             let Some(target_slot) =
@@ -794,24 +892,143 @@ impl Dispatcher {
             };
             let additions = self.deliver(&target_slot, &current, subscription);
             for part in additions {
+                // An augmentation-released part can satisfy clauses of
+                // subscriptions the original event never indexed to. Their
+                // turn, like the linear scan's, is still ahead only for
+                // subscriptions positioned after the releasing delivery —
+                // earlier ones already had theirs.
+                extra.clear();
+                index.candidates_for_part(part.name(), part.data(), &mut extra);
                 current = current.with_part(part);
+                for &candidate in extra.iter() {
+                    if candidate as usize <= sub_index {
+                        continue;
+                    }
+                    if let Err(insert_at) = worklist[position..].binary_search(&candidate) {
+                        worklist.insert(position + insert_at, candidate);
+                        candidate_total += 1;
+                    }
+                }
             }
         }
+        if candidate_total > 0 {
+            self.core
+                .index_stats
+                .candidates
+                .fetch_add(candidate_total, Ordering::Relaxed);
+        }
+        if exact_rejects > 0 {
+            self.core
+                .index_stats
+                .exact_rejects
+                .fetch_add(exact_rejects, Ordering::Relaxed);
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.worklist = worklist;
+        scratch.extra = extra;
         Ok(())
+    }
+
+    /// Matches one wave of `(event, subscription)` pairs for the grouped
+    /// planner: every event index in `events`, in batch order, against the
+    /// index's candidate set (or every subscription with the index off),
+    /// skipping pairs already planned by an earlier wave. Appends matched
+    /// pairs — event-major, ascending subscription order — to `pairs` and
+    /// accumulates index telemetry into `(candidate_total, exact_rejects)`.
+    #[allow(clippy::too_many_arguments)]
+    fn match_wave(
+        &self,
+        batch: &BatchContext,
+        current: &[Event],
+        events: impl Iterator<Item = usize>,
+        considered: Option<&HashSet<(u32, u32)>>,
+        pairs: &mut Vec<(u32, u32)>,
+        candidates: &mut Vec<u32>,
+        candidate_total: &mut u64,
+        exact_rejects: &mut u64,
+    ) {
+        let already = |event_index: u32, sub_index: u32| {
+            considered.is_some_and(|seen| seen.contains(&(event_index, sub_index)))
+        };
+        for event_index in events {
+            let event = &current[event_index];
+            match batch.index.as_ref() {
+                Some(index) => {
+                    index.candidates_into(event, candidates);
+                    *candidate_total += candidates.len() as u64;
+                    for &sub_index in candidates.iter() {
+                        if already(event_index as u32, sub_index) {
+                            continue;
+                        }
+                        let Some((_, owner)) = &batch.owners[sub_index as usize] else {
+                            continue;
+                        };
+                        let subscription = &batch.subscriptions[sub_index as usize];
+                        let managed = subscription.is_managed();
+                        if self.subscription_matches(
+                            batch,
+                            subscription,
+                            &owner.input,
+                            managed,
+                            event,
+                        ) {
+                            pairs.push((event_index as u32, sub_index));
+                        } else {
+                            *exact_rejects += 1;
+                        }
+                    }
+                }
+                None => {
+                    for (sub_index, (subscription, owner)) in
+                        batch.subscriptions.iter().zip(&batch.owners).enumerate()
+                    {
+                        if already(event_index as u32, sub_index as u32) {
+                            continue;
+                        }
+                        let Some((_, owner)) = owner else {
+                            continue;
+                        };
+                        let managed = subscription.is_managed();
+                        if self.subscription_matches(
+                            batch,
+                            subscription,
+                            &owner.input,
+                            managed,
+                            event,
+                        ) {
+                            pairs.push((event_index as u32, sub_index as u32));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Dispatches a popped batch with its deliveries regrouped by target unit:
     /// the grouped-delivery hot path.
     ///
-    /// Two phases. The *plan* walks the batch in order, evaluates every
-    /// subscription's filter against each event (as it entered the batch) and
-    /// buckets the matched deliveries by resolved target slot, preserving
-    /// `(event, subscription)` order inside each bucket — which is exactly
-    /// batch order from any single unit's point of view. The *execution* then
-    /// takes each unit's cell lock once and runs that unit's whole slice under
-    /// it, folding main-path part additions back into the batch's events so
-    /// later groups still receive augmented payloads. Cascade publications
-    /// from one group enter the queue as a single transaction.
+    /// Three phases, the last two looping per wave. The *match* produces the
+    /// batch's `(event, subscription)` pairs in batch order — via the
+    /// subscription index's candidate sets, or the linear scan with the index
+    /// off; either matcher yields the same pairs. The *plan* buckets the
+    /// wave's pairs by resolved target slot, preserving order inside each
+    /// bucket — which is exactly batch order from any single unit's point of
+    /// view. The *execution* takes each unit's cell lock once and runs that
+    /// unit's whole slice under it, folding main-path part additions back into
+    /// the batch's events so later groups still receive augmented payloads.
+    /// Cascade publications from one group enter the queue as a single
+    /// transaction.
+    ///
+    /// Events a wave augmented are *re-matched*: subscriptions whose filters
+    /// name augmentation-released parts are planned into an overflow wave (the
+    /// pairs already planned are never replayed), repeating until no delivery
+    /// augments anything. The delivery set therefore equals the ungrouped
+    /// path's even for augmentation-named filters — such workloads no longer
+    /// need `grouped_delivery(false)`. One bounded caveat remains: an
+    /// overflow wave runs after the planned groups, so a unit that catches an
+    /// *earlier* batch event only via augmentation may see it after a later
+    /// planned one — reordering confined to one batch, like every other
+    /// grouped-delivery interleaving note.
     fn dispatch_batch_grouped(
         &self,
         batch: &BatchContext,
@@ -832,29 +1049,60 @@ impl Dispatcher {
             planned,
             offsets,
             ordered,
+            pairs,
+            overflow,
+            candidates,
+            augmented,
+            ..
         } = &mut *scratch;
-        targets.clear();
-        planned.clear();
 
-        // Plan: bucket matched deliveries by target, first-touch order. Direct
-        // subscriptions key by owner unit (no per-delivery slot resolution or
-        // Arc traffic); managed ones resolve per delivery, since each event's
-        // contamination can demand a different handler instance.
-        for (event_index, event) in current.iter().enumerate() {
-            for (sub_index, (subscription, owner)) in
-                batch.subscriptions.iter().zip(&batch.owners).enumerate()
-            {
-                let Some((owner_slot, owner)) = owner else {
+        // Match the first wave: every event against the whole subscription
+        // population (indexed or linear).
+        let mut candidate_total = 0u64;
+        let mut exact_rejects = 0u64;
+        pairs.clear();
+        self.match_wave(
+            batch,
+            current,
+            0..current.len(),
+            None,
+            pairs,
+            candidates,
+            &mut candidate_total,
+            &mut exact_rejects,
+        );
+
+        // Pairs matched by any wave so far; only materialised when a delivery
+        // actually augments an event (the overwhelmingly common batch never
+        // allocates it).
+        let mut considered: Option<HashSet<(u32, u32)>> = None;
+        let mut delivered_count = 0u64;
+        let mut unit_errors = 0u64;
+        while !pairs.is_empty() {
+            augmented.clear();
+            augmented.resize(current.len(), false);
+            targets.clear();
+            planned.clear();
+
+            // Plan: bucket the wave's pairs by target, first-touch order.
+            // Direct subscriptions key by owner unit (no per-delivery slot
+            // resolution or Arc traffic); managed ones resolve per delivery,
+            // since each event's contamination can demand a different handler
+            // instance.
+            for &(event_index, sub_index) in pairs.iter() {
+                let subscription = &batch.subscriptions[sub_index as usize];
+                let Some((owner_slot, owner)) = &batch.owners[sub_index as usize] else {
                     continue;
                 };
                 let managed = subscription.is_managed();
-                if !self.subscription_matches(batch, subscription, &owner.input, managed, event) {
-                    continue;
-                }
                 let group = if managed {
-                    let Some(slot) =
-                        self.resolve_target(subscription, owner_slot, owner, event, managed)
-                    else {
+                    let Some(slot) = self.resolve_target(
+                        subscription,
+                        owner_slot,
+                        owner,
+                        &current[event_index as usize],
+                        managed,
+                    ) else {
                         continue;
                     };
                     let key = TargetKey::Managed(Arc::as_ptr(&slot) as usize);
@@ -875,103 +1123,136 @@ impl Dispatcher {
                         }
                     }
                 };
-                planned.push((group as u32, event_index as u32, sub_index as u32));
+                planned.push((group as u32, event_index, sub_index));
             }
-        }
 
-        // Stable counting sort of the plan into group-major order: each
-        // group's slice keeps batch order, the per-unit order the engine
-        // promises.
-        offsets.clear();
-        offsets.resize(targets.len() + 1, 0);
-        for &(group, _, _) in planned.iter() {
-            offsets[group as usize + 1] += 1;
-        }
-        for group in 1..offsets.len() {
-            offsets[group] += offsets[group - 1];
-        }
-        ordered.clear();
-        ordered.resize(planned.len(), (0, 0));
-        for &(group, event_index, sub_index) in planned.iter() {
-            let cursor = &mut offsets[group as usize];
-            ordered[*cursor] = (event_index, sub_index);
-            *cursor += 1;
-        }
+            // Stable counting sort of the plan into group-major order: each
+            // group's slice keeps batch order, the per-unit order the engine
+            // promises.
+            offsets.clear();
+            offsets.resize(targets.len() + 1, 0);
+            for &(group, _, _) in planned.iter() {
+                offsets[group as usize + 1] += 1;
+            }
+            for group in 1..offsets.len() {
+                offsets[group] += offsets[group - 1];
+            }
+            ordered.clear();
+            ordered.resize(planned.len(), (0, 0));
+            for &(group, event_index, sub_index) in planned.iter() {
+                let cursor = &mut offsets[group as usize];
+                ordered[*cursor] = (event_index, sub_index);
+                *cursor += 1;
+            }
 
-        // Execute: one cell-lock acquisition and one delivery-stats update per
-        // group; one cascade enqueue transaction per group.
-        let mut delivered_count = 0u64;
-        let mut unit_errors = 0u64;
-        for (group, (key, slot)) in targets.iter().enumerate() {
-            let start = if group == 0 { 0 } else { offsets[group - 1] };
-            let end = offsets[group];
-            let mut outputs = Vec::new();
-            let mut faulted_unit = None;
-            // Chase the live slot for this group: a swap racing the plan
-            // retires the planned slot only after installing its replacement,
-            // so the whole slice forwards — in order, exactly once.
-            let mut live = Arc::clone(slot);
-            loop {
-                let mut cell = live.cell.lock();
-                if cell.retired {
-                    drop(cell);
-                    let owner = match key {
-                        // Direct groups are keyed by the stable owner id.
-                        TargetKey::Direct(unit) => *unit,
-                        // Evicted managed handler: its isolate is gone — skip
-                        // the slice, exactly like the per-delivery path does.
-                        TargetKey::Managed(_) => break,
-                    };
-                    match self.forwarded_slot(&live, owner, false) {
-                        Some(fresh) => {
-                            live = fresh;
-                            continue;
+            // Execute: one cell-lock acquisition and one delivery-stats update
+            // per group; one cascade enqueue transaction per group.
+            for (group, (key, slot)) in targets.iter().enumerate() {
+                let start = if group == 0 { 0 } else { offsets[group - 1] };
+                let end = offsets[group];
+                let mut outputs = Vec::new();
+                let mut faulted_unit = None;
+                // Chase the live slot for this group: a swap racing the plan
+                // retires the planned slot only after installing its
+                // replacement, so the whole slice forwards — in order, exactly
+                // once.
+                let mut live = Arc::clone(slot);
+                loop {
+                    let mut cell = live.cell.lock();
+                    if cell.retired {
+                        drop(cell);
+                        let owner = match key {
+                            // Direct groups are keyed by the stable owner id.
+                            TargetKey::Direct(unit) => *unit,
+                            // Evicted managed handler: its isolate is gone —
+                            // skip the slice, exactly like the per-delivery
+                            // path does.
+                            TargetKey::Managed(_) => break,
+                        };
+                        match self.forwarded_slot(&live, owner, false) {
+                            Some(fresh) => {
+                                live = fresh;
+                                continue;
+                            }
+                            None => break,
                         }
-                        None => break,
                     }
-                }
-                if cell.quarantined {
-                    // Shed the whole slice loudly, one count per delivery.
-                    self.core
-                        .faults
-                        .quarantine_shed
-                        .fetch_add((end - start) as u64, Ordering::Relaxed);
+                    if cell.quarantined {
+                        // Shed the whole slice loudly, one count per delivery.
+                        self.core
+                            .faults
+                            .quarantine_shed
+                            .fetch_add((end - start) as u64, Ordering::Relaxed);
+                        break;
+                    }
+                    let mut faulted = false;
+                    for &(event_index, sub_index) in &ordered[start..end] {
+                        let event_index = event_index as usize;
+                        let subscription = &batch.subscriptions[sub_index as usize];
+                        delivered_count += 1;
+                        let additions = self.deliver_into_cell(
+                            &live,
+                            &mut cell,
+                            &current[event_index],
+                            subscription,
+                            &mut outputs,
+                            &mut unit_errors,
+                            &mut faulted,
+                        );
+                        // Main-path augmentation: parts released by this
+                        // delivery reach every delivery executed after it —
+                        // later events in this group immediately, other units'
+                        // groups when theirs run, and subscriptions whose
+                        // filters only now match via the overflow re-match.
+                        if !additions.is_empty() {
+                            augmented[event_index] = true;
+                            for part in additions {
+                                current[event_index] = current[event_index].with_part(part);
+                            }
+                        }
+                    }
+                    if faulted {
+                        faulted_unit = Some(cell.state.id);
+                    }
                     break;
                 }
-                let mut faulted = false;
-                for &(event_index, sub_index) in &ordered[start..end] {
-                    let event_index = event_index as usize;
-                    let subscription = &batch.subscriptions[sub_index as usize];
-                    delivered_count += 1;
-                    let additions = self.deliver_into_cell(
-                        &live,
-                        &mut cell,
-                        &current[event_index],
-                        subscription,
-                        &mut outputs,
-                        &mut unit_errors,
-                        &mut faulted,
-                    );
-                    // Main-path augmentation: parts released by this delivery
-                    // reach every delivery executed after it — later events in
-                    // this group immediately, other units' groups when theirs
-                    // run.
-                    for part in additions {
-                        current[event_index] = current[event_index].with_part(part);
-                    }
+                // One group's cascade publications enter the queue as a single
+                // batch: one shard lock, one accounting update, one wakeup
+                // check.
+                self.core.enqueue_batch(outputs);
+                if let Some(unit) = faulted_unit {
+                    // Group lock released: the fault action may swap or
+                    // re-lock.
+                    self.core.handle_unit_fault(unit);
                 }
-                if faulted {
-                    faulted_unit = Some(cell.state.id);
-                }
+            }
+
+            if !augmented.iter().any(|&flag| flag) {
                 break;
             }
-            // One group's cascade publications enter the queue as a single
-            // batch: one shard lock, one accounting update, one wakeup check.
-            self.core.enqueue_batch(outputs);
-            if let Some(unit) = faulted_unit {
-                // Group lock released: the fault action may swap or re-lock.
-                self.core.handle_unit_fault(unit);
-            }
+            // Overflow: re-match the augmented events only, excluding every
+            // pair a wave already planned (delivered, shed or skipped — none
+            // replays, mirroring the per-event path's single turn per
+            // subscription).
+            let seen = considered.get_or_insert_with(HashSet::new);
+            seen.extend(pairs.iter().copied());
+            overflow.clear();
+            let wave_events: Vec<usize> = augmented
+                .iter()
+                .enumerate()
+                .filter_map(|(event_index, &flag)| flag.then_some(event_index))
+                .collect();
+            self.match_wave(
+                batch,
+                current,
+                wave_events.into_iter(),
+                Some(seen),
+                overflow,
+                candidates,
+                &mut candidate_total,
+                &mut exact_rejects,
+            );
+            std::mem::swap(pairs, overflow);
         }
         if delivered_count > 0 {
             self.core
@@ -984,6 +1265,18 @@ impl Dispatcher {
                 .stats
                 .unit_errors
                 .fetch_add(unit_errors, Ordering::Relaxed);
+        }
+        if candidate_total > 0 {
+            self.core
+                .index_stats
+                .candidates
+                .fetch_add(candidate_total, Ordering::Relaxed);
+        }
+        if exact_rejects > 0 {
+            self.core
+                .index_stats
+                .exact_rejects
+                .fetch_add(exact_rejects, Ordering::Relaxed);
         }
         Ok(())
     }

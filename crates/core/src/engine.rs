@@ -140,10 +140,12 @@ pub struct EngineConfig {
     /// *different* units interleave in group order rather than strict
     /// event-by-event subscription order, and subscription matching — filter
     /// evaluation *and* managed-handler contamination resolution — happens
-    /// against each event as it entered the batch (main-path part additions
-    /// still flow into later groups' delivered payloads, but within the same
-    /// batch they neither re-trigger filters nor raise the contamination a
-    /// managed instance is resolved at). A batch of one — and
+    /// wave by wave. Main-path part additions flow into later groups'
+    /// delivered payloads, and events they augment are re-matched in an
+    /// overflow wave so filters naming augmentation-released parts still
+    /// fire (each `(event, subscription)` pair gets exactly one turn, as on
+    /// the per-event path); a subscription planned only by an overflow wave
+    /// runs after the first wave's groups. A batch of one — and
     /// therefore any engine at the default `batch_size` of 1 — degenerates to
     /// the classic per-event path, exactly like the owner-state snapshot does.
     pub grouped_delivery: bool,
@@ -158,6 +160,18 @@ pub struct EngineConfig {
     /// per worker. `false` runs the v2 scheduler — the shared sharded queue
     /// only — which is the baseline the scheduler A/B bench replays against.
     pub scheduler_v3: bool,
+    /// Selects the inverted subscription index (the default): dispatch planning
+    /// consults an index from part name (and string part value) to candidate
+    /// subscriptions — a provable superset of the true matches — and runs the
+    /// exact filter and flow check only on candidates, so planning cost scales
+    /// with *matching* subscriptions instead of registered ones. The index
+    /// lives in the epoch-cached batch context, so every subscribe,
+    /// unsubscribe, unit removal and swap invalidates it through the existing
+    /// `security_epoch` bump and the next batch rebuilds it (under scheduler v3
+    /// once process-wide, via the shared context slot). `false` keeps the
+    /// linear scan over every subscription — the baseline the fan-out A/B
+    /// bench replays against. Delivery sets are identical either way.
+    pub subscription_index: bool,
     /// Number of recently dispatched events retained in the cache. The paper's
     /// deployment caches tick events (~300 MiB); the cache exists so that the
     /// memory experiment (Figure 7) sees the same population of live objects.
@@ -201,6 +215,7 @@ impl Default for EngineConfig {
             batch_size: 1,
             grouped_delivery: true,
             scheduler_v3: true,
+            subscription_index: true,
             event_cache_capacity: 10_000,
             managed_instance_cap: 1024,
             wal: None,
@@ -263,6 +278,20 @@ pub struct QueueStats {
     /// security snapshot was still valid for the current epoch (scheduler v3;
     /// zero under v2, where each worker rebuilds privately).
     pub sched_snapshot_hits: u64,
+    /// Candidate subscriptions produced by the inverted subscription index
+    /// across all indexed plans (accumulated candidate-set sizes). Compare
+    /// against `registered subscriptions × events` — the linear scan's cost —
+    /// to read the index's sublinearity; zero with the index disabled.
+    pub index_candidates: u64,
+    /// Index candidates whose exact filter or flow check rejected the
+    /// delivery: the index's false positives, each paid at exact-match cost
+    /// only (the candidate-superset invariant makes false *negatives*
+    /// impossible).
+    pub index_exact_rejects: u64,
+    /// Times the subscription index was (re)built — once per security epoch
+    /// that dispatched, not once per batch, thanks to the epoch-cached batch
+    /// context it lives in.
+    pub index_rebuilds: u64,
 }
 
 /// Counters describing engine activity.
@@ -411,6 +440,10 @@ pub(crate) struct EngineCore {
     /// `queue_stats()` reads one shape whether or not a fault policy is
     /// configured.
     pub(crate) faults: FaultCounters,
+    /// Subscription-index telemetry (candidate counts, exact rejects,
+    /// rebuilds); always present — all zero when the index is disabled — so
+    /// `queue_stats()` reads one shape either way.
+    pub(crate) index_stats: crate::sub_index::IndexCounters,
     /// Standby factories for fault-triggered auto-swap, keyed by the unit id
     /// they stand in for ([`Engine::set_standby`]). Keyed by id — not slot —
     /// so a standby keeps covering its unit across repeated swaps.
@@ -957,6 +990,7 @@ impl Engine {
                 shared_context,
                 wal,
                 faults: FaultCounters::default(),
+                index_stats: crate::sub_index::IndexCounters::default(),
                 standbys: Mutex::new(HashMap::new()),
                 security_epoch: AtomicU64::new(0),
                 unit_sequence: AtomicU64::new(1),
@@ -1071,6 +1105,13 @@ impl Engine {
         self.core.config.scheduler_v3
     }
 
+    /// Returns `true` when dispatch planning consults the inverted
+    /// subscription index instead of scanning every subscription (see
+    /// [`EngineConfig::subscription_index`]).
+    pub fn subscription_index(&self) -> bool {
+        self.core.config.subscription_index
+    }
+
     /// Samples the run queue's and worker pool's telemetry counters: total and
     /// per-shard queue depth, in-flight dispatches, and the worker band's
     /// configured edges, current activation and high-water mark.
@@ -1114,6 +1155,9 @@ impl Engine {
                 .shared_context
                 .as_ref()
                 .map_or(0, crate::dispatcher::SharedContextSlot::hits),
+            index_candidates: self.core.index_stats.candidates(),
+            index_exact_rejects: self.core.index_stats.exact_rejects(),
+            index_rebuilds: self.core.index_stats.rebuilds(),
         }
     }
 

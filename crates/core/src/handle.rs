@@ -73,10 +73,11 @@ impl EngineHandle {
     }
 
     /// Samples the run queue's and worker pool's telemetry counters: total and
-    /// per-shard queue depth, in-flight dispatches, and the worker band's
-    /// configured edges, current activation and high-water mark. This is what
-    /// an elastic deployment's dashboards (and the deterministic elastic
-    /// tests) read.
+    /// per-shard queue depth, in-flight dispatches, the worker band's
+    /// configured edges, current activation and high-water mark, plus the
+    /// subscription index's planning counters (`index_candidates`,
+    /// `index_exact_rejects`, `index_rebuilds`). This is what an elastic
+    /// deployment's dashboards (and the deterministic elastic tests) read.
     pub fn queue_stats(&self) -> crate::engine::QueueStats {
         self.engine.queue_stats()
     }

@@ -81,6 +81,7 @@ pub mod handle;
 mod pool;
 mod run_queue;
 mod steal;
+mod sub_index;
 pub mod subscription;
 pub mod tag_store;
 pub mod unit;

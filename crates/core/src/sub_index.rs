@@ -1,0 +1,318 @@
+//! The inverted subscription index: sublinear candidate selection for dispatch.
+//!
+//! The naive matcher evaluates every subscription's filter against every event,
+//! so planning cost is O(subscriptions × events) — unusable at the paper's
+//! "millions of users" fan-out scale. This module inverts the problem the way
+//! content-based pub/sub brokers do: each subscription is indexed under **one**
+//! clause of its filter, and an event's candidate set is the union of the index
+//! lists for its part names (and string part values). The exact filter — and
+//! the flow check — then run only on candidates.
+//!
+//! # The candidate-superset invariant
+//!
+//! A [`Filter`] is a *conjunction* of clauses, and a clause on part `name` can
+//! only be satisfied by a part named `name`. Therefore a filter can only match
+//! an event if **every** clause's name occurs among the event's part names — in
+//! particular the one clause this index chose for it. Unioning the lists for
+//! all of the event's parts thus yields a **superset** of the true matches, for
+//! any visibility predicate (visibility only shrinks the match set further).
+//! False positives are eliminated by running the exact filter on candidates;
+//! false negatives cannot happen.
+//!
+//! Two refinements sharpen the candidate sets without breaking the invariant:
+//!
+//! * A clause `name == "literal"` (or `name in [...]`) is keyed by **value** as
+//!   well as name: [`Value::structurally_equals`] never equates across
+//!   variants, so such a clause can only match a part whose data is exactly
+//!   that string — looking up each string-valued part's content finds every
+//!   such subscription, and non-string parts can never satisfy the clause.
+//! * Among a filter's clauses the index prefers a string-equality clause (the
+//!   most selective key available); only filters without one fall back to the
+//!   name-only bucket.
+//!
+//! Keys hash by **string content**, not by interned-pointer identity: the
+//! `part_name()` intern table stops deduplicating past its capacity, so pointer
+//! identity is not guaranteed for rare names.
+//!
+//! # Maintenance
+//!
+//! The index is built inside the dispatcher's epoch-cached
+//! `BatchContext` (see `Dispatcher::build_context`), so incremental maintenance
+//! rides the existing invalidation protocol for free: every
+//! subscribe/unsubscribe, unit registration/removal and swap already bumps the
+//! engine's `security_epoch`, which retires the cached context — index
+//! included — and the next batch rebuilds both atomically. Under scheduler v3
+//! the rebuilt index is published through the process-shared context slot, so
+//! one epoch bump costs one rebuild process-wide. [`IndexCounters`] exposes the
+//! rebuild count plus per-plan candidate/reject telemetry through
+//! `queue_stats()`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use defcon_events::{Event, Filter, Predicate, Value};
+
+/// Telemetry of the subscription index, sampled by `Engine::queue_stats`.
+///
+/// `candidates` versus the registered subscription count is the sublinearity
+/// check: with the index on, accumulated candidate-set sizes stay proportional
+/// to *matching* subscriptions, not registered ones.
+#[derive(Debug, Default)]
+pub(crate) struct IndexCounters {
+    /// Candidate subscriptions produced across all indexed plans (accumulated
+    /// candidate-set sizes; the linear scan would have counted every
+    /// registered subscription once per event instead).
+    pub(crate) candidates: AtomicU64,
+    /// Candidates whose exact filter (or flow check) rejected the delivery —
+    /// the index's false positives, paid at exact-match cost only.
+    pub(crate) exact_rejects: AtomicU64,
+    /// Times the index was (re)built: once per security epoch that dispatched,
+    /// never once per batch.
+    pub(crate) rebuilds: AtomicU64,
+}
+
+impl IndexCounters {
+    pub(crate) fn candidates(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn exact_rejects(&self) -> u64 {
+        self.exact_rejects.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-name bucket: subscriptions keyed by an exact string value of an
+/// equality clause on this name, plus those keyed by name only.
+#[derive(Debug, Default)]
+struct NameEntry {
+    /// Subscriptions whose chosen clause is `name == value` / `name in
+    /// [...values]`, listed under each value they can match.
+    by_value: HashMap<String, Vec<u32>>,
+    /// Subscriptions whose chosen clause constrains this name with any other
+    /// predicate shape (exists, ranges, non-string equality): candidates for
+    /// every event carrying the name.
+    any_value: Vec<u32>,
+}
+
+/// An inverted index from part name (and string part value) to the
+/// subscription indices whose filters could match an event carrying that part.
+///
+/// Built per security epoch from the subscription snapshot; lists hold indices
+/// into that snapshot in ascending order, so unioned candidate sets preserve
+/// subscription order after a sort + dedup.
+#[derive(Debug, Default)]
+pub(crate) struct SubscriptionIndex {
+    names: HashMap<String, NameEntry>,
+}
+
+impl SubscriptionIndex {
+    /// Builds the index over a subscription snapshot's filters, in snapshot
+    /// order. Empty filters (which never match — the engine rejects them at
+    /// subscribe anyway) are left out entirely.
+    pub(crate) fn build<'a>(filters: impl Iterator<Item = &'a Filter>) -> Self {
+        let mut index = SubscriptionIndex::default();
+        for (position, filter) in filters.enumerate() {
+            index.insert(position as u32, filter);
+        }
+        index
+    }
+
+    fn insert(&mut self, position: u32, filter: &Filter) {
+        let clauses = filter.clauses();
+        // Prefer the most selective key available: a string-equality clause
+        // confines the subscription to events carrying that exact value.
+        let keyed = clauses.iter().find(|(_, predicate)| {
+            matches!(predicate, Predicate::Equals(value) if value.as_str().is_some())
+                || matches!(predicate, Predicate::OneOf(_))
+        });
+        match keyed {
+            Some((name, Predicate::Equals(value))) => {
+                let literal = value.as_str().expect("selected for string equality");
+                self.entry(name).push_value(literal, position);
+            }
+            Some((name, Predicate::OneOf(options))) => {
+                // `in []` matches nothing; indexing it nowhere keeps it out of
+                // every candidate set, which is exactly its match set.
+                let entry = self.entry(name);
+                for option in options {
+                    entry.push_value(option, position);
+                }
+            }
+            Some(_) => unreachable!("keyed clause is string equality or one-of"),
+            None => {
+                if let Some((name, _)) = clauses.first() {
+                    self.entry(name).any_value.push(position);
+                }
+            }
+        }
+    }
+
+    fn entry(&mut self, name: &str) -> &mut NameEntry {
+        // Owned-key insertion only on first sight of a name; lookups stay
+        // borrowed.
+        if !self.names.contains_key(name) {
+            self.names.insert(name.to_string(), NameEntry::default());
+        }
+        self.names.get_mut(name).expect("entry just ensured")
+    }
+
+    /// Appends the candidate subscriptions for one part (by name, and by value
+    /// for string-valued data) to `out`. Duplicates across parts are expected;
+    /// callers dedupe once per event.
+    pub(crate) fn candidates_for_part(&self, name: &str, data: &Value, out: &mut Vec<u32>) {
+        let Some(entry) = self.names.get(name) else {
+            return;
+        };
+        out.extend_from_slice(&entry.any_value);
+        if let Some(literal) = data.as_str() {
+            if let Some(list) = entry.by_value.get(literal) {
+                out.extend_from_slice(list);
+            }
+        }
+    }
+
+    /// Replaces `out` with the deduplicated, ascending candidate set for
+    /// `event`: the union over all of its parts. A superset of the
+    /// subscriptions whose filters match the event under any visibility.
+    pub(crate) fn candidates_into(&self, event: &Event, out: &mut Vec<u32>) {
+        out.clear();
+        for part in event.parts() {
+            self.candidates_for_part(part.name(), part.data(), out);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+impl NameEntry {
+    fn push_value(&mut self, literal: &str, position: u32) {
+        let list = self.by_value.entry(literal.to_string()).or_default();
+        // One-of clauses listing an option twice must not list the
+        // subscription twice.
+        if list.last() != Some(&position) {
+            list.push(position);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_defc::Label;
+    use defcon_events::EventBuilder;
+
+    fn event(parts: &[(&str, Value)]) -> Event {
+        let mut builder = EventBuilder::new();
+        for (name, data) in parts {
+            builder = builder.part(*name, Label::public(), data.clone());
+        }
+        builder.build().unwrap()
+    }
+
+    fn candidates(index: &SubscriptionIndex, event: &Event) -> Vec<u32> {
+        let mut out = Vec::new();
+        index.candidates_into(event, &mut out);
+        out
+    }
+
+    #[test]
+    fn string_equality_filters_key_by_value() {
+        let filters = [
+            Filter::for_type("tick"),
+            Filter::for_type("order"),
+            Filter::for_type("tick").where_exists("price"),
+        ];
+        let index = SubscriptionIndex::build(filters.iter());
+        let tick = event(&[("type", Value::str("tick")), ("price", Value::Float(1.0))]);
+        assert_eq!(candidates(&index, &tick), vec![0, 2]);
+        let order = event(&[("type", Value::str("order"))]);
+        assert_eq!(candidates(&index, &order), vec![1]);
+    }
+
+    #[test]
+    fn non_equality_filters_fall_back_to_the_name_bucket() {
+        let filters = [
+            Filter::new().where_part("price", Predicate::GreaterThan(10.0)),
+            Filter::new().where_exists("volume"),
+        ];
+        let index = SubscriptionIndex::build(filters.iter());
+        let with_price = event(&[("price", Value::Float(5.0))]);
+        // Candidate even though the exact filter will reject it: the index
+        // promises a superset, never exactness.
+        assert_eq!(candidates(&index, &with_price), vec![0]);
+        let with_both = event(&[("price", Value::Int(1)), ("volume", Value::Int(2))]);
+        assert_eq!(candidates(&index, &with_both), vec![0, 1]);
+    }
+
+    #[test]
+    fn one_of_filters_are_listed_under_each_option() {
+        let filters = [Filter::new().where_part(
+            "symbol",
+            Predicate::OneOf(vec!["MSFT".into(), "GOOG".into(), "MSFT".into()]),
+        )];
+        let index = SubscriptionIndex::build(filters.iter());
+        let msft = event(&[("symbol", Value::str("MSFT"))]);
+        assert_eq!(candidates(&index, &msft), vec![0], "deduplicated");
+        let goog = event(&[("symbol", Value::str("GOOG"))]);
+        assert_eq!(candidates(&index, &goog), vec![0]);
+        let aapl = event(&[("symbol", Value::str("AAPL"))]);
+        assert!(candidates(&index, &aapl).is_empty());
+    }
+
+    #[test]
+    fn empty_filters_and_empty_one_of_are_never_candidates() {
+        let filters = [
+            Filter::new(),
+            Filter::new().where_part("symbol", Predicate::OneOf(Vec::new())),
+        ];
+        let index = SubscriptionIndex::build(filters.iter());
+        let anything = event(&[("symbol", Value::str("MSFT")), ("type", Value::str("x"))]);
+        assert!(candidates(&index, &anything).is_empty());
+    }
+
+    #[test]
+    fn candidate_sets_are_supersets_of_matches() {
+        // Every filter that matches the event must be a candidate, whatever
+        // clause the index chose for it.
+        let filters = [
+            Filter::for_type("tick").where_eq("symbol", "MSFT"),
+            Filter::new()
+                .where_part("price", Predicate::LessThan(100.0))
+                .where_eq("symbol", "MSFT"),
+            Filter::new().where_exists("price"),
+            Filter::new().where_eq("symbol", 42i64), // non-string equality
+            Filter::for_type("order"),               // does not match
+        ];
+        let index = SubscriptionIndex::build(filters.iter());
+        let tick = event(&[
+            ("type", Value::str("tick")),
+            ("symbol", Value::str("MSFT")),
+            ("price", Value::Float(9.5)),
+        ]);
+        let candidate_set = candidates(&index, &tick);
+        for (position, filter) in filters.iter().enumerate() {
+            if filter.matches_any_visibility(&tick) {
+                assert!(
+                    candidate_set.contains(&(position as u32)),
+                    "matching filter {position} must be a candidate"
+                );
+            }
+        }
+        assert!(
+            !candidate_set.contains(&4),
+            "value-keyed miss prunes the non-matching type"
+        );
+    }
+
+    #[test]
+    fn duplicate_part_names_dedupe_candidates() {
+        let filters = [Filter::new().where_exists("body")];
+        let index = SubscriptionIndex::build(filters.iter());
+        let two_bodies = event(&[("body", Value::Int(1)), ("body", Value::Int(2))]);
+        assert_eq!(candidates(&index, &two_bodies), vec![0]);
+    }
+}

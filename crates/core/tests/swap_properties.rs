@@ -252,6 +252,93 @@ fn the_swap_hot_point_stays_covered_at_workers_4() {
     }
 }
 
+/// Swap-then-publish index consistency: with the subscription index on, the
+/// epoch bump inside `swap_unit` must atomically retire the cached index
+/// alongside the owner snapshot, migrating the swapped unit's entries to the
+/// replacement before any post-swap event plans. Events published before the
+/// swap land on incarnation 1, events published after land on incarnation 2 —
+/// each exactly once — and the index provably rebuilt across the boundary.
+#[test]
+fn swap_unit_migrates_index_entries_under_the_epoch_bump() {
+    const BEFORE: u64 = 12;
+    const AFTER: u64 = 9;
+    let engine = Engine::builder()
+        .mode(SecurityMode::LabelsFreeze)
+        .workers(0)
+        .batch_size(4)
+        .subscription_index(true)
+        .build();
+    let ledger = Arc::new(SwapLedger::new((BEFORE + AFTER) as usize));
+    let target = engine
+        .register_unit(
+            UnitSpec::new("swap-target"),
+            Box::new(VersionedProbe {
+                incarnation: 1,
+                ledger: Arc::clone(&ledger),
+            }),
+        )
+        .unwrap();
+    let source = engine
+        .register_unit(UnitSpec::new("feed"), Box::new(NullUnit))
+        .unwrap();
+
+    let handle = engine.start();
+    let publisher = handle.publisher(source).unwrap();
+    for seq in 0..BEFORE {
+        publisher.publish(tick_draft(seq as i64)).unwrap();
+    }
+    handle.pump_until_idle().unwrap();
+    let rebuilds_before_swap = engine.queue_stats().index_rebuilds;
+    assert!(
+        rebuilds_before_swap > 0,
+        "pumping with the index on must have built it"
+    );
+    assert_eq!(
+        ledger.last_version.load(Ordering::SeqCst),
+        1,
+        "pre-swap events belong to incarnation 1"
+    );
+
+    let version = handle
+        .swap_unit(
+            target,
+            Box::new(VersionedProbe {
+                incarnation: 2,
+                ledger: Arc::clone(&ledger),
+            }),
+        )
+        .unwrap();
+    assert_eq!(version, 2);
+    for seq in BEFORE..BEFORE + AFTER {
+        publisher.publish(tick_draft(seq as i64)).unwrap();
+    }
+    handle.pump_until_idle().unwrap();
+    handle.shutdown().unwrap();
+
+    for (seq, count) in ledger.delivered.iter().enumerate() {
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "event {seq} must be delivered exactly once across the swap"
+        );
+    }
+    assert_eq!(
+        ledger.last_version.load(Ordering::SeqCst),
+        2,
+        "post-swap events must reach the replacement (its index entries \
+         migrated with the epoch bump)"
+    );
+    assert!(
+        !ledger.version_regressed.load(Ordering::SeqCst),
+        "no post-swap delivery may land on the old incarnation"
+    );
+    assert!(
+        engine.queue_stats().index_rebuilds > rebuilds_before_swap,
+        "the swap's epoch bump must have retired the cached index"
+    );
+    assert_eq!(engine.stats().deliveries(), BEFORE + AFTER);
+}
+
 /// Per-unit FIFO across the swap boundary, pinned exactly: with one worker the
 /// run queue is a single FIFO shard, so the recorded `(seq, incarnation)`
 /// stream must be `0..N` in publish order with a non-decreasing incarnation —

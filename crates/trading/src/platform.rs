@@ -204,6 +204,35 @@ impl PlatformReport {
     }
 }
 
+/// A passive compliance desk: counts the ticks of its one symbol and does
+/// nothing else — the unit behind
+/// [`TradingPlatform::register_audit_watchers`].
+struct AuditWatcher {
+    symbol: String,
+    received: Arc<AtomicU64>,
+}
+
+impl defcon_core::Unit for AuditWatcher {
+    fn init(&mut self, ctx: &mut defcon_core::UnitContext<'_>) -> EngineResult<()> {
+        ctx.subscribe(
+            defcon_events::Filter::for_type(crate::messages::event_type::TICK).where_eq(
+                crate::messages::tick::SYMBOL,
+                defcon_events::Value::str(&self.symbol),
+            ),
+        )?;
+        Ok(())
+    }
+
+    fn on_event(
+        &mut self,
+        _ctx: &mut defcon_core::UnitContext<'_>,
+        _event: &defcon_events::Event,
+    ) -> EngineResult<()> {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
 /// A fully wired trading platform.
 pub struct TradingPlatform {
     config: TradingPlatformConfig,
@@ -375,6 +404,36 @@ impl TradingPlatform {
     /// Returns the regulator's shared state (audits, warnings, republished ticks).
     pub fn regulator(&self) -> &Arc<RegulatorShared> {
         &self.regulator_shared
+    }
+
+    /// Registers `watchers` passive audit watchers — compliance desks, each
+    /// pinned to one symbol of the exchange's universe (cycling) and
+    /// subscribed to exactly that symbol's ticks — returning the shared count
+    /// of ticks they have collectively observed.
+    ///
+    /// This is the §6-style fan-out population at its most index-friendly:
+    /// every watcher's filter carries a string-equality clause on the tick's
+    /// `symbol` part, so the engine's subscription index resolves each tick
+    /// to one symbol's watcher list instead of evaluating every registered
+    /// watcher, while the linear scan pays the full population per tick.
+    /// Watchers are inert (they never order, publish or augment), so
+    /// registering thousands changes planning cost and nothing else.
+    pub fn register_audit_watchers(&self, watchers: usize) -> EngineResult<Arc<AtomicU64>> {
+        let universe = SymbolUniverse::standard(self.config.symbols);
+        let received = Arc::new(AtomicU64::new(0));
+        for index in 0..watchers {
+            let symbol = universe.symbols()[index % universe.len()]
+                .as_str()
+                .to_string();
+            self.engine.register_unit(
+                UnitSpec::new(format!("audit-watcher-{index}")),
+                Box::new(AuditWatcher {
+                    symbol,
+                    received: Arc::clone(&received),
+                }),
+            )?;
+        }
+        Ok(received)
     }
 
     /// Hot-replaces the Local Broker mid-session with a fresh [`Broker`]

@@ -327,3 +327,36 @@ fn ingress_without_workers_is_rejected_loudly() {
         "expected a loud InvalidOperation, got {err:?}"
     );
 }
+
+#[test]
+fn audit_watchers_observe_every_tick_of_their_symbols() {
+    // A platform with a large passive compliance population: 5 watchers per
+    // symbol, each filtering on one symbol's ticks by string equality — the
+    // fan-out shape the subscription index resolves per symbol. Every tick
+    // carries exactly one symbol, so collectively the watchers observe
+    // `ticks × watchers_per_symbol` deliveries, with no effect on the
+    // trading cascade itself.
+    let mut platform = TradingPlatform::build(small_config(SecurityMode::LabelsFreeze, 4)).unwrap();
+    let received = platform.register_audit_watchers(8 * 5).unwrap();
+
+    let report = platform.run_ticks(400).unwrap();
+    assert_eq!(report.ticks, 400);
+    assert!(report.trades > 0, "watchers must not perturb the cascade");
+    // The regulator republishes sampled trades as endorsed ticks (step 9),
+    // and those reach the matching watchers too — every tick-typed event in
+    // the system lands on exactly its symbol's 5 watchers.
+    let republished = platform
+        .regulator()
+        .republished
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        received.load(std::sync::atomic::Ordering::Relaxed),
+        (400 + republished) * 5,
+        "every tick reaches exactly its symbol's watchers"
+    );
+    let stats = platform.engine().queue_stats();
+    assert!(
+        stats.index_candidates > 0,
+        "the default engine plans watchers through the subscription index"
+    );
+}

@@ -35,8 +35,8 @@ pub mod zipf;
 pub use ingress_driver::IngressScenarioDriver;
 pub use orders::{Order, OrderSide, Trade};
 pub use scenario::{
-    Burst, BurstyOpenClose, CountingSink, CreditStorm, FaultSwap, MixedBatches, ReplayTrace,
-    Scenario, ScenarioDriver, ScenarioOutcome, SlowConsumerFlood, ZipfLanes,
+    Burst, BurstyOpenClose, CountingSink, CreditStorm, FanOutBurst, FaultSwap, MixedBatches,
+    ReplayTrace, Scenario, ScenarioDriver, ScenarioOutcome, SlowConsumerFlood, ZipfLanes,
 };
 pub use symbols::{Symbol, SymbolPair, SymbolUniverse};
 pub use ticks::{Tick, TickGenerator, TickGeneratorConfig};

@@ -409,6 +409,78 @@ impl Scenario for FaultSwap {
     }
 }
 
+/// The fan-out stressor: a plain round-robin flood whose adversarial part is
+/// the *subscriber population*, not the arrival process. The harness
+/// registers [`FanOutBurst::subscribers_per_lane`] subscriptions on every
+/// lane — conventionally half exact lane matches and half near-misses that
+/// name the lane but fail a second clause — so each published event must be
+/// planned against [`FanOutBurst::registered_subscriptions`] filters in
+/// total. What the bench row measures is planning cost at fan-out scale: the
+/// subscription index resolves an event to one lane's candidate list, while
+/// the linear scan evaluates the whole population per event.
+#[derive(Debug)]
+pub struct FanOutBurst {
+    lanes: usize,
+    subscribers_per_lane: usize,
+    burst: usize,
+    total: u64,
+    emitted: u64,
+}
+
+impl FanOutBurst {
+    /// `events` events round-robin over `lanes` lanes in bursts of `burst`,
+    /// advertising `subscribers_per_lane` subscriptions per lane for the
+    /// harness to register.
+    pub fn new(lanes: usize, subscribers_per_lane: usize, burst: usize, events: u64) -> Self {
+        FanOutBurst {
+            lanes: lanes.max(1),
+            subscribers_per_lane: subscribers_per_lane.max(1),
+            burst: burst.max(1),
+            total: events,
+            emitted: 0,
+        }
+    }
+
+    /// Subscriptions the harness should register on each lane.
+    pub fn subscribers_per_lane(&self) -> usize {
+        self.subscribers_per_lane
+    }
+
+    /// The whole advertised subscription population
+    /// (`lanes × subscribers_per_lane`) — what every event is planned
+    /// against on the linear path.
+    pub fn registered_subscriptions(&self) -> usize {
+        self.lanes * self.subscribers_per_lane
+    }
+}
+
+impl Scenario for FanOutBurst {
+    fn name(&self) -> &'static str {
+        "fan-out"
+    }
+
+    fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    fn next_burst(&mut self) -> Option<Burst> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let lanes = self.lanes;
+        Some(Burst::immediate(chunk_drafts(
+            &mut self.emitted,
+            self.total,
+            self.burst,
+            |seq| seq as usize % lanes,
+        )))
+    }
+}
+
 /// Cycles through a set of burst sizes (1, 8, 64 by default): single events
 /// interleaved with medium and large batches, round-robin over the lanes.
 /// Exercises the queue's mixed single/batched enqueue paths and dispatchers
@@ -954,6 +1026,19 @@ mod tests {
         assert_eq!(events, 100);
         assert_eq!(bursts, 4);
         assert_eq!(sizes, vec![32, 32, 32, 4]);
+    }
+
+    #[test]
+    fn fan_out_burst_round_robins_lanes_and_advertises_its_population() {
+        let mut scenario = FanOutBurst::new(20, 500, 64, 1_000);
+        assert_eq!(scenario.lane_count(), 20);
+        assert_eq!(scenario.subscribers_per_lane(), 500);
+        assert_eq!(scenario.registered_subscriptions(), 10_000);
+        let (events, bursts, sizes) = drain(&mut scenario);
+        assert_eq!(events, 1_000);
+        assert_eq!(bursts, 1_000_u64.div_ceil(64));
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 64));
+        assert!(scenario.next_burst().is_none());
     }
 
     #[test]

@@ -12,16 +12,19 @@
 # ratios are meaningless and used to produce spurious warning-skips cell by
 # cell.
 # Within a same-host pair, records are matched by (name, mode, workers,
-# batch_size, replay, policy, scheduler) — the key that makes two measurements
-# comparable; unmatched records (a new scenario, a different auto-resolved
-# worker count) are skipped. The replay component keeps trace-replay cells
-# comparing only against replay baselines (records predating the field count
-# as non-replay). The policy component does the same for admission-policy
-# cells: a shedding cell's throughput only ever compares against the same
-# policy's baseline (records predating the field count as direct-path,
-# policy ""). The scheduler component keeps scheduler-stamped cells ("v3",
-# "v2") from ever cross-matching each other or legacy unstamped rows — a
-# scheduler change re-baselines instead of comparing apples to oranges.
+# batch_size, replay, policy, scheduler, index) — the key that makes two
+# measurements comparable; unmatched records (a new scenario, a different
+# auto-resolved worker count) are skipped. The replay component keeps
+# trace-replay cells comparing only against replay baselines (records
+# predating the field count as non-replay). The policy component does the
+# same for admission-policy cells: a shedding cell's throughput only ever
+# compares against the same policy's baseline (records predating the field
+# count as direct-path, policy ""). The scheduler component keeps
+# scheduler-stamped cells ("v3", "v2") from ever cross-matching each other or
+# legacy unstamped rows — a scheduler change re-baselines instead of
+# comparing apples to oranges. The index component does the same for the
+# subscription-matcher A/B cells ("on", "off"): an indexed-planner cell never
+# compares against a linear-scan baseline.
 # Elastic runs are matched on the *configured* worker band
 # (workers_band, e.g. "1..4") rather than any instantaneous or high-water
 # worker count: the observed count is a function of load, so keying on it
@@ -70,15 +73,16 @@ for current in "$@"; do
     fi
 
     # Compare throughput per matched (name, mode, workers-or-band, batch_size,
-    # replay, policy, scheduler) cell. Fixed cells key on the worker count;
-    # elastic cells key on the configured band; replay cells only match replay
-    # baselines; admission-policy cells only match the same policy; scheduler-
-    # stamped cells only match the same scheduler.
+    # replay, policy, scheduler, index) cell. Fixed cells key on the worker
+    # count; elastic cells key on the configured band; replay cells only match
+    # replay baselines; admission-policy cells only match the same policy;
+    # scheduler-stamped cells only match the same scheduler; index-stamped
+    # cells only match the same subscription matcher.
     regressions=$(jq -r --slurpfile prev "$prev" --argjson min "$min_ratio" '
         def cellkey: "\(.name)|\(.mode)|w\(
             if (.workers_band // "") != "" then "[\(.workers_band)]"
             else (.workers | tostring) end
-        )|b\(.batch_size)|r\(if (.replay // false) then 1 else 0 end)|p\(.policy // "")|s\(.scheduler // "")";
+        )|b\(.batch_size)|r\(if (.replay // false) then 1 else 0 end)|p\(.policy // "")|s\(.scheduler // "")|i\(.index // "")";
         ($prev[0].records
          | map({key: cellkey, value: .throughput_eps})
          | from_entries) as $base
@@ -92,14 +96,14 @@ for current in "$@"; do
         def cellkey: "\(.name)|\(.mode)|w\(
             if (.workers_band // "") != "" then "[\(.workers_band)]"
             else (.workers | tostring) end
-        )|b\(.batch_size)|r\(if (.replay // false) then 1 else 0 end)|p\(.policy // "")|s\(.scheduler // "")";
+        )|b\(.batch_size)|r\(if (.replay // false) then 1 else 0 end)|p\(.policy // "")|s\(.scheduler // "")|i\(.index // "")";
         ($prev[0].records | map(cellkey)) as $keys
         | [.records[] | select(cellkey as $k | $keys | index($k))]
         | length
     ' "$current")
 
     if [ "$matched" -eq 0 ]; then
-        echo "::warning::bench gate: $base shares no (name, mode, workers, batch_size, replay, policy, scheduler) cells with the previous run — skipping"
+        echo "::warning::bench gate: $base shares no (name, mode, workers, batch_size, replay, policy, scheduler, index) cells with the previous run — skipping"
         continue
     fi
     if [ -n "$regressions" ]; then
